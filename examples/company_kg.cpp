@@ -1,0 +1,95 @@
+// The Company KG of the Central Bank of Italy, end to end (Sections 2-6):
+// design (Figure 4), synthetic register data, and the materialization of
+// every intensional component through Algorithm 2, with per-phase timing.
+//
+// Run: build/examples/company_kg [num_companies num_persons]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analytics/graph_stats.h"
+#include "core/gsl.h"
+#include "finkg/company_kg.h"
+#include "finkg/generator.h"
+#include "instance/pipeline.h"
+
+int main(int argc, char** argv) {
+  using namespace kgm;
+
+  finkg::GeneratorConfig config;
+  config.num_companies = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 300;
+  config.num_persons = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 500;
+  config.seed = 2022;
+
+  // 1. The conceptual design (Figure 4).
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  std::printf("%s\n", schema.Summary().c_str());
+  std::printf("%s\n", core::RenderGslAscii(schema).c_str());
+
+  // 2. Synthetic register data standing in for the Chambers of Commerce
+  //    source, with the Section 2.1 statistics.
+  finkg::ShareholdingNetwork net =
+      finkg::ShareholdingNetwork::Generate(config);
+  std::printf("generated %zu holdings over %zu entities\n\n",
+              net.holdings().size(), net.num_entities());
+  analytics::GraphStatsReport stats =
+      analytics::ComputeGraphStats(net.ToDigraph());
+  std::printf("%s\n", analytics::RenderStatsTable(stats).c_str());
+
+  // 3. Materialize the intensional components through Algorithm 2.
+  pg::PropertyGraph data = net.ToInstanceGraph();
+  struct Step {
+    const char* name;
+    const char* program;
+  };
+  const Step steps[] = {
+      {"OWNS (derived ownership)", finkg::kOwnsProgram},
+      {"CONTROLS (company control, Example 4.1)", finkg::kControlProgram},
+      {"numberOfStakeholders", finkg::kStakeholdersProgram},
+      {"families / IS_RELATED_TO", finkg::kFamilyProgram},
+      {"close links (ECB)", finkg::kCloseLinksProgram},
+  };
+  for (const Step& step : steps) {
+    auto result = instance::Materialize(schema, step.program, &data);
+    if (!result.ok()) {
+      std::printf("%s FAILED: %s\n", step.name,
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "%-42s load %.3fs  reason %.3fs  flush %.3fs  "
+        "(+%zu edges, +%zu nodes, %zu prop updates)\n",
+        step.name, result->load_seconds, result->reason_seconds,
+        result->flush_seconds, result->new_edges, result->new_nodes,
+        result->updated_properties);
+  }
+
+  // 4. Query the result.
+  std::printf("\nderived edge counts:\n");
+  for (const char* label : {"OWNS", "CONTROLS", "BELONGS_TO_FAMILY",
+                            "IS_RELATED_TO", "FAMILY_OWNS", "CLOSE_LINK"}) {
+    std::printf("  %-18s %zu\n", label, data.EdgesWithLabel(label).size());
+  }
+  size_t with_stakeholders = 0;
+  for (pg::NodeId id : data.NodesWithLabel("Business")) {
+    if (data.NodeProperty(id, "numberOfStakeholders") != nullptr) {
+      ++with_stakeholders;
+    }
+  }
+  std::printf("  businesses with numberOfStakeholders: %zu\n",
+              with_stakeholders);
+
+  // 5. Show a concrete control chain, if any non-self control exists.
+  for (pg::EdgeId e : data.EdgesWithLabel("CONTROLS")) {
+    const pg::Edge& edge = data.edge(e);
+    if (edge.from == edge.to) continue;
+    const Value* from = data.NodeProperty(edge.from, "businessName");
+    const Value* to = data.NodeProperty(edge.to, "businessName");
+    if (from != nullptr && to != nullptr) {
+      std::printf("\nexample control edge: %s CONTROLS %s\n",
+                  from->ToString().c_str(), to->ToString().c_str());
+      break;
+    }
+  }
+  return 0;
+}

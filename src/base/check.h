@@ -1,0 +1,31 @@
+// Lightweight assertion macros for programmer errors.
+//
+// The project does not use exceptions (see DESIGN.md); recoverable errors are
+// reported through kgm::Status / kgm::Result<T>.  KGM_CHECK is reserved for
+// invariant violations that indicate a bug, and aborts the process.
+
+#ifndef KGM_BASE_CHECK_H_
+#define KGM_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define KGM_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "KGM_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define KGM_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "KGM_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, (msg));                       \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // KGM_BASE_CHECK_H_

@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation for synthetic workloads.
+//
+// splitmix64 seeds a xoshiro256** state; all benchmark and generator code
+// uses this RNG so that every run of the reproduction is bit-for-bit
+// repeatable for a given seed.
+
+#ifndef KGM_BASE_RNG_H_
+#define KGM_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace kgm {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform 64-bit value (xoshiro256**).
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n).  n must be > 0.
+  uint64_t NextBelow(uint64_t n) { return Next() % n; }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t state_[4];
+};
+
+}  // namespace kgm
+
+#endif  // KGM_BASE_RNG_H_

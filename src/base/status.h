@@ -1,0 +1,143 @@
+// Error handling without exceptions: Status and Result<T>.
+//
+// Status carries an error code and a human-readable message; Result<T> is
+// either a value or a non-OK Status.  The KGM_RETURN_IF_ERROR and
+// KGM_ASSIGN_OR_RETURN macros implement the usual propagation idioms.
+
+#ifndef KGM_BASE_STATUS_H_
+#define KGM_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "base/check.h"
+
+namespace kgm {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+// Returns a stable lower-case name for `code` ("ok", "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error outcome.  Cheap to copy on the OK path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    KGM_CHECK(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+
+// A value of type T or a non-OK Status.  Accessing value() on an error
+// aborts, so callers must test ok() (or use KGM_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    KGM_CHECK_MSG(!std::get<Status>(data_).ok(),
+                  "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    KGM_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    KGM_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    KGM_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return OkStatus();
+    return std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace kgm
+
+#define KGM_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::kgm::Status kgm_status_ = (expr);             \
+    if (!kgm_status_.ok()) return kgm_status_;      \
+  } while (0)
+
+#define KGM_INTERNAL_CONCAT2(a, b) a##b
+#define KGM_INTERNAL_CONCAT(a, b) KGM_INTERNAL_CONCAT2(a, b)
+
+#define KGM_ASSIGN_OR_RETURN(lhs, expr)                              \
+  auto KGM_INTERNAL_CONCAT(kgm_result_, __LINE__) = (expr);          \
+  if (!KGM_INTERNAL_CONCAT(kgm_result_, __LINE__).ok())              \
+    return KGM_INTERNAL_CONCAT(kgm_result_, __LINE__).status();      \
+  lhs = std::move(KGM_INTERNAL_CONCAT(kgm_result_, __LINE__)).value()
+
+#endif  // KGM_BASE_STATUS_H_

@@ -1,0 +1,77 @@
+#include "base/strings.h"
+
+#include <cctype>
+
+namespace kgm {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToSnakeCase(std::string_view s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (std::isupper(static_cast<unsigned char>(c))) {
+      // Insert '_' at lower->upper boundaries and before the last capital of
+      // an acronym run followed by a lowercase letter ("HTTPServer" ->
+      // "http_server").
+      bool prev_lower =
+          i > 0 && std::islower(static_cast<unsigned char>(s[i - 1]));
+      bool next_lower = i + 1 < s.size() &&
+                        std::islower(static_cast<unsigned char>(s[i + 1]));
+      bool prev_upper =
+          i > 0 && std::isupper(static_cast<unsigned char>(s[i - 1]));
+      if (!out.empty() && (prev_lower || (prev_upper && next_lower))) {
+        out += '_';
+      }
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace kgm

@@ -1,0 +1,35 @@
+// Small string helpers shared across the project.
+
+#ifndef KGM_BASE_STRINGS_H_
+#define KGM_BASE_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kgm {
+
+// Splits `s` on `sep`; empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Joins `pieces` with `sep` between them.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+// True if `c` can start / continue an identifier ([A-Za-z_] / [A-Za-z0-9_]).
+bool IsIdentStart(char c);
+bool IsIdentChar(char c);
+
+// Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+// snake_case rendering of a PascalCase / camelCase identifier
+// ("PublicListedCompany" -> "public_listed_company").
+std::string ToSnakeCase(std::string_view s);
+
+}  // namespace kgm
+
+#endif  // KGM_BASE_STRINGS_H_

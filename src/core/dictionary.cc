@@ -1,0 +1,288 @@
+#include "core/dictionary.h"
+
+#include <map>
+#include <set>
+
+#include "base/check.h"
+#include "base/strings.h"
+
+namespace kgm::core {
+
+namespace {
+
+Value SchemaOid(int64_t oid) { return Value(oid); }
+
+std::string SerializeEnumValues(const std::vector<Value>& values) {
+  std::vector<std::string> parts;
+  for (const Value& v : values) {
+    parts.push_back(v.is_string() ? v.AsString() : v.ToString());
+  }
+  return Join(parts, "|");
+}
+
+std::vector<Value> DeserializeEnumValues(const std::string& serialized) {
+  std::vector<Value> out;
+  if (serialized.empty()) return out;
+  for (const std::string& part : Split(serialized, '|')) {
+    out.push_back(Value(part));
+  }
+  return out;
+}
+
+Result<AttrType> ParseAttrType(const std::string& name) {
+  if (name == "string") return AttrType::kString;
+  if (name == "int") return AttrType::kInt;
+  if (name == "double") return AttrType::kDouble;
+  if (name == "bool") return AttrType::kBool;
+  if (name == "date") return AttrType::kDate;
+  return InvalidArgument("unknown attribute type: " + name);
+}
+
+pg::NodeId StoreAttribute(const AttributeDef& attr, int64_t oid,
+                          pg::PropertyGraph* dict) {
+  pg::NodeId a = dict->AddNode(
+      kSmAttribute, {{"name", Value(attr.name)},
+                     {"dataType", Value(AttrTypeName(attr.type))},
+                     {"isId", Value(attr.is_id)},
+                     {"isOpt", Value(attr.optional)},
+                     {"isIntensional", Value(attr.intensional)},
+                     {"schemaOID", SchemaOid(oid)}});
+  for (const AttributeModifier& mod : attr.modifiers) {
+    pg::PropertyMap props{{"schemaOID", SchemaOid(oid)}};
+    switch (mod.kind) {
+      case AttributeModifier::Kind::kUnique:
+        props["kind"] = Value("unique");
+        break;
+      case AttributeModifier::Kind::kEnum:
+        props["kind"] = Value("enum");
+        props["enumValues"] = Value(SerializeEnumValues(mod.enum_values));
+        break;
+      case AttributeModifier::Kind::kRange:
+        props["kind"] = Value("range");
+        props["rangeMin"] = Value(mod.min);
+        props["rangeMax"] = Value(mod.max);
+        break;
+    }
+    pg::NodeId m = dict->AddNode(kSmAttributeModifier, std::move(props));
+    dict->AddEdge(a, m, kSmHasModifier,
+                  {{"schemaOID", SchemaOid(oid)}});
+  }
+  return a;
+}
+
+}  // namespace
+
+Status StoreSuperSchema(const SuperSchema& schema, pg::PropertyGraph* dict) {
+  KGM_RETURN_IF_ERROR(schema.Validate());
+  int64_t oid = schema.schema_oid();
+  std::map<std::string, pg::NodeId> node_ids;
+
+  for (const NodeDef& node : schema.nodes()) {
+    pg::NodeId n = dict->AddNode(
+        kSmNode, {{"isIntensional", Value(node.intensional)},
+                  {"schemaOID", SchemaOid(oid)}});
+    pg::NodeId t = dict->AddNode(kSmType, {{"name", Value(node.name)},
+                                           {"schemaOID", SchemaOid(oid)}});
+    dict->AddEdge(n, t, kSmHasNodeType, {{"schemaOID", SchemaOid(oid)}});
+    for (const AttributeDef& attr : node.attributes) {
+      pg::NodeId a = StoreAttribute(attr, oid, dict);
+      dict->AddEdge(n, a, kSmHasNodeProperty,
+                    {{"schemaOID", SchemaOid(oid)}});
+    }
+    node_ids[node.name] = n;
+  }
+  for (const EdgeDef& edge : schema.edges()) {
+    // The paper's isFun1/isOpt1 refer to the right (target) maximum /
+    // minimum cardinality as seen from the source; we store both sides
+    // explicitly.
+    pg::NodeId e = dict->AddNode(
+        kSmEdge, {{"isIntensional", Value(edge.intensional)},
+                  {"isOpt1", Value(edge.source.optional)},
+                  {"isFun1", Value(edge.source.functional)},
+                  {"isOpt2", Value(edge.target.optional)},
+                  {"isFun2", Value(edge.target.functional)},
+                  {"schemaOID", SchemaOid(oid)}});
+    pg::NodeId t = dict->AddNode(kSmType, {{"name", Value(edge.name)},
+                                           {"schemaOID", SchemaOid(oid)}});
+    dict->AddEdge(e, t, kSmHasEdgeType, {{"schemaOID", SchemaOid(oid)}});
+    dict->AddEdge(e, node_ids.at(edge.from), kSmFrom,
+                  {{"schemaOID", SchemaOid(oid)}});
+    dict->AddEdge(e, node_ids.at(edge.to), kSmTo,
+                  {{"schemaOID", SchemaOid(oid)}});
+    for (const AttributeDef& attr : edge.attributes) {
+      pg::NodeId a = StoreAttribute(attr, oid, dict);
+      dict->AddEdge(e, a, kSmHasEdgeProperty,
+                    {{"schemaOID", SchemaOid(oid)}});
+    }
+  }
+  for (const GeneralizationDef& gen : schema.generalizations()) {
+    pg::NodeId g = dict->AddNode(
+        kSmGeneralization, {{"isTotal", Value(gen.total)},
+                            {"isDisjoint", Value(gen.disjoint)},
+                            {"schemaOID", SchemaOid(oid)}});
+    dict->AddEdge(g, node_ids.at(gen.parent), kSmParent,
+                  {{"schemaOID", SchemaOid(oid)}});
+    for (const std::string& child : gen.children) {
+      dict->AddEdge(g, node_ids.at(child), kSmChild,
+                    {{"schemaOID", SchemaOid(oid)}});
+    }
+  }
+  return OkStatus();
+}
+
+namespace {
+
+bool InSchema(const pg::PropertyGraph& dict, pg::NodeId id, int64_t oid) {
+  const Value* v = dict.NodeProperty(id, "schemaOID");
+  return v != nullptr && v->is_int() && v->AsInt() == oid;
+}
+
+Result<AttributeDef> LoadAttribute(const pg::PropertyGraph& dict,
+                                   pg::NodeId a) {
+  AttributeDef attr;
+  const Value* name = dict.NodeProperty(a, "name");
+  if (name == nullptr) return FailedPrecondition("attribute without name");
+  attr.name = name->AsString();
+  const Value* type = dict.NodeProperty(a, "dataType");
+  if (type != nullptr) {
+    KGM_ASSIGN_OR_RETURN(attr.type, ParseAttrType(type->AsString()));
+  }
+  const Value* is_id = dict.NodeProperty(a, "isId");
+  attr.is_id = is_id != nullptr && is_id->is_bool() && is_id->AsBool();
+  const Value* opt = dict.NodeProperty(a, "isOpt");
+  attr.optional = opt != nullptr && opt->is_bool() && opt->AsBool();
+  const Value* intensional = dict.NodeProperty(a, "isIntensional");
+  attr.intensional = intensional != nullptr && intensional->is_bool() &&
+                     intensional->AsBool();
+  for (pg::EdgeId e : dict.OutEdges(a)) {
+    if (!dict.HasEdge(e) || dict.edge(e).label != kSmHasModifier) continue;
+    pg::NodeId m = dict.edge(e).to;
+    const Value* kind = dict.NodeProperty(m, "kind");
+    if (kind == nullptr) continue;
+    if (kind->AsString() == "unique") {
+      attr.modifiers.push_back(AttributeModifier::Unique());
+    } else if (kind->AsString() == "enum") {
+      const Value* values = dict.NodeProperty(m, "enumValues");
+      attr.modifiers.push_back(AttributeModifier::Enum(
+          DeserializeEnumValues(values == nullptr ? "" : values->AsString())));
+    } else if (kind->AsString() == "range") {
+      const Value* lo = dict.NodeProperty(m, "rangeMin");
+      const Value* hi = dict.NodeProperty(m, "rangeMax");
+      attr.modifiers.push_back(AttributeModifier::Range(
+          lo == nullptr ? 0 : lo->AsDouble(),
+          hi == nullptr ? 0 : hi->AsDouble()));
+    }
+  }
+  return attr;
+}
+
+bool BoolProp(const pg::PropertyGraph& dict, pg::NodeId id,
+              std::string_view key) {
+  const Value* v = dict.NodeProperty(id, key);
+  return v != nullptr && v->is_bool() && v->AsBool();
+}
+
+}  // namespace
+
+Result<SuperSchema> LoadSuperSchema(const pg::PropertyGraph& dict,
+                                    int64_t schema_oid,
+                                    const std::string& name) {
+  SuperSchema schema(name.empty() ? "schema_" + std::to_string(schema_oid)
+                                  : name,
+                     schema_oid);
+  std::map<pg::NodeId, std::string> node_names;
+
+  auto type_name_of = [&dict](pg::NodeId id, const char* type_link)
+      -> Result<std::string> {
+    for (pg::EdgeId e : dict.OutEdges(id)) {
+      if (!dict.HasEdge(e) || dict.edge(e).label != type_link) continue;
+      const Value* name_value = dict.NodeProperty(dict.edge(e).to, "name");
+      if (name_value == nullptr) {
+        return FailedPrecondition("SM_Type without name");
+      }
+      return name_value->AsString();
+    }
+    return FailedPrecondition("construct without SM_Type link");
+  };
+
+  for (pg::NodeId id : dict.NodesWithLabel(kSmNode)) {
+    if (!InSchema(dict, id, schema_oid)) continue;
+    KGM_ASSIGN_OR_RETURN(std::string type_name,
+                         type_name_of(id, kSmHasNodeType));
+    NodeDef& node = schema.AddNode(type_name);
+    node.intensional = BoolProp(dict, id, "isIntensional");
+    for (pg::EdgeId e : dict.OutEdges(id)) {
+      if (!dict.HasEdge(e) || dict.edge(e).label != kSmHasNodeProperty) {
+        continue;
+      }
+      KGM_ASSIGN_OR_RETURN(AttributeDef attr,
+                           LoadAttribute(dict, dict.edge(e).to));
+      node.attributes.push_back(std::move(attr));
+    }
+    node_names[id] = type_name;
+  }
+  for (pg::NodeId id : dict.NodesWithLabel(kSmEdge)) {
+    if (!InSchema(dict, id, schema_oid)) continue;
+    KGM_ASSIGN_OR_RETURN(std::string type_name,
+                         type_name_of(id, kSmHasEdgeType));
+    std::string from;
+    std::string to;
+    std::vector<AttributeDef> attrs;
+    for (pg::EdgeId e : dict.OutEdges(id)) {
+      if (!dict.HasEdge(e)) continue;
+      const pg::Edge& edge = dict.edge(e);
+      if (edge.label == kSmFrom) {
+        from = node_names[edge.to];
+      } else if (edge.label == kSmTo) {
+        to = node_names[edge.to];
+      } else if (edge.label == kSmHasEdgeProperty) {
+        KGM_ASSIGN_OR_RETURN(AttributeDef attr, LoadAttribute(dict, edge.to));
+        attrs.push_back(std::move(attr));
+      }
+    }
+    if (from.empty() || to.empty()) {
+      return FailedPrecondition("SM_Edge " + type_name +
+                                " lacks SM_FROM/SM_TO links");
+    }
+    Cardinality source{BoolProp(dict, id, "isOpt1"),
+                       BoolProp(dict, id, "isFun1")};
+    Cardinality target{BoolProp(dict, id, "isOpt2"),
+                       BoolProp(dict, id, "isFun2")};
+    EdgeDef& edge = schema.AddEdge(type_name, from, to, source, target,
+                                   std::move(attrs));
+    edge.intensional = BoolProp(dict, id, "isIntensional");
+  }
+  for (pg::NodeId id : dict.NodesWithLabel(kSmGeneralization)) {
+    if (!InSchema(dict, id, schema_oid)) continue;
+    std::string parent;
+    std::vector<std::string> children;
+    for (pg::EdgeId e : dict.OutEdges(id)) {
+      if (!dict.HasEdge(e)) continue;
+      const pg::Edge& edge = dict.edge(e);
+      if (edge.label == kSmParent) {
+        parent = node_names[edge.to];
+      } else if (edge.label == kSmChild) {
+        children.push_back(node_names[edge.to]);
+      }
+    }
+    if (parent.empty() || children.empty()) {
+      return FailedPrecondition("malformed SM_Generalization");
+    }
+    schema.AddGeneralization(parent, std::move(children),
+                             BoolProp(dict, id, "isTotal"),
+                             BoolProp(dict, id, "isDisjoint"));
+  }
+  KGM_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+std::vector<int64_t> StoredSchemaOids(const pg::PropertyGraph& dict) {
+  std::set<int64_t> oids;
+  for (pg::NodeId id : dict.NodesWithLabel(kSmNode)) {
+    const Value* v = dict.NodeProperty(id, "schemaOID");
+    if (v != nullptr && v->is_int()) oids.insert(v->AsInt());
+  }
+  return {oids.begin(), oids.end()};
+}
+
+}  // namespace kgm::core

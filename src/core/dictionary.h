@@ -1,0 +1,66 @@
+// Graph dictionaries: storing super-schemas as property graphs.
+//
+// KGModel stores super-schemas and schemas in graph dictionaries
+// (Section 2.2).  The encoding follows the super-model dictionary of
+// Figure 3 and matches the atoms used by the paper's MetaLog examples
+// (SM_CHILD / SM_PARENT run from the SM_Generalization node to the child /
+// parent SM_Node, as in the Cypher bindings of Example 4.4):
+//
+//   (n: SM_Node; schemaOID, isIntensional)
+//       -[: SM_HAS_NODE_TYPE]-> (t: SM_Type; name, schemaOID)
+//       -[: SM_HAS_NODE_PROPERTY]-> (a: SM_Attribute; name, dataType,
+//                                    isId, isOpt, isIntensional, schemaOID)
+//   (e: SM_Edge; schemaOID, isOpt1, isFun1, isOpt2, isFun2, isIntensional)
+//       -[: SM_HAS_EDGE_TYPE]-> (t: SM_Type)
+//       -[: SM_FROM]-> (n: SM_Node),  -[: SM_TO]-> (m: SM_Node)
+//       -[: SM_HAS_EDGE_PROPERTY]-> (a: SM_Attribute)
+//   (g: SM_Generalization; schemaOID, isTotal, isDisjoint)
+//       -[: SM_PARENT]-> (n: SM_Node),  -[: SM_CHILD]-> (c: SM_Node)
+//   (a: SM_Attribute) -[: SM_HAS_MODIFIER]->
+//       (m: SM_AttributeModifier; kind, enumValues, rangeMin, rangeMax)
+
+#ifndef KGM_CORE_DICTIONARY_H_
+#define KGM_CORE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/superschema.h"
+#include "pg/property_graph.h"
+
+namespace kgm::core {
+
+// Dictionary label and link names.
+inline constexpr char kSmNode[] = "SM_Node";
+inline constexpr char kSmEdge[] = "SM_Edge";
+inline constexpr char kSmType[] = "SM_Type";
+inline constexpr char kSmAttribute[] = "SM_Attribute";
+inline constexpr char kSmGeneralization[] = "SM_Generalization";
+inline constexpr char kSmAttributeModifier[] = "SM_AttributeModifier";
+inline constexpr char kSmHasNodeType[] = "SM_HAS_NODE_TYPE";
+inline constexpr char kSmHasEdgeType[] = "SM_HAS_EDGE_TYPE";
+inline constexpr char kSmHasNodeProperty[] = "SM_HAS_NODE_PROPERTY";
+inline constexpr char kSmHasEdgeProperty[] = "SM_HAS_EDGE_PROPERTY";
+inline constexpr char kSmFrom[] = "SM_FROM";
+inline constexpr char kSmTo[] = "SM_TO";
+inline constexpr char kSmParent[] = "SM_PARENT";
+inline constexpr char kSmChild[] = "SM_CHILD";
+inline constexpr char kSmHasModifier[] = "SM_HAS_MODIFIER";
+
+// Serializes `schema` into `dict`, tagging every construct with the
+// schema's OID.  Multiple schemas can share one dictionary.
+Status StoreSuperSchema(const SuperSchema& schema, pg::PropertyGraph* dict);
+
+// Reconstructs the super-schema with the given OID from `dict`.
+Result<SuperSchema> LoadSuperSchema(const pg::PropertyGraph& dict,
+                                    int64_t schema_oid,
+                                    const std::string& name = "");
+
+// OIDs of the schemas stored in `dict` (sorted, deduplicated).
+std::vector<int64_t> StoredSchemaOids(const pg::PropertyGraph& dict);
+
+}  // namespace kgm::core
+
+#endif  // KGM_CORE_DICTIONARY_H_

@@ -1,0 +1,113 @@
+#include "core/gsl.h"
+
+#include <sstream>
+
+namespace kgm::core {
+
+namespace {
+
+std::string AttrLine(const AttributeDef& a) {
+  std::string out;
+  out += a.intensional ? "~" : (a.optional ? "o" : "*");
+  out += " ";
+  out += a.name;
+  if (a.is_id) out += " <id>";
+  out += ": ";
+  out += AttrTypeName(a.type);
+  for (const AttributeModifier& m : a.modifiers) {
+    out += " {" + m.ToString() + "}";
+  }
+  return out;
+}
+
+std::string GenLabel(const GeneralizationDef& g) {
+  std::string out;
+  out += g.total ? "t" : "p";
+  out += g.disjoint ? "d" : "o";
+  return out;
+}
+
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\' || c == '{' || c == '}' || c == '<' ||
+        c == '>' || c == '|') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderGslAscii(const SuperSchema& schema) {
+  std::ostringstream os;
+  os << "GSL diagram: " << schema.name() << " (schemaOID "
+     << schema.schema_oid() << ")\n";
+  os << "  legend: * mandatory attr, o optional, ~ intensional, <id> "
+        "identifier\n\n";
+  for (const NodeDef& n : schema.nodes()) {
+    os << (n.intensional ? "~(" : "(") << n.name
+       << (n.intensional ? ")~" : ")") << "\n";
+    for (const AttributeDef& a : n.attributes) {
+      os << "    " << AttrLine(a) << "\n";
+    }
+  }
+  os << "\n";
+  for (const EdgeDef& e : schema.edges()) {
+    os << "  (" << e.from << ") " << e.source.ToString() << " "
+       << (e.intensional ? "~" : "-") << "[" << e.name << "]"
+       << (e.intensional ? "~>" : "->") << " " << e.target.ToString() << " ("
+       << e.to << ")\n";
+    for (const AttributeDef& a : e.attributes) {
+      os << "      " << AttrLine(a) << "\n";
+    }
+  }
+  os << "\n";
+  for (const GeneralizationDef& g : schema.generalizations()) {
+    os << "  " << g.parent << " <=" << GenLabel(g) << "= {";
+    for (size_t i = 0; i < g.children.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << g.children[i];
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+std::string RenderGslDot(const SuperSchema& schema) {
+  std::ostringstream os;
+  os << "digraph \"" << schema.name() << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=record, fontsize=10];\n";
+  for (const NodeDef& n : schema.nodes()) {
+    os << "  \"" << n.name << "\" [label=\"{" << DotEscape(n.name);
+    if (!n.attributes.empty()) {
+      os << "|";
+      for (const AttributeDef& a : n.attributes) {
+        os << DotEscape(AttrLine(a)) << "\\l";
+      }
+    }
+    os << "}\"";
+    if (n.intensional) os << ", style=dashed";
+    os << "];\n";
+  }
+  for (const EdgeDef& e : schema.edges()) {
+    os << "  \"" << e.from << "\" -> \"" << e.to << "\" [label=\""
+       << DotEscape(e.name) << " " << e.source.ToString() << "/"
+       << e.target.ToString() << "\"";
+    if (e.intensional) os << ", style=dashed";
+    os << "];\n";
+  }
+  for (const GeneralizationDef& g : schema.generalizations()) {
+    for (const std::string& child : g.children) {
+      os << "  \"" << child << "\" -> \"" << g.parent
+         << "\" [arrowhead=onormal, penwidth=2, label=\"" << GenLabel(g)
+         << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace kgm::core

@@ -1,0 +1,30 @@
+// GSL — the Graph Schema Language renderings (Section 3).
+//
+// The Graph Schema Language is the visual language for KG design diagrams
+// obtained by applying the rendering function Gamma_SM to a super-schema.
+// This module provides two textual realizations of Gamma_SM: an ASCII
+// rendering for terminals and a Graphviz DOT rendering for actual diagrams
+// (the closest runnable equivalent of the KGSE design tool's canvas).
+
+#ifndef KGM_CORE_GSL_H_
+#define KGM_CORE_GSL_H_
+
+#include <string>
+
+#include "core/superschema.h"
+
+namespace kgm::core {
+
+// Multi-line ASCII rendering: one block per node (attributes with their
+// id/optional/intensional decorations), then edges with cardinalities,
+// then generalizations.  Intensional constructs render with '~'.
+std::string RenderGslAscii(const SuperSchema& schema);
+
+// Graphviz DOT: nodes as record shapes, intensional constructs dashed,
+// generalizations as thick arrows labeled (t|p)(d|o) for
+// total/partial x disjoint/overlapping.
+std::string RenderGslDot(const SuperSchema& schema);
+
+}  // namespace kgm::core
+
+#endif  // KGM_CORE_GSL_H_

@@ -1,0 +1,124 @@
+#include "core/metamodel.h"
+
+#include <sstream>
+
+namespace kgm::core {
+
+pg::PropertyGraph MetaModelGraph() {
+  pg::PropertyGraph g;
+  pg::NodeId entity = g.AddNode(
+      "MM_Entity", {{"name", Value("MM_Entity")},
+                    {"doc", Value("an abstract entity of the domain")}});
+  pg::NodeId link = g.AddNode(
+      "MM_Link", {{"name", Value("MM_Link")},
+                  {"doc", Value("a connection between entities")}});
+  pg::NodeId property = g.AddNode(
+      "MM_Property", {{"name", Value("MM_Property")},
+                      {"doc", Value("a named, typed property")}});
+  // MM_Links run between entities (cardinality 0..N -> 0..N); entities and
+  // links carry properties.  Every meta-construct has an internal OID.
+  g.AddEdge(link, entity, "MM_SOURCE", {{"card", Value("1,1")}});
+  g.AddEdge(link, entity, "MM_TARGET", {{"card", Value("1,1")}});
+  g.AddEdge(entity, property, "MM_HAS_PROPERTY", {{"card", Value("0,N")}});
+  g.AddEdge(link, property, "MM_HAS_PROPERTY", {{"card", Value("0,N")}});
+  return g;
+}
+
+pg::PropertyGraph SuperModelAsMetaInstance() {
+  pg::PropertyGraph g;
+  auto entity = [&g](const char* name,
+                     std::vector<std::string> props) -> pg::NodeId {
+    pg::NodeId id = g.AddNode("MM_Entity", {{"name", Value(name)}});
+    for (const std::string& p : props) {
+      pg::NodeId prop = g.AddNode(
+          "MM_Property", {{"name", Value(p)}});
+      g.AddEdge(id, prop, "MM_HAS_PROPERTY");
+    }
+    return id;
+  };
+  pg::NodeId node = entity("SM_Node", {"isIntensional"});
+  pg::NodeId edge = entity("SM_Edge", {"isIntensional", "isOpt1", "isFun1",
+                                       "isOpt2", "isFun2"});
+  pg::NodeId type = entity("SM_Type", {"name"});
+  pg::NodeId attr = entity("SM_Attribute", {"name", "dataType", "isId",
+                                            "isOpt"});
+  pg::NodeId modifier = entity("SM_AttributeModifier", {"kind"});
+  pg::NodeId gen = entity("SM_Generalization", {"isTotal", "isDisjoint"});
+  auto mm_link = [&g](const char* name, pg::NodeId from,
+                      pg::NodeId to) {
+    pg::NodeId id = g.AddNode("MM_Link", {{"name", Value(name)}});
+    g.AddEdge(id, from, "MM_SOURCE");
+    g.AddEdge(id, to, "MM_TARGET");
+  };
+  mm_link("SM_HAS_NODE_TYPE", node, type);
+  mm_link("SM_HAS_EDGE_TYPE", edge, type);
+  mm_link("SM_HAS_NODE_PROPERTY", node, attr);
+  mm_link("SM_HAS_EDGE_PROPERTY", edge, attr);
+  mm_link("SM_FROM", edge, node);
+  mm_link("SM_TO", edge, node);
+  mm_link("SM_PARENT", gen, node);
+  mm_link("SM_CHILD", gen, node);
+  mm_link("SM_HAS_MODIFIER", attr, modifier);
+  return g;
+}
+
+std::vector<GraphemeEntry> SuperModelRenderingTable() {
+  return {
+      {"SM_Node", "isIntensional = false, name from SM_Type",
+       "solid circle labeled with the type name", true},
+      {"SM_Node", "isIntensional = true, name from SM_Type",
+       "dashed circle labeled with the type name", true},
+      {"SM_Edge",
+       "isIntensional = false, name from SM_Type, cardinalities from "
+       "isOpt/isFun",
+       "solid labeled arrow with (min,max) cardinalities", true},
+      {"SM_Edge",
+       "isIntensional = true, name from SM_Type, cardinalities from "
+       "isOpt/isFun",
+       "dashed labeled arrow with (min,max) cardinalities", true},
+      {"SM_Type", "name", "label text of the owning node/edge", true},
+      {"SM_HAS_NODE_PROPERTY", "", "no explicit notation", false},
+      {"SM_HAS_EDGE_PROPERTY", "", "no explicit notation", false},
+      {"SM_FROM", "", "no explicit notation (arrow tail)", false},
+      {"SM_TO", "", "no explicit notation (arrow head)", false},
+      {"SM_Attribute", "isOpt = false, isId = false",
+       "filled lollipop with the attribute name", true},
+      {"SM_Attribute", "isOpt = true, isId = false",
+       "hollow lollipop with the attribute name", true},
+      {"SM_Attribute", "isOpt = false, isId = true",
+       "filled lollipop, name underlined (identifier)", true},
+      {"SM_Generalization", "isTotal = true, isDisjoint = true",
+       "single-headed thick solid black arrow", true},
+      {"SM_Generalization", "isTotal = false, isDisjoint = true",
+       "single-headed thick outlined arrow", true},
+      {"SM_Generalization", "isTotal = true, isDisjoint = false",
+       "double-headed thick solid black arrow", true},
+      {"SM_Generalization", "isTotal = false, isDisjoint = false",
+       "double-headed thick outlined arrow", true},
+      {"SM_PARENT", "", "no explicit notation (arrow head side)", false},
+      {"SM_CHILD", "", "no explicit notation (arrow tail side)", false},
+  };
+}
+
+std::string RenderModelingStack() {
+  std::ostringstream os;
+  os << "KGModel modeling stack (Figure 1)\n"
+     << "\n"
+     << "  model stack                schema stack            instance stack\n"
+     << "  +-------------+\n"
+     << "  | meta-model  |  MM_Entity, MM_Link, MM_Property\n"
+     << "  +------+------+\n"
+     << "         | instantiates\n"
+     << "  +------v------+           +--------------+        +------------------+\n"
+     << "  | super-model |---------->| super-schema |------->| super-components |\n"
+     << "  +------+------+           +------+-------+        +---------+--------+\n"
+     << "         | specializes             | mappings M(M)            | M(M).instance\n"
+     << "  +------v------+           +------v-------+        +---------v--------+\n"
+     << "  |   models    |---------->|   schemas    |------->|    components    |\n"
+     << "  | (PG, rel,   |           | (per target  |        | (ground + derived|\n"
+     << "  |  CSV, ...)  |           |  system)     |        |  data)           |\n"
+     << "  +-------------+           +--------------+        +------------------+\n";
+  return os.str();
+}
+
+}  // namespace kgm::core

@@ -1,0 +1,46 @@
+// The meta-model (Figure 2) and the super-model dictionary (Figure 3).
+//
+// KGModel's representation stack (Figure 1) has three levels: the
+// meta-model (MM_Entity, MM_Link, MM_Property), the super-model whose
+// super-constructs are instances of the meta-constructs, and the models,
+// whose constructs specialize super-constructs.  This header exposes the
+// two upper levels as data: property-graph renderings, the Gamma_SM
+// rendering table, and the Figure 1 stack description.
+
+#ifndef KGM_CORE_METAMODEL_H_
+#define KGM_CORE_METAMODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "pg/property_graph.h"
+
+namespace kgm::core {
+
+// Figure 2: the meta-model as a property graph.  Nodes: MM_Entity,
+// MM_Link, MM_Property; edges: MM_HAS_PROPERTY, MM_SOURCE, MM_TARGET.
+pg::PropertyGraph MetaModelGraph();
+
+// Figure 3 (left): the super-model dictionary as an instance of the
+// meta-model: every super-construct is an MM_Entity / MM_Link instance.
+pg::PropertyGraph SuperModelAsMetaInstance();
+
+// One row of the Gamma_SM rendering function in tabular form (Figure 3,
+// right).  `has_grapheme` is false for the link super-constructs rendered
+// with a gray background in the paper (no explicit notation).
+struct GraphemeEntry {
+  std::string construct;    // e.g. "SM_Node"
+  std::string attributes;   // e.g. "isIntensional = true"
+  std::string grapheme;     // textual description of the visual item
+  bool has_grapheme = true;
+};
+
+// The full Gamma_SM table.
+std::vector<GraphemeEntry> SuperModelRenderingTable();
+
+// Figure 1: the KGModel modeling stack, rendered as ASCII art.
+std::string RenderModelingStack();
+
+}  // namespace kgm::core
+
+#endif  // KGM_CORE_METAMODEL_H_

@@ -1,0 +1,143 @@
+#include "core/models.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace kgm::core {
+
+bool ModelDef::Supports(std::string_view super_construct) const {
+  return !ConstructFor(super_construct).empty();
+}
+
+std::string ModelDef::ConstructFor(std::string_view super_construct) const {
+  for (const ModelConstruct& c : constructs) {
+    if (c.specializes == super_construct) return c.name;
+  }
+  return "";
+}
+
+ModelDef PropertyGraphModel() {
+  return ModelDef{
+      "property_graph",
+      {
+          {"Node", "SM_Node"},
+          {"Relationship", "SM_Edge"},
+          {"Label", "SM_Type"},
+          {"Property", "SM_Attribute"},
+          {"UniquePropertyModifier", "SM_UniqueAttributeModifier"},
+          // No construct specializes SM_Generalization: the Eliminate phase
+          // must remove generalizations (Section 5.2).
+      },
+  };
+}
+
+ModelDef RelationalModel() {
+  return ModelDef{
+      "relational",
+      {
+          {"Predicate", "SM_Node"},
+          {"ForeignKey", "SM_Edge"},
+          {"Relation", "SM_Type"},
+          {"Field", "SM_Attribute"},
+          {"UniqueConstraint", "SM_UniqueAttributeModifier"},
+          // Neither SM_Generalization nor many-to-many SM_Edges survive;
+          // both are eliminated (Section 5.3).
+      },
+  };
+}
+
+ModelDef CsvModel() {
+  return ModelDef{
+      "csv",
+      {
+          {"File", "SM_Type"},
+          {"Row", "SM_Node"},
+          {"Column", "SM_Attribute"},
+          // CSV supports no links or constraints; everything else is
+          // eliminated.
+      },
+  };
+}
+
+const PgNodeType* PgSchema::FindNodeType(
+    std::string_view primary_label) const {
+  for (const PgNodeType& n : node_types) {
+    if (n.primary_label() == primary_label) return &n;
+  }
+  return nullptr;
+}
+
+std::vector<const PgRelationshipType*> PgSchema::FindRelationships(
+    std::string_view rel_name) const {
+  std::vector<const PgRelationshipType*> out;
+  for (const PgRelationshipType& r : relationship_types) {
+    if (r.name == rel_name) out.push_back(&r);
+  }
+  return out;
+}
+
+void PgSchema::Canonicalize() {
+  for (PgNodeType& n : node_types) {
+    // Primary label stays first; ancestors sorted after it.
+    if (n.labels.size() > 2) {
+      std::sort(n.labels.begin() + 1, n.labels.end());
+    }
+    std::sort(n.properties.begin(), n.properties.end(),
+              [](const PgPropertyDef& a, const PgPropertyDef& b) {
+                return a.name < b.name;
+              });
+  }
+  std::sort(node_types.begin(), node_types.end(),
+            [](const PgNodeType& a, const PgNodeType& b) {
+              return a.primary_label() < b.primary_label();
+            });
+  for (PgRelationshipType& r : relationship_types) {
+    std::sort(r.properties.begin(), r.properties.end(),
+              [](const PgPropertyDef& a, const PgPropertyDef& b) {
+                return a.name < b.name;
+              });
+  }
+  std::sort(relationship_types.begin(), relationship_types.end(),
+            [](const PgRelationshipType& a, const PgRelationshipType& b) {
+              if (a.name != b.name) return a.name < b.name;
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+}
+
+namespace {
+std::string RenderProps(const std::vector<PgPropertyDef>& props) {
+  std::string out;
+  for (const PgPropertyDef& p : props) {
+    out += "    ";
+    out += p.intensional ? "~ " : "- ";
+    out += p.name + ": " + AttrTypeName(p.type);
+    if (p.required) out += " required";
+    if (p.unique) out += " unique";
+    out += "\n";
+  }
+  return out;
+}
+}  // namespace
+
+std::string PgSchema::ToString() const {
+  std::ostringstream os;
+  os << "PG schema " << name << "\n";
+  for (const PgNodeType& n : node_types) {
+    os << "  (";
+    for (size_t i = 0; i < n.labels.size(); ++i) {
+      if (i > 0) os << ":";
+      os << n.labels[i];
+    }
+    os << ")" << (n.intensional ? " [intensional]" : "") << "\n";
+    os << RenderProps(n.properties);
+  }
+  for (const PgRelationshipType& r : relationship_types) {
+    os << "  (" << r.from << ")-[" << r.name << "]->(" << r.to << ")"
+       << (r.intensional ? " [intensional]" : "") << "\n";
+    os << RenderProps(r.properties);
+  }
+  return os.str();
+}
+
+}  // namespace kgm::core

@@ -1,0 +1,99 @@
+// Model definitions and target-schema representations.
+//
+// A model is represented in KGModel by specializing and renaming a subset
+// of the super-constructs (Section 5).  PropertyGraphModel() mirrors
+// Figure 5, RelationalModel() Figure 7, and CsvModel() the flat-file model
+// mentioned in Section 2.2.
+//
+// PgSchema is the in-memory form of a schema of the PG model — the output
+// of the super-schema -> PG translation (Figure 6).  Relational target
+// schemas reuse rel::TableSchema (Figure 8).
+
+#ifndef KGM_CORE_MODELS_H_
+#define KGM_CORE_MODELS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/superschema.h"
+
+namespace kgm::core {
+
+// One construct of a model, specializing a super-construct
+// ("Node: SM_Node" in Figure 5).
+struct ModelConstruct {
+  std::string name;         // e.g. "Node"
+  std::string specializes;  // e.g. "SM_Node"
+};
+
+struct ModelDef {
+  std::string name;
+  std::vector<ModelConstruct> constructs;
+
+  // True if some construct of this model specializes `super_construct`.
+  bool Supports(std::string_view super_construct) const;
+  // The model construct specializing `super_construct`, or "".
+  std::string ConstructFor(std::string_view super_construct) const;
+};
+
+// Figure 5: the essential PG model (labeled nodes and edges, multi-label
+// tagging, unique property modifiers, no generalizations).
+ModelDef PropertyGraphModel();
+
+// Figure 7: the essential relational model (Relations of Fields, reached
+// via Predicates, with ForeignKeys).
+ModelDef RelationalModel();
+
+// Plain CSV files: one file per entity, no constraints beyond headers.
+ModelDef CsvModel();
+
+// --- PG target schema (Figure 6) ---------------------------------------------
+
+struct PgPropertyDef {
+  std::string name;
+  AttrType type = AttrType::kString;
+  bool required = false;
+  bool unique = false;
+  bool intensional = false;
+};
+
+// A node type of the translated PG schema: the original SM_Node, tagged
+// with the accumulated labels of all its ancestors.
+struct PgNodeType {
+  std::vector<std::string> labels;  // own type first, then ancestors
+  std::vector<PgPropertyDef> properties;
+  bool intensional = false;
+
+  const std::string& primary_label() const { return labels.front(); }
+};
+
+// A relationship type: the edge replicated over the descendants of its
+// endpoints (Eliminate.DeleteGeneralizations(3)).
+struct PgRelationshipType {
+  std::string name;
+  std::string from;  // primary label of the source node type
+  std::string to;    // primary label of the target node type
+  std::vector<PgPropertyDef> properties;
+  bool intensional = false;
+};
+
+struct PgSchema {
+  std::string name;
+  std::vector<PgNodeType> node_types;
+  std::vector<PgRelationshipType> relationship_types;
+
+  const PgNodeType* FindNodeType(std::string_view primary_label) const;
+  // All relationship types named `name`.
+  std::vector<const PgRelationshipType*> FindRelationships(
+      std::string_view name) const;
+
+  // Deterministic ordering (by primary label / by name-from-to); used to
+  // compare the declarative and native translation paths.
+  void Canonicalize();
+
+  std::string ToString() const;
+};
+
+}  // namespace kgm::core
+
+#endif  // KGM_CORE_MODELS_H_

@@ -1,0 +1,165 @@
+#include "finkg/company_kg.h"
+
+namespace kgm::finkg {
+
+using core::Attr;
+using core::AttrType;
+using core::AttributeModifier;
+using core::Cardinality;
+using core::IdAttr;
+using core::IntensionalAttr;
+using core::OptAttr;
+using core::SuperSchema;
+
+SuperSchema CompanyKgSchema(int64_t schema_oid) {
+  SuperSchema s("CompanyKG", schema_oid);
+
+  // «I will introduce a SM_Generalization, where a Person generalizes and
+  // collects the common features of PhysicalPerson and LegalPerson.»
+  auto& person = s.AddNode("Person", {IdAttr("fiscalCode")});
+  person.attributes[0].modifiers.push_back(AttributeModifier::Unique());
+
+  s.AddNode("PhysicalPerson",
+            {Attr("name"), Attr("surname"),
+             Attr("gender"),
+             OptAttr("birthDate", AttrType::kDate)});
+  s.AddNode("LegalPerson",
+            {Attr("businessName"), Attr("legalNature"),
+             OptAttr("website")});
+  s.AddGeneralization("Person", {"PhysicalPerson", "LegalPerson"},
+                      /*total=*/true, /*disjoint=*/true);
+
+  // «... specializing the LegalPerson into a Business SM_Node, gathering
+  // shareholding capital features, and a NonBusiness SM_Node.»
+  auto& business = s.AddNode(
+      "Business", {Attr("shareholdingCapital", AttrType::kDouble),
+                   IntensionalAttr("numberOfStakeholders", AttrType::kInt)});
+  (void)business;
+  s.AddNode("NonBusiness", {Attr("isGovernmental", AttrType::kBool)});
+  s.AddGeneralization("LegalPerson", {"Business", "NonBusiness"},
+                      /*total=*/true, /*disjoint=*/true);
+
+  // «... one more specialization of Business: PublicListedCompany; the
+  // generalization will not be total.»
+  s.AddNode("PublicListedCompany",
+            {Attr("stockExchange"), OptAttr("tickerSymbol")});
+  s.AddGeneralization("Business", {"PublicListedCompany"},
+                      /*total=*/false, /*disjoint=*/true);
+
+  // «I will introduce a Share SM_Node ... and the HOLDS / BELONGS_TO
+  // SM_Edges decoupling owner-owned SM_Nodes.»
+  s.AddNode("Share", {IdAttr("shareId"),
+                      Attr("percentage", AttrType::kDouble)});
+  s.AddNode("StockShare", {Attr("numberOfStocks", AttrType::kInt)});
+  s.AddGeneralization("Share", {"StockShare"}, /*total=*/false,
+                      /*disjoint=*/true);
+
+  // «I will introduce a Place SM_Node, modeling the address as an
+  // identifier and storing each part of it as an SM_Attribute.»
+  s.AddNode("Place", {IdAttr("street"), IdAttr("streetNumber"),
+                      IdAttr("city"), IdAttr("postalCode"),
+                      OptAttr("gpsCoordinates")});
+
+  // Intensional concepts: families as virtual centers of interest.
+  s.AddIntensionalNode("Family", {Attr("familyName")});
+
+  // Company events (mergers & acquisitions, splits).
+  s.AddNode("BusinessEvent", {IdAttr("eventId"), Attr("eventType"),
+                              Attr("date", AttrType::kDate)});
+
+  // --- extensional edges ------------------------------------------------------
+  // A person holds shares; multiple persons may hold one share with
+  // different rights.
+  s.AddEdge("HOLDS", "Person", "Share", Cardinality::ZeroOrMore(),
+            Cardinality::OneOrMore(),
+            {Attr("right"), Attr("percentage", AttrType::kDouble)});
+  // Every share belongs to exactly one business.
+  s.AddEdge("BELONGS_TO", "Share", "Business", Cardinality::ExactlyOne(),
+            Cardinality::ZeroOrMore());
+  s.AddEdge("RESIDES", "Person", "Place", Cardinality::ZeroOrOne(),
+            Cardinality::ZeroOrMore());
+  // «a Person can have a role in NonBusinesses and Businesses, but not in
+  // PhysicalPersons, so HAS_ROLE will be inbound to LegalPerson.»
+  s.AddEdge("HAS_ROLE", "Person", "LegalPerson",
+            Cardinality::ZeroOrMore(), Cardinality::ZeroOrMore(),
+            {Attr("role")});
+  s.AddEdge("REPRESENTS", "PhysicalPerson", "LegalPerson",
+            Cardinality::ZeroOrMore(), Cardinality::ZeroOrMore());
+  s.AddEdge("PARTICIPATES", "Business", "BusinessEvent",
+            Cardinality::ZeroOrMore(), Cardinality::ZeroOrMore(),
+            {Attr("role")});
+
+  // --- intensional edges ------------------------------------------------------
+  s.AddIntensionalEdge("OWNS", "Person", "Business",
+                       {Attr("percentage", AttrType::kDouble)});
+  s.AddIntensionalEdge("CONTROLS", "Person", "Business");
+  s.AddIntensionalEdge("IS_RELATED_TO", "PhysicalPerson", "PhysicalPerson");
+  s.AddIntensionalEdge("BELONGS_TO_FAMILY", "PhysicalPerson", "Family");
+  s.AddIntensionalEdge("FAMILY_OWNS", "Family", "Business");
+  s.AddIntensionalEdge("IO", "Person", "Business",
+                       {Attr("weight", AttrType::kDouble)});
+  s.AddIntensionalEdge("CLOSE_LINK", "Person", "Person");
+  return s;
+}
+
+// Example 4.1, verbatim modulo ASCII syntax.  Linker Skolem functors make
+// repeated materialization runs idempotent.
+const char kControlProgram[] = R"(
+  (x: Business) -> exists c = skCtrl(x, x) (x)[c: CONTROLS](x).
+  (x: Business)[: CONTROLS](z: Business)
+      [: OWNS; percentage: w](y: Business),
+  v = msum(w, <z>), v > 0.5
+    -> exists c = skCtrl(x, y) (x)[c: CONTROLS](y).
+)";
+
+// «I will introduce an intensional OWNS SM_Edge that compactly represents
+// only property rights» — summing ownership-right share percentages.
+const char kOwnsProgram[] = R"(
+  (p: Person)[: HOLDS; right: "ownership", percentage: w](s: Share)
+      [: BELONGS_TO](b: Business),
+  v = sum(w, <s>)
+    -> exists o = skOwns(p, b) (p)[o: OWNS; percentage: v](b).
+)";
+
+// «I will introduce as well a numberOfStakeholders intensional property
+// into Business.»  Monotonic count: the last emitted value is the total.
+const char kStakeholdersProgram[] = R"(
+  (p: Person)[: HOLDS](s: Share)[: BELONGS_TO](b: Business),
+  n = mcount(<p>)
+    -> (b: Business; numberOfStakeholders: n).
+)";
+
+const char kFamilyProgram[] = R"(
+  (p: PhysicalPerson; surname: s)
+    -> exists f = skFamily(s)
+       (p)[: BELONGS_TO_FAMILY](f: Family; familyName: s).
+  (p: PhysicalPerson; surname: s), (q: PhysicalPerson; surname: s), p != q
+    -> exists r = skRel(p, q) (p)[r: IS_RELATED_TO](q).
+  % f stays a bare reference: BELONGS_TO_FAMILY only targets Family nodes,
+  % and repeating the Family label atom would join two affected positions
+  % on f, breaking wardedness.
+  (p: PhysicalPerson)[: BELONGS_TO_FAMILY](f),
+  (p)[: OWNS](b: Business)
+    -> exists e = skFamOwns(f, b) (f)[e: FAMILY_OWNS](b).
+)";
+
+// Close links (ECB RIAD guideline): x and y are closely linked when one
+// owns >= 20% of the other directly or indirectly, or a third party owns
+// >= 20% of both.  Indirect ownership composes multiplicatively along
+// chains (integrated ownership); chains below 1% are pruned, which also
+// bounds the chase on cyclic shareholding structures.
+const char kCloseLinksProgram[] = R"(
+  (x: Person)[: OWNS; percentage: w](y: Business), w >= 0.01
+    -> exists e = skIo(x, y, w) (x)[e: IO; weight: w](y).
+  (x: Person)[: IO; weight: v1](z: Business)
+      [: OWNS; percentage: w2](y: Business),
+  v = v1 * w2, v >= 0.01
+    -> exists e = skIo(x, y, v) (x)[e: IO; weight: v](y).
+  (x: Person)[: IO; weight: v](y: Business), v >= 0.2, x != y
+    -> exists c = skCl(x, y) (x)[c: CLOSE_LINK](y).
+  (z: Person)[: IO; weight: v1](x: Business), v1 >= 0.2,
+  (z)[: IO; weight: v2](y: Business), v2 >= 0.2, x != y
+    -> exists c = skCl(x, y) (x)[c: CLOSE_LINK](y).
+)";
+
+}  // namespace kgm::finkg

@@ -1,0 +1,54 @@
+// The Company Knowledge Graph of the Central Bank of Italy (Section 3.3).
+//
+// CompanyKgSchema() reproduces the GSL design of Figure 4: the
+// Person/PhysicalPerson/LegalPerson/Business/NonBusiness/
+// PublicListedCompany hierarchy, Share/StockShare, Place, Family,
+// BusinessEvent, the extensional edges (HOLDS, BELONGS_TO, RESIDES,
+// HAS_ROLE, REPRESENTS, PARTICIPATES) and the intensional ones (OWNS,
+// CONTROLS, IS_RELATED_TO, BELONGS_TO_FAMILY, FAMILY_OWNS), plus the
+// intensional numberOfStakeholders property on Business.
+//
+// The MetaLog programs for the intensional components (Sections 2.1, 4
+// and 6) are provided as source-text constants.
+
+#ifndef KGM_FINKG_COMPANY_KG_H_
+#define KGM_FINKG_COMPANY_KG_H_
+
+#include "core/superschema.h"
+
+namespace kgm::finkg {
+
+// The Figure 4 super-schema.  schema_oid defaults to 123 as in the
+// paper's Example 5.1.
+core::SuperSchema CompanyKgSchema(int64_t schema_oid = 123);
+
+// --- intensional components (MetaLog source) ----------------------------------
+
+// Example 4.1: company control.  A business x controls a business y if it
+// directly owns more than 50% of y, or it controls companies that jointly
+// (possibly with x itself) own more than 50% of y.
+extern const char kControlProgram[];
+
+// The derived OWNS edge: compact ownership rights from HOLDS/BELONGS_TO
+// (Section 3.3), summing the percentages of all ownership-right shares a
+// person holds in a business.
+extern const char kOwnsProgram[];
+
+// The intensional numberOfStakeholders property on Business.
+extern const char kStakeholdersProgram[];
+
+// Families: persons sharing a surname belong to one Family node;
+// IS_RELATED_TO links the family members pairwise; FAMILY_OWNS links a
+// family to businesses in which some member holds ownership.
+extern const char kFamilyProgram[];
+
+// Close links per ECB Guideline (EU) 2016/65 art. 138: two entities are
+// closely linked when one owns, directly or indirectly, 20% or more of
+// the other's capital, or a third party owns 20% or more of both.
+// Ownership percentages compose multiplicatively along chains (integrated
+// ownership [43]) and the program emits CLOSE_LINK edges.
+extern const char kCloseLinksProgram[];
+
+}  // namespace kgm::finkg
+
+#endif  // KGM_FINKG_COMPANY_KG_H_

@@ -1,0 +1,245 @@
+#include "finkg/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "base/check.h"
+#include "base/rng.h"
+
+namespace kgm::finkg {
+
+namespace {
+
+// Discrete power-law sample in [1, cap] by inverse transform.
+size_t PowerLawSample(Rng& rng, double alpha, size_t cap) {
+  double u = rng.NextDouble();
+  if (u <= 0) u = 1e-12;
+  double x = std::pow(u, -1.0 / (alpha - 1.0));
+  size_t k = static_cast<size_t>(x);
+  if (k < 1) k = 1;
+  return std::min(k, cap);
+}
+
+const char* PickRight(Rng& rng) {
+  double u = rng.NextDouble();
+  if (u < 0.92) return "ownership";
+  if (u < 0.96) return "bare ownership";
+  return "usufruct";
+}
+
+}  // namespace
+
+ShareholdingNetwork ShareholdingNetwork::Generate(
+    const GeneratorConfig& config) {
+  KGM_CHECK(config.num_companies > 1);
+  ShareholdingNetwork net;
+  net.config_ = config;
+  Rng rng(config.seed);
+  size_t companies = config.num_companies;
+  size_t persons = config.num_persons;
+
+  // Preferential-attachment pool: one entry per out-edge already assigned.
+  std::vector<uint32_t> pa_pool;
+  pa_pool.reserve(companies * 3);
+
+  size_t num_funds = std::max<size_t>(
+      1, static_cast<size_t>(persons * config.fund_fraction));
+  auto pick_person = [&]() -> uint32_t {
+    // Institutional holders: ids [companies, companies + num_funds).
+    if (rng.NextBool(config.fund_pick_prob)) {
+      return static_cast<uint32_t>(companies + rng.NextBelow(num_funds));
+    }
+    if (!pa_pool.empty() && !rng.NextBool(config.uniform_pick_prob)) {
+      // Walk the pool until a person shows up (bounded tries).
+      for (int tries = 0; tries < 8; ++tries) {
+        uint32_t candidate = pa_pool[rng.NextBelow(pa_pool.size())];
+        if (candidate >= companies) return candidate;
+      }
+    }
+    return static_cast<uint32_t>(companies + rng.NextBelow(persons));
+  };
+  auto pick_company = [&](uint32_t target) -> uint32_t {
+    bool backward = rng.NextBool(config.back_edge_prob);
+    if (!backward && !pa_pool.empty() &&
+        !rng.NextBool(config.uniform_pick_prob)) {
+      for (int tries = 0; tries < 8; ++tries) {
+        uint32_t candidate = pa_pool[rng.NextBelow(pa_pool.size())];
+        if (candidate < companies && candidate > target) return candidate;
+      }
+    }
+    if (backward && target > 0) {
+      return static_cast<uint32_t>(rng.NextBelow(target));
+    }
+    // Forward uniform: an index above `target` keeps the company-company
+    // subgraph mostly acyclic.
+    if (target + 1 < companies) {
+      return static_cast<uint32_t>(
+          target + 1 + rng.NextBelow(companies - target - 1));
+    }
+    return static_cast<uint32_t>(rng.NextBelow(companies));
+  };
+
+  for (uint32_t c = 0; c < companies; ++c) {
+    size_t k = PowerLawSample(rng, config.shareholders_alpha,
+                              config.max_shareholders);
+    // Shareholder weights: skewed, normalized to the recorded total.
+    std::vector<double> weights(k);
+    for (double& w : weights) {
+      double u = rng.NextDouble();
+      w = u * u + 0.01;
+    }
+    double sum = 0;
+    for (double w : weights) sum += w;
+    // Recorded capital share; headroom below 1.0 is reserved for the
+    // cross-shareholding ring slivers added afterwards.
+    double total = 0.65 + 0.3 * rng.NextDouble();
+    bool majority = rng.NextBool(config.majority_prob);
+    for (double& w : weights) w = w / sum * total;
+    if (majority && k >= 1) {
+      // Boost the first shareholder above 50%.
+      double boost = 0.51 + 0.4 * rng.NextDouble();
+      double rest = total - weights[0];
+      double scale = rest > 0 ? (total - boost) / rest : 0;
+      if (boost < total) {
+        for (size_t i = 1; i < k; ++i) weights[i] *= scale;
+        weights[0] = boost;
+      }
+    }
+    std::vector<uint32_t> used;
+    for (size_t i = 0; i < k; ++i) {
+      bool corporate = rng.NextBool(config.company_shareholder_fraction);
+      uint32_t holder = corporate ? pick_company(c) : pick_person();
+      if (holder == c) continue;  // no literal self-ownership blocks
+      if (std::find(used.begin(), used.end(), holder) != used.end()) {
+        continue;  // one block per holder per company here; rights differ
+      }
+      used.push_back(holder);
+      net.holdings_.push_back(Holding{holder, c, weights[i],
+                                      PickRight(rng)});
+      pa_pool.push_back(holder);
+    }
+  }
+
+  // Cross-shareholding rings: arrange a small fraction of companies in
+  // ownership cycles.  Each member holds a sliver of the next, fitting the
+  // <= 1.0 per-company budget left by the `total` draw above.
+  size_t in_rings = static_cast<size_t>(companies * config.ring_fraction);
+  uint32_t next_member = 0;
+  while (in_rings >= 3 && next_member + 3 <= companies) {
+    size_t ring = 3 + rng.NextBelow(std::min(config.max_ring_size,
+                                             in_rings) - 2);
+    ring = std::min<size_t>(ring, companies - next_member);
+    if (ring < 3) break;
+    for (size_t i = 0; i < ring; ++i) {
+      uint32_t holder = next_member + static_cast<uint32_t>(i);
+      uint32_t held = next_member + static_cast<uint32_t>((i + 1) % ring);
+      net.holdings_.push_back(
+          Holding{holder, held, 0.02 + 0.03 * rng.NextDouble(),
+                  "ownership"});
+    }
+    next_member += static_cast<uint32_t>(ring);
+    in_rings -= ring;
+  }
+  return net;
+}
+
+std::string ShareholdingNetwork::CompanyName(uint32_t id) const {
+  KGM_CHECK(IsCompany(id));
+  return "company_" + std::to_string(id);
+}
+
+std::string ShareholdingNetwork::PersonSurname(uint32_t id) const {
+  KGM_CHECK(!IsCompany(id));
+  // A few thousand surnames: collisions create families.
+  static const char* kStems[] = {"rossi",  "russo",   "ferrari", "esposito",
+                                 "bianchi", "romano",  "colombo", "ricci",
+                                 "marino", "greco",   "bruno",   "gallo"};
+  size_t stem = id % (sizeof(kStems) / sizeof(kStems[0]));
+  size_t variant = (id / 97) % 211;
+  return std::string(kStems[stem]) + "_" + std::to_string(variant);
+}
+
+std::string ShareholdingNetwork::FiscalCode(uint32_t id) const {
+  return (IsCompany(id) ? "C" : "P") + std::to_string(id);
+}
+
+analytics::Digraph ShareholdingNetwork::ToDigraph() const {
+  analytics::Digraph g;
+  g.num_nodes = num_entities();
+  g.edges.reserve(holdings_.size());
+  for (const Holding& h : holdings_) {
+    g.edges.emplace_back(h.holder, h.company);
+  }
+  return g;
+}
+
+pg::PropertyGraph ShareholdingNetwork::ToInstanceGraph() const {
+  pg::PropertyGraph g;
+  std::vector<pg::NodeId> node_of(num_entities());
+  for (uint32_t id = 0; id < num_entities(); ++id) {
+    if (IsCompany(id)) {
+      node_of[id] = g.AddNode(
+          std::vector<std::string>{"Business", "LegalPerson", "Person"},
+          {{"fiscalCode", Value(FiscalCode(id))},
+           {"businessName", Value(CompanyName(id))},
+           {"legalNature", Value("srl")},
+           {"shareholdingCapital", Value(10000.0 + (id % 1000) * 500.0)}});
+    } else {
+      node_of[id] = g.AddNode(
+          std::vector<std::string>{"PhysicalPerson", "Person"},
+          {{"fiscalCode", Value(FiscalCode(id))},
+           {"name", Value("person_" + std::to_string(id))},
+           {"surname", Value(PersonSurname(id))},
+           {"gender", Value(id % 2 == 0 ? "female" : "male")}});
+    }
+  }
+  size_t share_counter = 0;
+  for (const Holding& h : holdings_) {
+    pg::NodeId share = g.AddNode(
+        std::vector<std::string>{"Share"},
+        {{"shareId", Value("S" + std::to_string(share_counter++))},
+         {"percentage", Value(h.pct)}});
+    g.AddEdge(node_of[h.holder], share, "HOLDS",
+              {{"right", Value(h.right)}, {"percentage", Value(h.pct)}});
+    g.AddEdge(share, node_of[h.company], "BELONGS_TO");
+  }
+  return g;
+}
+
+pg::PropertyGraph ShareholdingNetwork::ToOwnershipGraph(
+    bool include_persons) const {
+  pg::PropertyGraph g;
+  std::vector<pg::NodeId> node_of(num_entities(), pg::kInvalidNode);
+  for (uint32_t id = 0; id < num_entities(); ++id) {
+    if (IsCompany(id)) {
+      node_of[id] = g.AddNode(
+          std::vector<std::string>{"Business", "LegalPerson", "Person"},
+          {{"fiscalCode", Value(FiscalCode(id))},
+           {"businessName", Value(CompanyName(id))},
+           {"legalNature", Value("srl")},
+           {"shareholdingCapital", Value(10000.0)}});
+    } else if (include_persons) {
+      node_of[id] = g.AddNode(
+          std::vector<std::string>{"PhysicalPerson", "Person"},
+          {{"fiscalCode", Value(FiscalCode(id))},
+           {"name", Value("person_" + std::to_string(id))},
+           {"surname", Value(PersonSurname(id))},
+           {"gender", Value(id % 2 == 0 ? "female" : "male")}});
+    }
+  }
+  // Aggregate ownership-right percentages per (holder, company).
+  std::map<std::pair<uint32_t, uint32_t>, double> owns;
+  for (const Holding& h : holdings_) {
+    if (node_of[h.holder] == pg::kInvalidNode) continue;
+    if (std::string_view(h.right) != "ownership") continue;
+    owns[{h.holder, h.company}] += h.pct;
+  }
+  for (const auto& [pair, pct] : owns) {
+    g.AddEdge(node_of[pair.first], node_of[pair.second], "OWNS",
+              {{"percentage", Value(pct)}});
+  }
+  return g;
+}
+
+}  // namespace kgm::finkg

@@ -1,0 +1,152 @@
+#include "instance/loader.h"
+
+#include "base/check.h"
+#include "core/dictionary.h"
+
+namespace kgm::instance {
+
+namespace {
+
+// Index of the super-schema dictionary: node-type name -> SM_Node id, and
+// (node-type name, attribute name) -> SM_Attribute id (searching the
+// generalization hierarchy upwards for inherited attributes).
+struct SchemaIndex {
+  std::map<std::string, pg::NodeId> sm_node_of;
+  std::map<std::string, pg::NodeId> sm_edge_of;
+  std::map<std::pair<std::string, std::string>, pg::NodeId> node_attr_of;
+  std::map<std::pair<std::string, std::string>, pg::NodeId> edge_attr_of;
+};
+
+SchemaIndex BuildSchemaIndex(const core::SuperSchema& schema,
+                             const pg::PropertyGraph& dict) {
+  SchemaIndex index;
+  auto type_name = [&dict](pg::NodeId construct,
+                           const char* link) -> std::string {
+    for (pg::EdgeId e : dict.OutEdges(construct)) {
+      if (dict.HasEdge(e) && dict.edge(e).label == link) {
+        const Value* name = dict.NodeProperty(dict.edge(e).to, "name");
+        if (name != nullptr) return name->AsString();
+      }
+    }
+    return "";
+  };
+  for (pg::NodeId id : dict.NodesWithLabel(core::kSmNode)) {
+    std::string name = type_name(id, core::kSmHasNodeType);
+    if (name.empty()) continue;
+    index.sm_node_of[name] = id;
+    for (pg::EdgeId e : dict.OutEdges(id)) {
+      if (!dict.HasEdge(e) ||
+          dict.edge(e).label != core::kSmHasNodeProperty) {
+        continue;
+      }
+      const Value* attr_name = dict.NodeProperty(dict.edge(e).to, "name");
+      if (attr_name != nullptr) {
+        index.node_attr_of[{name, attr_name->AsString()}] = dict.edge(e).to;
+      }
+    }
+  }
+  for (pg::NodeId id : dict.NodesWithLabel(core::kSmEdge)) {
+    std::string name = type_name(id, core::kSmHasEdgeType);
+    if (name.empty()) continue;
+    index.sm_edge_of[name] = id;
+    for (pg::EdgeId e : dict.OutEdges(id)) {
+      if (!dict.HasEdge(e) ||
+          dict.edge(e).label != core::kSmHasEdgeProperty) {
+        continue;
+      }
+      const Value* attr_name = dict.NodeProperty(dict.edge(e).to, "name");
+      if (attr_name != nullptr) {
+        index.edge_attr_of[{name, attr_name->AsString()}] = dict.edge(e).to;
+      }
+    }
+  }
+  // Resolve inherited attributes: for each node type, fall back to its
+  // ancestors' attribute entries.
+  for (const core::NodeDef& node : schema.nodes()) {
+    for (const std::string& ancestor : schema.AncestorsOf(node.name)) {
+      const core::NodeDef* a = schema.FindNode(ancestor);
+      if (a == nullptr) continue;
+      for (const core::AttributeDef& attr : a->attributes) {
+        auto key = std::make_pair(node.name, attr.name);
+        auto inherited = index.node_attr_of.find({ancestor, attr.name});
+        if (index.node_attr_of.count(key) == 0 &&
+            inherited != index.node_attr_of.end()) {
+          index.node_attr_of[key] = inherited->second;
+        }
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace
+
+Result<LoadedInstance> LoadInstance(const core::SuperSchema& schema,
+                                    const pg::PropertyGraph& data,
+                                    int64_t instance_oid) {
+  LoadedInstance out;
+  out.instance_oid = instance_oid;
+  KGM_RETURN_IF_ERROR(core::StoreSuperSchema(schema, &out.dict));
+  SchemaIndex index = BuildSchemaIndex(schema, out.dict);
+
+  Value oid_value(instance_oid);
+  out.inode_of_data.assign(data.node_capacity(), pg::kInvalidNode);
+
+  // Pass 1: nodes with their attributes.
+  for (pg::NodeId id = 0; id < data.node_capacity(); ++id) {
+    if (!data.HasNode(id)) continue;
+    const pg::Node& node = data.node(id);
+    // Primary label: the first label that names a schema node type.
+    std::string type_name;
+    for (const std::string& label : node.labels) {
+      if (index.sm_node_of.count(label) > 0) {
+        type_name = label;
+        break;
+      }
+    }
+    if (type_name.empty()) continue;
+    pg::NodeId inode = out.dict.AddNode(
+        kISmNode, {{"instanceOID", oid_value}});
+    out.dict.AddEdge(inode, index.sm_node_of.at(type_name), kSmReferences);
+    out.inode_of_data[id] = inode;
+    out.data_of_inode[inode] = id;
+    ++out.loaded_nodes;
+    for (const auto& [key, value] : node.props) {
+      auto attr = index.node_attr_of.find({type_name, key});
+      if (attr == index.node_attr_of.end()) continue;  // undeclared
+      pg::NodeId ia = out.dict.AddNode(
+          kISmAttribute, {{"instanceOID", oid_value}, {"value", value}});
+      out.dict.AddEdge(inode, ia, kISmHasNodeAttr);
+      out.dict.AddEdge(ia, attr->second, kSmReferences);
+      ++out.loaded_attributes;
+    }
+  }
+  // Pass 2: edges.
+  for (pg::EdgeId id = 0; id < data.edge_capacity(); ++id) {
+    if (!data.HasEdge(id)) continue;
+    const pg::Edge& edge = data.edge(id);
+    auto sm_edge = index.sm_edge_of.find(edge.label);
+    if (sm_edge == index.sm_edge_of.end()) continue;
+    pg::NodeId from = out.inode_of_data[edge.from];
+    pg::NodeId to = out.inode_of_data[edge.to];
+    if (from == pg::kInvalidNode || to == pg::kInvalidNode) continue;
+    pg::NodeId iedge = out.dict.AddNode(
+        kISmEdge, {{"instanceOID", oid_value}});
+    out.dict.AddEdge(iedge, sm_edge->second, kSmReferences);
+    out.dict.AddEdge(iedge, from, kISmFrom);
+    out.dict.AddEdge(iedge, to, kISmTo);
+    ++out.loaded_edges;
+    for (const auto& [key, value] : edge.props) {
+      auto attr = index.edge_attr_of.find({edge.label, key});
+      if (attr == index.edge_attr_of.end()) continue;
+      pg::NodeId ia = out.dict.AddNode(
+          kISmAttribute, {{"instanceOID", oid_value}, {"value", value}});
+      out.dict.AddEdge(iedge, ia, kISmHasEdgeAttr);
+      out.dict.AddEdge(ia, attr->second, kSmReferences);
+      ++out.loaded_attributes;
+    }
+  }
+  return out;
+}
+
+}  // namespace kgm::instance

@@ -1,0 +1,73 @@
+// Instance loading (Algorithm 2, lines 1-4, and Figure 9).
+//
+// The extensional component D (a property graph conforming to the
+// translated schema) is loaded into *instance super-constructs*: every data
+// node becomes an I_SM_Node linked by SM_REFERENCES to its SM_Node in the
+// super-schema dictionary; properties become I_SM_Attributes holding the
+// value and referencing their SM_Attribute; edges become I_SM_Edges with
+// I_SM_FROM / I_SM_TO.  The result is the quasi-inverse image
+// (V(M).copy)^-1(D) of Section 6: the copy phase is invertible by
+// construction, so loading resolves each datum against the schema
+// dictionary and re-expresses it at super-model level.
+
+#ifndef KGM_INSTANCE_LOADER_H_
+#define KGM_INSTANCE_LOADER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/superschema.h"
+#include "pg/property_graph.h"
+
+namespace kgm::instance {
+
+// Instance-construct labels (Figure 9).
+inline constexpr char kISmNode[] = "I_SM_Node";
+inline constexpr char kISmEdge[] = "I_SM_Edge";
+inline constexpr char kISmAttribute[] = "I_SM_Attribute";
+inline constexpr char kISmHasNodeAttr[] = "I_SM_HAS_NODE_ATTR";
+inline constexpr char kISmHasEdgeAttr[] = "I_SM_HAS_EDGE_ATTR";
+inline constexpr char kISmFrom[] = "I_SM_FROM";
+inline constexpr char kISmTo[] = "I_SM_TO";
+inline constexpr char kSmReferences[] = "SM_REFERENCES";
+
+// Staging ("output view") labels used before the flush.
+inline constexpr char kOSmNode[] = "O_SM_Node";
+inline constexpr char kOSmEdge[] = "O_SM_Edge";
+inline constexpr char kOSmAttribute[] = "O_SM_Attribute";
+inline constexpr char kOSmPropUpdate[] = "O_SM_PropUpdate";
+inline constexpr char kOSmHasAttr[] = "O_SM_HAS_ATTR";
+inline constexpr char kOFrom[] = "O_FROM";
+inline constexpr char kOTo[] = "O_TO";
+inline constexpr char kOOn[] = "O_ON";
+
+// The loaded instance: a dictionary graph holding the super-schema plus
+// the instance super-constructs, and the correspondence between data nodes
+// and I_SM_Nodes.
+struct LoadedInstance {
+  pg::PropertyGraph dict;
+  int64_t instance_oid = 234;  // as in Examples 6.1/6.2
+  // data node id -> I_SM_Node id in dict (kInvalidNode when skipped).
+  std::vector<pg::NodeId> inode_of_data;
+  // I_SM_Node id in dict -> data node id.
+  std::map<pg::NodeId, pg::NodeId> data_of_inode;
+  // Counts for reporting.
+  size_t loaded_nodes = 0;
+  size_t loaded_edges = 0;
+  size_t loaded_attributes = 0;
+};
+
+// Loads `data` into instance super-constructs.  Data nodes are classified
+// by their *primary* label (the first label that names a schema node
+// type); nodes without one are skipped.  Properties not declared (directly
+// or by inheritance) on the node's type are skipped.
+Result<LoadedInstance> LoadInstance(const core::SuperSchema& schema,
+                                    const pg::PropertyGraph& data,
+                                    int64_t instance_oid = 234);
+
+}  // namespace kgm::instance
+
+#endif  // KGM_INSTANCE_LOADER_H_

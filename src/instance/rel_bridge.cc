@@ -1,0 +1,384 @@
+#include "instance/rel_bridge.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+
+#include "base/strings.h"
+#include "metalog/catalog.h"  // kOidProperty
+#include "translate/native.h"
+
+namespace kgm::instance {
+
+namespace {
+
+using core::AttributeDef;
+using core::EdgeDef;
+using core::NodeDef;
+using core::SuperSchema;
+
+// Encoded entity identity: root type name + key values.
+std::string EntityKey(const std::string& root, const rel::Tuple& key) {
+  std::string out = root;
+  for (const Value& v : key) {
+    out += '\x1f';
+    out += v.ToString();
+  }
+  return out;
+}
+
+size_t Depth(const SuperSchema& schema, const std::string& node) {
+  return schema.AncestorsOf(node).size();
+}
+
+// Node types sorted deepest-first, so the most specific member relation
+// claims the entity's primary label.
+std::vector<const NodeDef*> NodesByDepth(const SuperSchema& schema) {
+  std::vector<const NodeDef*> nodes;
+  for (const NodeDef& n : schema.nodes()) nodes.push_back(&n);
+  std::sort(nodes.begin(), nodes.end(),
+            [&schema](const NodeDef* a, const NodeDef* b) {
+              size_t da = Depth(schema, a->name);
+              size_t db = Depth(schema, b->name);
+              if (da != db) return da > db;
+              return a->name < b->name;
+            });
+  return nodes;
+}
+
+bool IsSurrogateKey(const SuperSchema& schema, const std::string& node) {
+  return schema.EffectiveIdAttributes(node).empty();
+}
+
+}  // namespace
+
+Result<pg::PropertyGraph> RelationalToGraph(const SuperSchema& schema,
+                                            const rel::Database& db) {
+  KGM_RETURN_IF_ERROR(schema.Validate());
+  pg::PropertyGraph graph;
+  std::map<std::string, pg::NodeId> entity_of;
+
+  // --- entities: deepest member relation wins the primary label ---------------
+  for (const NodeDef* node : NodesByDepth(schema)) {
+    const rel::Table* table = db.GetTable(ToSnakeCase(node->name));
+    if (table == nullptr) continue;
+    auto key_cols = translate::RelationalKeyColumns(schema, node->name);
+    std::vector<int> key_pos;
+    for (const auto& [col, type] : key_cols) {
+      int idx = table->schema().ColumnIndex(col);
+      if (idx < 0) {
+        return FailedPrecondition("table " + table->schema().name +
+                                  " lacks key column " + col);
+      }
+      key_pos.push_back(idx);
+    }
+    std::string root = schema.RootOf(node->name);
+    bool surrogate = IsSurrogateKey(schema, node->name);
+    for (const rel::Tuple& row : table->rows()) {
+      rel::Tuple key;
+      for (int p : key_pos) key.push_back(row[p]);
+      std::string ek = EntityKey(root, key);
+      auto it = entity_of.find(ek);
+      pg::NodeId id;
+      if (it == entity_of.end()) {
+        std::vector<std::string> labels{node->name};
+        for (const std::string& a : schema.AncestorsOf(node->name)) {
+          labels.push_back(a);
+        }
+        id = graph.AddNode(labels);
+        entity_of.emplace(ek, id);
+        // Identifying attributes (or the surrogate OID) from the key.
+        if (surrogate) {
+          graph.SetNodeProperty(id, metalog::kOidProperty, key[0]);
+        } else {
+          auto ids = schema.EffectiveIdAttributes(node->name);
+          for (size_t i = 0; i < ids.size(); ++i) {
+            graph.SetNodeProperty(id, ids[i].name, key[i]);
+          }
+        }
+      } else {
+        id = it->second;
+      }
+      // Own (non-key) attributes of this member relation.
+      for (const AttributeDef& attr : node->attributes) {
+        int idx = table->schema().ColumnIndex(ToSnakeCase(attr.name));
+        if (idx < 0) continue;
+        if (!row[idx].is_null()) {
+          graph.SetNodeProperty(id, attr.name, row[idx]);
+        }
+      }
+    }
+  }
+
+  // --- edges -------------------------------------------------------------------
+  auto resolve = [&](const std::string& node_type,
+                     const rel::Tuple& key) -> pg::NodeId {
+    auto it = entity_of.find(EntityKey(schema.RootOf(node_type), key));
+    return it == entity_of.end() ? pg::kInvalidNode : it->second;
+  };
+  for (const EdgeDef& edge : schema.edges()) {
+    bool from_functional = edge.source.functional;
+    bool to_functional = edge.target.functional;
+    std::string edge_prefix = ToSnakeCase(edge.name) + "_";
+    if (from_functional || to_functional) {
+      // FK columns on the owning relation.
+      const std::string& owner = from_functional ? edge.from : edge.to;
+      const std::string& target = from_functional ? edge.to : edge.from;
+      const rel::Table* table = db.GetTable(ToSnakeCase(owner));
+      if (table == nullptr) continue;
+      auto owner_keys = translate::RelationalKeyColumns(schema, owner);
+      auto target_keys = translate::RelationalKeyColumns(schema, target);
+      for (const rel::Tuple& row : table->rows()) {
+        rel::Tuple owner_key;
+        for (const auto& [col, type] : owner_keys) {
+          owner_key.push_back(row[table->schema().ColumnIndex(col)]);
+        }
+        rel::Tuple target_key;
+        bool has_null = false;
+        for (const auto& [col, type] : target_keys) {
+          int idx = table->schema().ColumnIndex(edge_prefix + col);
+          if (idx < 0 || row[idx].is_null()) {
+            has_null = true;
+            break;
+          }
+          target_key.push_back(row[idx]);
+        }
+        if (has_null) continue;  // edge absent for this row
+        pg::NodeId owner_id = resolve(owner, owner_key);
+        pg::NodeId target_id = resolve(target, target_key);
+        if (owner_id == pg::kInvalidNode || target_id == pg::kInvalidNode) {
+          return FailedPrecondition("dangling " + edge.name +
+                                    " foreign key in " +
+                                    table->schema().name);
+        }
+        pg::PropertyMap props;
+        for (const AttributeDef& attr : edge.attributes) {
+          int idx = table->schema().ColumnIndex(
+              edge_prefix + ToSnakeCase(attr.name));
+          if (idx >= 0 && !row[idx].is_null()) {
+            props[attr.name] = row[idx];
+          }
+        }
+        pg::NodeId from = from_functional ? owner_id : target_id;
+        pg::NodeId to = from_functional ? target_id : owner_id;
+        graph.AddEdge(from, to, edge.name, std::move(props));
+      }
+    } else {
+      // Junction relation.
+      const rel::Table* table = db.GetTable(ToSnakeCase(edge.name));
+      if (table == nullptr) continue;
+      bool self_edge = edge.from == edge.to;
+      std::string from_prefix =
+          (self_edge ? "from_" : "") + ToSnakeCase(edge.from) + "_";
+      std::string to_prefix =
+          (self_edge ? "to_" : "") + ToSnakeCase(edge.to) + "_";
+      auto from_keys = translate::RelationalKeyColumns(schema, edge.from);
+      auto to_keys = translate::RelationalKeyColumns(schema, edge.to);
+      for (const rel::Tuple& row : table->rows()) {
+        rel::Tuple from_key;
+        for (const auto& [col, type] : from_keys) {
+          from_key.push_back(
+              row[table->schema().ColumnIndex(from_prefix + col)]);
+        }
+        rel::Tuple to_key;
+        for (const auto& [col, type] : to_keys) {
+          to_key.push_back(
+              row[table->schema().ColumnIndex(to_prefix + col)]);
+        }
+        pg::NodeId from = resolve(edge.from, from_key);
+        pg::NodeId to = resolve(edge.to, to_key);
+        if (from == pg::kInvalidNode || to == pg::kInvalidNode) {
+          return FailedPrecondition("dangling junction row in " +
+                                    table->schema().name);
+        }
+        pg::PropertyMap props;
+        for (const AttributeDef& attr : edge.attributes) {
+          int idx = table->schema().ColumnIndex(ToSnakeCase(attr.name));
+          if (idx >= 0 && !row[idx].is_null()) {
+            props[attr.name] = row[idx];
+          }
+        }
+        graph.AddEdge(from, to, edge.name, std::move(props));
+      }
+    }
+  }
+  return graph;
+}
+
+Result<rel::Database> GraphToRelational(const SuperSchema& schema,
+                                        const pg::PropertyGraph& data) {
+  KGM_ASSIGN_OR_RETURN(std::vector<rel::TableSchema> tables,
+                       translate::TranslateToRelationalNative(schema));
+  rel::Database db;
+  for (rel::TableSchema& t : tables) {
+    KGM_RETURN_IF_ERROR(db.CreateTable(std::move(t)));
+  }
+
+  // Primary node type of each data node (deepest schema label).
+  auto primary_type = [&schema](const pg::Node& node) -> const NodeDef* {
+    const NodeDef* best = nullptr;
+    for (const std::string& label : node.labels) {
+      const NodeDef* def = schema.FindNode(label);
+      if (def != nullptr &&
+          (best == nullptr ||
+           Depth(schema, def->name) > Depth(schema, best->name))) {
+        best = def;
+      }
+    }
+    return best;
+  };
+
+  // The key tuple of a data node.
+  auto node_key = [&schema, &data](pg::NodeId id,
+                                   const std::string& type) -> rel::Tuple {
+    rel::Tuple key;
+    if (IsSurrogateKey(schema, type)) {
+      const Value* oid = data.NodeProperty(id, metalog::kOidProperty);
+      key.push_back(oid != nullptr
+                        ? (oid->is_string() ? *oid : Value(oid->ToString()))
+                        : Value("n" + std::to_string(id)));
+      return key;
+    }
+    for (const AttributeDef& attr : schema.EffectiveIdAttributes(type)) {
+      const Value* v = data.NodeProperty(id, attr.name);
+      key.push_back(v == nullptr ? Value() : *v);
+    }
+    return key;
+  };
+
+  // FK values owned by a member relation: for each functional edge whose
+  // owner is `type`, the key of the single neighbour (if present).
+  auto fill_fk_columns = [&](pg::NodeId id, const std::string& type,
+                             const rel::TableSchema& table,
+                             rel::Tuple* row) -> Status {
+    for (const EdgeDef& edge : schema.edges()) {
+      bool from_functional = edge.source.functional;
+      bool to_functional = edge.target.functional;
+      if (!from_functional && !to_functional) continue;
+      const std::string& owner = from_functional ? edge.from : edge.to;
+      if (owner != type) continue;
+      const std::string& target = from_functional ? edge.to : edge.from;
+      std::string prefix = ToSnakeCase(edge.name) + "_";
+      // The single incident edge, if any.
+      pg::NodeId neighbour = pg::kInvalidNode;
+      const pg::Edge* incident = nullptr;
+      const auto& edges =
+          from_functional ? data.OutEdges(id) : data.InEdges(id);
+      for (pg::EdgeId e : edges) {
+        if (!data.HasEdge(e) || data.edge(e).label != edge.name) continue;
+        neighbour = from_functional ? data.edge(e).to : data.edge(e).from;
+        incident = &data.edge(e);
+        break;
+      }
+      if (neighbour == pg::kInvalidNode) continue;
+      rel::Tuple target_key = node_key(neighbour, target);
+      auto target_cols = translate::RelationalKeyColumns(schema, target);
+      for (size_t i = 0; i < target_cols.size(); ++i) {
+        int idx = table.ColumnIndex(prefix + target_cols[i].first);
+        if (idx >= 0) (*row)[idx] = target_key[i];
+      }
+      for (const AttributeDef& attr : edge.attributes) {
+        int idx = table.ColumnIndex(prefix + ToSnakeCase(attr.name));
+        auto it = incident->props.find(attr.name);
+        if (idx >= 0 && it != incident->props.end()) {
+          (*row)[idx] = it->second;
+        }
+      }
+    }
+    return OkStatus();
+  };
+
+  // --- nodes: one row per member relation of the hierarchy --------------------
+  for (pg::NodeId id = 0; id < data.node_capacity(); ++id) {
+    if (!data.HasNode(id)) continue;
+    const NodeDef* type = primary_type(data.node(id));
+    if (type == nullptr) continue;
+    std::vector<std::string> members{type->name};
+    for (const std::string& a : schema.AncestorsOf(type->name)) {
+      members.push_back(a);
+    }
+    rel::Tuple key = node_key(id, type->name);
+    for (const std::string& member : members) {
+      rel::Table* table = db.GetTable(ToSnakeCase(member));
+      KGM_CHECK(table != nullptr);
+      rel::Tuple row(table->schema().arity());
+      auto key_cols = translate::RelationalKeyColumns(schema, member);
+      for (size_t i = 0; i < key_cols.size(); ++i) {
+        row[table->schema().ColumnIndex(key_cols[i].first)] = key[i];
+      }
+      const NodeDef* member_def = schema.FindNode(member);
+      for (const AttributeDef& attr : member_def->attributes) {
+        int idx = table->schema().ColumnIndex(ToSnakeCase(attr.name));
+        const Value* v = data.NodeProperty(id, attr.name);
+        if (idx >= 0 && v != nullptr) row[idx] = *v;
+      }
+      KGM_RETURN_IF_ERROR(
+          fill_fk_columns(id, member, table->schema(), &row));
+      KGM_RETURN_IF_ERROR(table->Insert(std::move(row)));
+    }
+  }
+
+  // --- junction rows for many-to-many edges -----------------------------------
+  for (const EdgeDef& edge : schema.edges()) {
+    if (edge.source.functional || edge.target.functional) continue;
+    rel::Table* table = db.GetTable(ToSnakeCase(edge.name));
+    KGM_CHECK(table != nullptr);
+    bool self_edge = edge.from == edge.to;
+    std::string from_prefix =
+        (self_edge ? "from_" : "") + ToSnakeCase(edge.from) + "_";
+    std::string to_prefix =
+        (self_edge ? "to_" : "") + ToSnakeCase(edge.to) + "_";
+    auto from_cols = translate::RelationalKeyColumns(schema, edge.from);
+    auto to_cols = translate::RelationalKeyColumns(schema, edge.to);
+    for (pg::EdgeId e : data.EdgesWithLabel(edge.name)) {
+      const pg::Edge& instance = data.edge(e);
+      rel::Tuple row(table->schema().arity());
+      rel::Tuple from_key = node_key(instance.from, edge.from);
+      rel::Tuple to_key = node_key(instance.to, edge.to);
+      for (size_t i = 0; i < from_cols.size(); ++i) {
+        row[table->schema().ColumnIndex(from_prefix + from_cols[i].first)] =
+            from_key[i];
+      }
+      for (size_t i = 0; i < to_cols.size(); ++i) {
+        row[table->schema().ColumnIndex(to_prefix + to_cols[i].first)] =
+            to_key[i];
+      }
+      for (const AttributeDef& attr : edge.attributes) {
+        int idx = table->schema().ColumnIndex(ToSnakeCase(attr.name));
+        auto it = instance.props.find(attr.name);
+        if (idx >= 0 && it != instance.props.end()) row[idx] = it->second;
+      }
+      Status inserted = table->Insert(std::move(row));
+      // Parallel edges collapse onto one junction row.
+      if (!inserted.ok() &&
+          inserted.code() != StatusCode::kAlreadyExists) {
+        return inserted;
+      }
+    }
+  }
+  KGM_RETURN_IF_ERROR(db.ValidateForeignKeys());
+  return db;
+}
+
+Result<MaterializeStats> MaterializeRelational(
+    const SuperSchema& schema, const std::string& sigma_source,
+    rel::Database* db, const MaterializeOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  auto t0 = Clock::now();
+  KGM_ASSIGN_OR_RETURN(pg::PropertyGraph data,
+                       RelationalToGraph(schema, *db));
+  auto t1 = Clock::now();
+  KGM_ASSIGN_OR_RETURN(MaterializeStats stats,
+                       Materialize(schema, sigma_source, &data, options));
+  auto t2 = Clock::now();
+  KGM_ASSIGN_OR_RETURN(rel::Database result,
+                       GraphToRelational(schema, data));
+  auto t3 = Clock::now();
+  stats.load_seconds += std::chrono::duration<double>(t1 - t0).count();
+  stats.flush_seconds += std::chrono::duration<double>(t3 - t2).count();
+  *db = std::move(result);
+  return stats;
+}
+
+}  // namespace kgm::instance

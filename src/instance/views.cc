@@ -1,0 +1,204 @@
+#include "instance/views.h"
+
+#include <sstream>
+
+#include "instance/loader.h"
+
+namespace kgm::instance {
+
+namespace {
+
+void CollectAtom(const metalog::PgAtom& atom, bool in_head,
+                 SigmaAnalysis* out) {
+  if (atom.label.empty()) return;
+  auto& target = atom.is_edge
+                     ? (in_head ? out->head_edge_labels
+                                : out->body_edge_labels)
+                     : (in_head ? out->head_node_labels
+                                : out->body_node_labels);
+  target.insert(atom.label);
+}
+
+void CollectPath(const metalog::PathPtr& path, bool in_head,
+                 SigmaAnalysis* out) {
+  if (path->kind == metalog::PathKind::kEdge) {
+    CollectAtom(path->edge, in_head, out);
+    return;
+  }
+  for (const metalog::PathPtr& c : path->children) {
+    CollectPath(c, in_head, out);
+  }
+}
+
+void CollectPattern(const metalog::GraphPattern& pattern, bool in_head,
+                    SigmaAnalysis* out) {
+  for (const metalog::PgAtom& n : pattern.nodes) {
+    CollectAtom(n, in_head, out);
+  }
+  for (const metalog::PathPtr& p : pattern.paths) {
+    CollectPath(p, in_head, out);
+  }
+}
+
+}  // namespace
+
+SigmaAnalysis AnalyzeSigma(const metalog::MetaProgram& sigma) {
+  SigmaAnalysis out;
+  for (const metalog::MetaRule& rule : sigma.rules) {
+    for (const metalog::GraphPattern& p : rule.body_patterns) {
+      CollectPattern(p, /*in_head=*/false, &out);
+    }
+    for (const metalog::GraphPattern& p : rule.negated_patterns) {
+      CollectPattern(p, /*in_head=*/false, &out);
+    }
+    for (const metalog::GraphPattern& p : rule.head_patterns) {
+      CollectPattern(p, /*in_head=*/true, &out);
+    }
+  }
+  return out;
+}
+
+Result<std::string> GenerateInputViews(const core::SuperSchema& schema,
+                                       const metalog::MetaProgram& sigma,
+                                       int64_t instance_oid) {
+  SigmaAnalysis analysis = AnalyzeSigma(sigma);
+  std::ostringstream os;
+  std::string oid = std::to_string(instance_oid);
+
+  for (const std::string& label : analysis.body_node_labels) {
+    if (schema.FindNode(label) == nullptr) {
+      return InvalidArgument("Sigma uses unknown node label " + label);
+    }
+    // With attributes: pack them into a record and spread it into the view
+    // atom (Example 6.2).  Membership walks the generalization hierarchy
+    // upwards, so a Business instance also populates the Person view.
+    os << "% V_I: " << label << " node view\n"
+       << "(i: I_SM_Node; instanceOID: " << oid << ")"
+       << "[: SM_REFERENCES](n: SM_Node)\n"
+       << "    ([: SM_CHILD]- / [: SM_PARENT])* (al: SM_Node)\n"
+       << "    [: SM_HAS_NODE_TYPE](: SM_Type; name: \"" << label
+       << "\"),\n"
+       << "(i)[: I_SM_HAS_NODE_ATTR](ia: I_SM_Attribute; value: v)\n"
+       << "    [: SM_REFERENCES](na: SM_Attribute; name: m),\n"
+       << "p = pack(m, v)\n"
+       << "  -> exists c = skView(i) (c: " << label
+       << "; *p), (c)[: VIEW_OF](i).\n"
+       // Attribute-less instances still appear in the view.
+       << "(i: I_SM_Node; instanceOID: " << oid << ")"
+       << "[: SM_REFERENCES](n: SM_Node)\n"
+       << "    ([: SM_CHILD]- / [: SM_PARENT])* (al: SM_Node)\n"
+       << "    [: SM_HAS_NODE_TYPE](: SM_Type; name: \"" << label
+       << "\"),\n"
+       << "not (i)[: I_SM_HAS_NODE_ATTR]()\n"
+       << "  -> exists c = skView(i) (c: " << label
+       << "), (c)[: VIEW_OF](i).\n\n";
+  }
+  for (const std::string& label : analysis.body_edge_labels) {
+    if (schema.FindEdge(label) == nullptr) {
+      return InvalidArgument("Sigma uses unknown edge label " + label);
+    }
+    os << "% V_I: " << label << " edge view\n"
+       << "(ie: I_SM_Edge; instanceOID: " << oid << ")"
+       << "[: SM_REFERENCES](se: SM_Edge)\n"
+       << "    [: SM_HAS_EDGE_TYPE](: SM_Type; name: \"" << label
+       << "\"),\n"
+       << "(ie)[: I_SM_FROM](ix: I_SM_Node),\n"
+       << "(ie)[: I_SM_TO](iy: I_SM_Node),\n"
+       << "(cx)[: VIEW_OF](ix),\n"
+       << "(cy)[: VIEW_OF](iy),\n"
+       << "(ie)[: I_SM_HAS_EDGE_ATTR](ia: I_SM_Attribute; value: v)\n"
+       << "    [: SM_REFERENCES](ea: SM_Attribute; name: m),\n"
+       << "p = pack(m, v)\n"
+       << "  -> exists k = skViewE(ie) (cx)[k: " << label << "; *p](cy).\n"
+       << "(ie: I_SM_Edge; instanceOID: " << oid << ")"
+       << "[: SM_REFERENCES](se: SM_Edge)\n"
+       << "    [: SM_HAS_EDGE_TYPE](: SM_Type; name: \"" << label
+       << "\"),\n"
+       << "(ie)[: I_SM_FROM](ix: I_SM_Node),\n"
+       << "(ie)[: I_SM_TO](iy: I_SM_Node),\n"
+       << "(cx)[: VIEW_OF](ix),\n"
+       << "(cy)[: VIEW_OF](iy),\n"
+       << "not (ie)[: I_SM_HAS_EDGE_ATTR]()\n"
+       << "  -> exists k = skViewE(ie) (cx)[k: " << label << "](cy).\n\n";
+  }
+  return os.str();
+}
+
+Result<std::string> GenerateOutputViews(const core::SuperSchema& schema,
+                                        const metalog::MetaProgram& sigma,
+                                        int64_t instance_oid) {
+  (void)instance_oid;
+  SigmaAnalysis analysis = AnalyzeSigma(sigma);
+  std::ostringstream os;
+
+  for (const std::string& label : analysis.head_node_labels) {
+    const core::NodeDef* node = schema.FindNode(label);
+    if (node == nullptr) {
+      return InvalidArgument("Sigma derives unknown node label " + label);
+    }
+    os << "% V_O: " << label << " node outputs\n";
+    // Property updates on existing entities.
+    for (const core::AttributeDef& attr :
+         schema.EffectiveAttributes(label)) {
+      os << "(f: " << label << "; " << attr.name
+         << ": v)[: VIEW_OF](i: I_SM_Node), !is_null(v)\n"
+         << "  -> exists u = skOUpd_" << label << "_" << attr.name
+         << "(f) (u: O_SM_PropUpdate; name: \"" << attr.name
+         << "\", value: v), (u)[: O_ON](i).\n";
+    }
+    // Newly created entities.
+    os << "(f: " << label << "), not (f)[: VIEW_OF]()\n"
+       << "  -> exists o = skONew(f) (o: O_SM_Node; nodeType: \"" << label
+       << "\").\n";
+    for (const core::AttributeDef& attr :
+         schema.EffectiveAttributes(label)) {
+      os << "(f: " << label << "; " << attr.name
+         << ": v), not (f)[: VIEW_OF](), !is_null(v)\n"
+         << "  -> exists o = skONew(f), exists a = skONewA_" << label << "_"
+         << attr.name << "(f)\n"
+         << "     (o: O_SM_Node)[: O_SM_HAS_ATTR](a: O_SM_Attribute; "
+         << "name: \"" << attr.name << "\", value: v).\n";
+    }
+    os << "\n";
+  }
+  for (const std::string& label : analysis.head_edge_labels) {
+    const core::EdgeDef* edge = schema.FindEdge(label);
+    if (edge == nullptr) {
+      return InvalidArgument("Sigma derives unknown edge label " + label);
+    }
+    os << "% V_O: " << label << " edge outputs\n";
+    // Four endpoint-resolution variants: each endpoint is either an
+    // existing entity (VIEW_OF resolvable) or a new one.
+    const char* kFromExisting = "(cx)[: VIEW_OF](ix: I_SM_Node)";
+    const char* kFromNew = "not (cx)[: VIEW_OF]()";
+    const char* kToExisting = "(cy)[: VIEW_OF](iy: I_SM_Node)";
+    const char* kToNew = "not (cy)[: VIEW_OF]()";
+    for (int variant = 0; variant < 4; ++variant) {
+      bool from_existing = (variant & 1) == 0;
+      bool to_existing = (variant & 2) == 0;
+      os << "(cx)[k: " << label << "](cy),\n"
+         << (from_existing ? kFromExisting : kFromNew) << ",\n"
+         << (to_existing ? kToExisting : kToNew) << "\n"
+         << "  -> exists e = skOE(k)";
+      if (!from_existing) os << ", exists ox = skONew(cx)";
+      if (!to_existing) os << ", exists oy = skONew(cy)";
+      os << "\n     (e: O_SM_Edge; edgeType: \"" << label << "\"), "
+         << "(e)[: O_FROM]("
+         << (from_existing ? "ix" : "ox: O_SM_Node") << "), "
+         << "(e)[: O_TO]("
+         << (to_existing ? "iy" : "oy: O_SM_Node") << ").\n";
+    }
+    for (const core::AttributeDef& attr : edge->attributes) {
+      os << "(cx)[k: " << label << "; " << attr.name
+         << ": v](cy), !is_null(v)\n"
+         << "  -> exists e = skOE(k), exists a = skOEA_" << label << "_"
+         << attr.name << "(k)\n"
+         << "     (e: O_SM_Edge)[: O_SM_HAS_ATTR](a: O_SM_Attribute; "
+         << "name: \"" << attr.name << "\", value: v).\n";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace kgm::instance

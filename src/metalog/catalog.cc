@@ -1,0 +1,326 @@
+#include "metalog/catalog.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "base/check.h"
+
+namespace kgm::metalog {
+
+namespace {
+
+const std::vector<std::string> kNoProps;
+
+void MergeProps(std::map<std::string, std::vector<std::string>>* labels,
+                const std::string& label,
+                const std::vector<std::string>& props) {
+  std::vector<std::string>& existing = (*labels)[label];
+  std::set<std::string> merged(existing.begin(), existing.end());
+  merged.insert(props.begin(), props.end());
+  existing.assign(merged.begin(), merged.end());
+}
+
+}  // namespace
+
+GraphCatalog GraphCatalog::FromGraph(const pg::PropertyGraph& graph) {
+  GraphCatalog catalog;
+  for (pg::NodeId id = 0; id < graph.node_capacity(); ++id) {
+    if (!graph.HasNode(id)) continue;
+    const pg::Node& n = graph.node(id);
+    std::vector<std::string> props;
+    for (const auto& [k, v] : n.props) {
+      if (k != kOidProperty) props.push_back(k);
+    }
+    for (const std::string& label : n.labels) {
+      MergeProps(&catalog.node_labels_, label, props);
+    }
+  }
+  for (pg::EdgeId id = 0; id < graph.edge_capacity(); ++id) {
+    if (!graph.HasEdge(id)) continue;
+    const pg::Edge& e = graph.edge(id);
+    std::vector<std::string> props;
+    for (const auto& [k, v] : e.props) {
+      if (k != kOidProperty) props.push_back(k);
+    }
+    MergeProps(&catalog.edge_labels_, e.label, props);
+  }
+  return catalog;
+}
+
+void GraphCatalog::AddNodeLabel(const std::string& label,
+                                const std::vector<std::string>& props) {
+  MergeProps(&node_labels_, label, props);
+}
+
+void GraphCatalog::AddEdgeLabel(const std::string& label,
+                                const std::vector<std::string>& props) {
+  MergeProps(&edge_labels_, label, props);
+}
+
+Status GraphCatalog::AbsorbProgram(const MetaProgram& program) {
+  auto absorb_atom = [this](const PgAtom& atom) {
+    if (atom.label.empty()) return;
+    std::vector<std::string> props;
+    for (const PgProperty& p : atom.properties) props.push_back(p.name);
+    if (atom.is_edge) {
+      MergeProps(&edge_labels_, atom.label, props);
+    } else {
+      MergeProps(&node_labels_, atom.label, props);
+    }
+  };
+  std::function<void(const PathPtr&)> absorb_path =
+      [&](const PathPtr& path) {
+        if (path->kind == PathKind::kEdge) {
+          absorb_atom(path->edge);
+          return;
+        }
+        for (const PathPtr& c : path->children) absorb_path(c);
+      };
+  auto absorb_pattern = [&](const GraphPattern& pattern) {
+    for (const PgAtom& n : pattern.nodes) absorb_atom(n);
+    for (const PathPtr& p : pattern.paths) absorb_path(p);
+  };
+  for (const MetaRule& rule : program.rules) {
+    for (const GraphPattern& p : rule.body_patterns) absorb_pattern(p);
+    for (const GraphPattern& p : rule.negated_patterns) absorb_pattern(p);
+    for (const GraphPattern& p : rule.head_patterns) absorb_pattern(p);
+  }
+  for (const auto& [label, props] : node_labels_) {
+    if (edge_labels_.count(label) > 0) {
+      return FailedPrecondition("label used for both nodes and edges: " +
+                                label);
+    }
+  }
+  return OkStatus();
+}
+
+void GraphCatalog::Merge(const GraphCatalog& other) {
+  for (const auto& [label, props] : other.node_labels_) {
+    MergeProps(&node_labels_, label, props);
+  }
+  for (const auto& [label, props] : other.edge_labels_) {
+    MergeProps(&edge_labels_, label, props);
+  }
+}
+
+bool GraphCatalog::HasNodeLabel(const std::string& label) const {
+  return node_labels_.count(label) > 0;
+}
+
+bool GraphCatalog::HasEdgeLabel(const std::string& label) const {
+  return edge_labels_.count(label) > 0;
+}
+
+const std::vector<std::string>& GraphCatalog::NodeProps(
+    const std::string& label) const {
+  auto it = node_labels_.find(label);
+  return it == node_labels_.end() ? kNoProps : it->second;
+}
+
+const std::vector<std::string>& GraphCatalog::EdgeProps(
+    const std::string& label) const {
+  auto it = edge_labels_.find(label);
+  return it == edge_labels_.end() ? kNoProps : it->second;
+}
+
+int GraphCatalog::NodePropColumn(const std::string& label,
+                                 const std::string& prop) const {
+  const std::vector<std::string>& props = NodeProps(label);
+  for (size_t i = 0; i < props.size(); ++i) {
+    if (props[i] == prop) return static_cast<int>(1 + i);
+  }
+  return -1;
+}
+
+int GraphCatalog::EdgePropColumn(const std::string& label,
+                                 const std::string& prop) const {
+  const std::vector<std::string>& props = EdgeProps(label);
+  for (size_t i = 0; i < props.size(); ++i) {
+    if (props[i] == prop) return static_cast<int>(3 + i);
+  }
+  return -1;
+}
+
+size_t GraphCatalog::NodeArity(const std::string& label) const {
+  return 1 + NodeProps(label).size();
+}
+
+size_t GraphCatalog::EdgeArity(const std::string& label) const {
+  return 3 + EdgeProps(label).size();
+}
+
+std::vector<std::string> GraphCatalog::NodeLabels() const {
+  std::vector<std::string> out;
+  for (const auto& [label, props] : node_labels_) out.push_back(label);
+  return out;
+}
+
+std::vector<std::string> GraphCatalog::EdgeLabels() const {
+  std::vector<std::string> out;
+  for (const auto& [label, props] : edge_labels_) out.push_back(label);
+  return out;
+}
+
+namespace {
+
+// The OID a node/edge carries in the relational encoding: its preserved
+// chase OID when present, its integer id otherwise.
+Value NodeOid(const pg::Node& n) {
+  auto it = n.props.find(kOidProperty);
+  if (it != n.props.end()) return it->second;
+  return Value(static_cast<int64_t>(n.id));
+}
+
+Value EdgeOid(const pg::Edge& e) {
+  auto it = e.props.find(kOidProperty);
+  if (it != e.props.end()) return it->second;
+  return Value(static_cast<int64_t>(e.id));
+}
+
+}  // namespace
+
+vadalog::FactDb EncodeGraph(const pg::PropertyGraph& graph,
+                            const GraphCatalog& catalog) {
+  vadalog::FactDb db;
+  for (pg::NodeId id = 0; id < graph.node_capacity(); ++id) {
+    if (!graph.HasNode(id)) continue;
+    const pg::Node& n = graph.node(id);
+    Value oid = NodeOid(n);
+    for (const std::string& label : n.labels) {
+      if (!catalog.HasNodeLabel(label)) continue;
+      const std::vector<std::string>& props = catalog.NodeProps(label);
+      vadalog::Tuple t;
+      t.reserve(1 + props.size());
+      t.push_back(oid);
+      for (const std::string& prop : props) {
+        auto it = n.props.find(prop);
+        t.push_back(it == n.props.end() ? Value() : it->second);
+      }
+      db.Add(label, std::move(t));
+    }
+  }
+  for (pg::EdgeId id = 0; id < graph.edge_capacity(); ++id) {
+    if (!graph.HasEdge(id)) continue;
+    const pg::Edge& e = graph.edge(id);
+    if (!catalog.HasEdgeLabel(e.label)) continue;
+    const std::vector<std::string>& props = catalog.EdgeProps(e.label);
+    vadalog::Tuple t;
+    t.reserve(3 + props.size());
+    t.push_back(EdgeOid(e));
+    t.push_back(NodeOid(graph.node(e.from)));
+    t.push_back(NodeOid(graph.node(e.to)));
+    for (const std::string& prop : props) {
+      auto it = e.props.find(prop);
+      t.push_back(it == e.props.end() ? Value() : it->second);
+    }
+    db.Add(e.label, std::move(t));
+  }
+  return db;
+}
+
+Result<DecodeStats> DecodeGraph(const vadalog::FactDb& db,
+                                const GraphCatalog& catalog,
+                                pg::PropertyGraph* graph) {
+  DecodeStats stats;
+  std::unordered_map<Value, pg::NodeId, ValueHash> node_of;
+  // Edge identity is the full (oid, from, to) triple: under frontier
+  // Skolemization two derived edges may share an OID while differing in
+  // their endpoints.
+  auto edge_key = [](const Value& oid, const Value& from, const Value& to) {
+    return MakeRecord({{"o", oid}, {"f", from}, {"t", to}});
+  };
+  std::unordered_map<Value, pg::EdgeId, ValueHash> edge_of;
+  for (pg::NodeId id = 0; id < graph->node_capacity(); ++id) {
+    if (graph->HasNode(id)) node_of.emplace(NodeOid(graph->node(id)), id);
+  }
+  for (pg::EdgeId id = 0; id < graph->edge_capacity(); ++id) {
+    if (!graph->HasEdge(id)) continue;
+    const pg::Edge& e = graph->edge(id);
+    edge_of.emplace(edge_key(EdgeOid(e), NodeOid(graph->node(e.from)),
+                             NodeOid(graph->node(e.to))),
+                    id);
+  }
+  // Pass 1: nodes.  Later facts win property conflicts: monotonic
+  // aggregates emit improving values over time, and relation order is
+  // derivation order.
+  for (const std::string& label : catalog.NodeLabels()) {
+    const vadalog::Relation* rel = db.Get(label);
+    if (rel == nullptr) continue;
+    const std::vector<std::string>& props = catalog.NodeProps(label);
+    for (const vadalog::Tuple& t : rel->tuples()) {
+      KGM_CHECK(t.size() == 1 + props.size());
+      const Value& oid = t[0];
+      auto it = node_of.find(oid);
+      pg::NodeId id;
+      bool is_new = it == node_of.end();
+      if (is_new) {
+        id = graph->AddNode(label);
+        if (!oid.is_int()) {
+          graph->SetNodeProperty(id, kOidProperty, oid);
+        }
+        node_of.emplace(oid, id);
+        ++stats.new_nodes;
+      } else {
+        id = it->second;
+        if (!graph->node(id).HasLabel(label)) {
+          graph->AddLabel(id, label);
+          ++stats.updated_nodes;
+        }
+      }
+      for (size_t i = 0; i < props.size(); ++i) {
+        if (t[1 + i].is_null()) continue;
+        const Value* existing = graph->NodeProperty(id, props[i]);
+        if (existing == nullptr || !(*existing == t[1 + i])) {
+          graph->SetNodeProperty(id, props[i], t[1 + i]);
+          if (!is_new && existing != nullptr) ++stats.updated_nodes;
+        }
+      }
+    }
+  }
+  // Pass 2: edges.
+  for (const std::string& label : catalog.EdgeLabels()) {
+    const vadalog::Relation* rel = db.Get(label);
+    if (rel == nullptr) continue;
+    const std::vector<std::string>& props = catalog.EdgeProps(label);
+    for (const vadalog::Tuple& t : rel->tuples()) {
+      KGM_CHECK(t.size() == 3 + props.size());
+      const Value& oid = t[0];
+      Value key = edge_key(oid, t[1], t[2]);
+      auto existing = edge_of.find(key);
+      if (existing != edge_of.end() &&
+          graph->edge(existing->second).label == label) {
+        pg::EdgeId eid = existing->second;
+        for (size_t i = 0; i < props.size(); ++i) {
+          if (t[3 + i].is_null()) continue;
+          const Value* old = graph->EdgeProperty(eid, props[i]);
+          if (old == nullptr || !(*old == t[3 + i])) {
+            graph->SetEdgeProperty(eid, props[i], t[3 + i]);
+          }
+        }
+        continue;
+      }
+      auto from_it = node_of.find(t[1]);
+      auto to_it = node_of.find(t[2]);
+      if (from_it == node_of.end() || to_it == node_of.end()) {
+        return FailedPrecondition("derived edge " + label +
+                                  " references unresolved node OID " +
+                                  (from_it == node_of.end() ? t[1] : t[2])
+                                      .ToString());
+      }
+      pg::PropertyMap prop_map;
+      for (size_t i = 0; i < props.size(); ++i) {
+        if (!t[3 + i].is_null()) prop_map[props[i]] = t[3 + i];
+      }
+      if (!oid.is_int()) prop_map[kOidProperty] = oid;
+      pg::EdgeId eid = graph->AddEdge(from_it->second, to_it->second, label,
+                                      std::move(prop_map));
+      edge_of.emplace(std::move(key), eid);
+      ++stats.new_edges;
+    }
+  }
+  return stats;
+}
+
+}  // namespace kgm::metalog

@@ -1,0 +1,313 @@
+#include "metalog/parser.h"
+
+#include "vadalog/lexer.h"
+#include "vadalog/parser.h"
+
+namespace kgm::metalog {
+
+namespace {
+
+using vadalog::TokKind;
+using vadalog::Token;
+using vadalog::TokenStream;
+
+class MetaParser {
+ public:
+  explicit MetaParser(TokenStream& ts) : ts_(ts) {}
+
+  Result<MetaProgram> ParseProgram() {
+    MetaProgram program;
+    while (!ts_.AtEnd()) {
+      KGM_ASSIGN_OR_RETURN(MetaRule rule, ParseRule());
+      rule.label = "m" + std::to_string(program.rules.size() + 1);
+      program.rules.push_back(std::move(rule));
+    }
+    return program;
+  }
+
+  Result<MetaRule> ParseSingleRule() {
+    KGM_ASSIGN_OR_RETURN(MetaRule rule, ParseRule());
+    if (!ts_.AtEnd()) return ts_.ErrorHere("trailing input after rule");
+    return rule;
+  }
+
+ private:
+  Result<MetaRule> ParseRule() {
+    MetaRule rule;
+    // Body elements.
+    while (true) {
+      KGM_RETURN_IF_ERROR(ParseBodyElement(&rule));
+      if (!ts_.Match(TokKind::kComma)) break;
+    }
+    KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kArrow, "'->'"));
+    KGM_ASSIGN_OR_RETURN(rule.existentials,
+                         vadalog::ParseExistentialPrefix(ts_));
+    while (true) {
+      KGM_ASSIGN_OR_RETURN(GraphPattern p, ParsePattern());
+      rule.head_patterns.push_back(std::move(p));
+      if (!ts_.Match(TokKind::kComma)) break;
+    }
+    KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kDot, "'.' at end of rule"));
+    if (rule.head_patterns.empty()) return ts_.ErrorHere("empty head");
+    return rule;
+  }
+
+  // A '(' starts a node atom (graph pattern) when its interior looks like
+  // `)` / `: Label` / `; props` / `ident` followed by one of those; anything
+  // else (e.g. `(v > 0.5)`) is a parenthesized condition.
+  bool NodeAtomStartsHere() const {
+    if (!ts_.Check(TokKind::kLParen)) return false;
+    TokKind k1 = ts_.Peek(1).kind;
+    if (k1 == TokKind::kRParen || k1 == TokKind::kColon ||
+        k1 == TokKind::kSemicolon) {
+      return true;
+    }
+    if (k1 == TokKind::kIdent) {
+      TokKind k2 = ts_.Peek(2).kind;
+      return k2 == TokKind::kRParen || k2 == TokKind::kColon ||
+             k2 == TokKind::kSemicolon;
+    }
+    return false;
+  }
+
+  Status ParseBodyElement(MetaRule* rule) {
+    // Negated pattern: `not` followed by a node atom / single-edge pattern.
+    if (ts_.CheckIdent("not") &&
+        ts_.Peek(1).kind == TokKind::kLParen) {
+      ts_.Advance();
+      KGM_ASSIGN_OR_RETURN(GraphPattern p, ParsePattern());
+      if (p.paths.size() > 1 ||
+          (p.paths.size() == 1 && !p.paths[0]->IsSingleEdge())) {
+        return ts_.ErrorHere(
+            "negated patterns must be a node atom or a single edge");
+      }
+      rule->negated_patterns.push_back(std::move(p));
+      return OkStatus();
+    }
+    // Graph pattern?
+    if (NodeAtomStartsHere()) {
+      KGM_ASSIGN_OR_RETURN(GraphPattern p, ParsePattern());
+      rule->body_patterns.push_back(std::move(p));
+      return OkStatus();
+    }
+    // Assignment or aggregate: IDENT '='.
+    if (ts_.Check(TokKind::kIdent) && ts_.Peek(1).kind == TokKind::kAssign) {
+      std::string var = ts_.Advance().text;
+      ts_.Advance();  // '='
+      if (ts_.Check(TokKind::kIdent) &&
+          vadalog::IsAggregateFunction(ts_.Peek().text) &&
+          ts_.Peek(1).kind == TokKind::kLParen) {
+        std::string func = ts_.Advance().text;
+        KGM_ASSIGN_OR_RETURN(
+            vadalog::Aggregate agg,
+            vadalog::ParseAggregateBody(ts_, std::move(var),
+                                        std::move(func)));
+        rule->aggregates.push_back(std::move(agg));
+        return OkStatus();
+      }
+      KGM_ASSIGN_OR_RETURN(vadalog::ExprPtr expr,
+                           vadalog::ParseExpression(ts_));
+      rule->assignments.push_back(
+          vadalog::Assignment{std::move(var), std::move(expr)});
+      return OkStatus();
+    }
+    // Condition.
+    KGM_ASSIGN_OR_RETURN(vadalog::ExprPtr expr, vadalog::ParseExpression(ts_));
+    rule->conditions.push_back(vadalog::Condition{std::move(expr)});
+    return OkStatus();
+  }
+
+  Result<GraphPattern> ParsePattern() {
+    GraphPattern pattern;
+    KGM_ASSIGN_OR_RETURN(PgAtom first, ParseNodeAtom());
+    pattern.nodes.push_back(std::move(first));
+    // Path elements start with '[' (edge atom) or '(' followed by '[' / '('.
+    while (PathStartsHere()) {
+      KGM_ASSIGN_OR_RETURN(PathPtr path, ParseSeq());
+      KGM_ASSIGN_OR_RETURN(PgAtom node, ParseNodeAtom());
+      pattern.paths.push_back(std::move(path));
+      pattern.nodes.push_back(std::move(node));
+    }
+    return pattern;
+  }
+
+  bool PathStartsHere() const {
+    if (ts_.Check(TokKind::kLBracket)) return true;
+    if (ts_.Check(TokKind::kLParen)) {
+      TokKind next = ts_.Peek(1).kind;
+      return next == TokKind::kLBracket || next == TokKind::kLParen;
+    }
+    return false;
+  }
+
+  Result<PathPtr> ParseSeq() {
+    std::vector<PathPtr> parts;
+    KGM_ASSIGN_OR_RETURN(PathPtr first, ParsePostfix());
+    parts.push_back(std::move(first));
+    while (ts_.Match(TokKind::kSlash)) {
+      KGM_ASSIGN_OR_RETURN(PathPtr next, ParsePostfix());
+      parts.push_back(std::move(next));
+    }
+    return PathExpr::Concat(std::move(parts));
+  }
+
+  Result<PathPtr> ParsePostfix() {
+    KGM_ASSIGN_OR_RETURN(PathPtr expr, ParsePrimary());
+    while (true) {
+      if (ts_.Check(TokKind::kStar)) {
+        ts_.Advance();
+        expr = PathExpr::Star(std::move(expr));
+      } else if (ts_.Check(TokKind::kPlus)) {
+        ts_.Advance();
+        expr = PathExpr::Plus(std::move(expr));
+      } else if (ts_.Check(TokKind::kMinus)) {
+        ts_.Advance();
+        if (expr->kind != PathKind::kEdge) {
+          // rho^- over composites: push inversion down.
+          KGM_ASSIGN_OR_RETURN(expr, InvertPath(expr));
+        } else {
+          auto e = std::make_shared<PathExpr>(*expr);
+          e->inverse = !e->inverse;
+          expr = e;
+        }
+      } else {
+        break;
+      }
+    }
+    return expr;
+  }
+
+  // Inverts a composite path: (A/B)- = B-/A-, (A|B)- = A-|B-, (A*)- = (A-)*.
+  Result<PathPtr> InvertPath(const PathPtr& p) {
+    switch (p->kind) {
+      case PathKind::kEdge: {
+        auto e = std::make_shared<PathExpr>(*p);
+        e->inverse = !e->inverse;
+        return PathPtr(e);
+      }
+      case PathKind::kConcat: {
+        std::vector<PathPtr> parts;
+        for (auto it = p->children.rbegin(); it != p->children.rend(); ++it) {
+          KGM_ASSIGN_OR_RETURN(PathPtr inv, InvertPath(*it));
+          parts.push_back(std::move(inv));
+        }
+        return PathExpr::Concat(std::move(parts));
+      }
+      case PathKind::kAlt: {
+        std::vector<PathPtr> branches;
+        for (const PathPtr& c : p->children) {
+          KGM_ASSIGN_OR_RETURN(PathPtr inv, InvertPath(c));
+          branches.push_back(std::move(inv));
+        }
+        return PathExpr::Alt(std::move(branches));
+      }
+      case PathKind::kStar: {
+        KGM_ASSIGN_OR_RETURN(PathPtr inv, InvertPath(p->children[0]));
+        return PathExpr::Star(std::move(inv));
+      }
+      case PathKind::kPlus: {
+        KGM_ASSIGN_OR_RETURN(PathPtr inv, InvertPath(p->children[0]));
+        return PathExpr::Plus(std::move(inv));
+      }
+    }
+    return ts_.ErrorHere("cannot invert path");
+  }
+
+  Result<PathPtr> ParsePrimary() {
+    if (ts_.Check(TokKind::kLBracket)) {
+      KGM_ASSIGN_OR_RETURN(PgAtom edge, ParseEdgeAtom());
+      return PathExpr::Edge(std::move(edge), /*inverse=*/false);
+    }
+    if (ts_.Match(TokKind::kLParen)) {
+      KGM_ASSIGN_OR_RETURN(PathPtr inner, ParseAlt());
+      KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kRParen, "')'"));
+      return inner;
+    }
+    return ts_.ErrorHere("expected edge atom or path group");
+  }
+
+  Result<PathPtr> ParseAlt() {
+    std::vector<PathPtr> branches;
+    KGM_ASSIGN_OR_RETURN(PathPtr first, ParseSeq());
+    branches.push_back(std::move(first));
+    while (ts_.Match(TokKind::kPipe)) {
+      KGM_ASSIGN_OR_RETURN(PathPtr next, ParseSeq());
+      branches.push_back(std::move(next));
+    }
+    return PathExpr::Alt(std::move(branches));
+  }
+
+  Result<PgAtom> ParseNodeAtom() {
+    KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kLParen, "'(' of node atom"));
+    KGM_ASSIGN_OR_RETURN(PgAtom atom, ParseAtomInterior(/*is_edge=*/false));
+    KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kRParen, "')' of node atom"));
+    return atom;
+  }
+
+  Result<PgAtom> ParseEdgeAtom() {
+    KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kLBracket, "'[' of edge atom"));
+    KGM_ASSIGN_OR_RETURN(PgAtom atom, ParseAtomInterior(/*is_edge=*/true));
+    KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kRBracket, "']' of edge atom"));
+    return atom;
+  }
+
+  Result<PgAtom> ParseAtomInterior(bool is_edge) {
+    PgAtom atom;
+    atom.is_edge = is_edge;
+    if (ts_.Check(TokKind::kIdent) && !ts_.CheckIdent("exists")) {
+      atom.id_var = ts_.Advance().text;
+    }
+    if (ts_.Match(TokKind::kColon)) {
+      if (!ts_.Check(TokKind::kIdent)) {
+        return ts_.ErrorHere("expected label after ':'");
+      }
+      atom.label = ts_.Advance().text;
+    }
+    if (ts_.Match(TokKind::kSemicolon)) {
+      while (true) {
+        if (ts_.Match(TokKind::kStar)) {
+          if (!ts_.Check(TokKind::kIdent)) {
+            return ts_.ErrorHere("expected record variable after '*'");
+          }
+          if (!atom.spread_var.empty()) {
+            return ts_.ErrorHere("duplicate '*' spread in atom");
+          }
+          atom.spread_var = ts_.Advance().text;
+        } else {
+          if (!ts_.Check(TokKind::kIdent)) {
+            return ts_.ErrorHere("expected property name");
+          }
+          PgProperty prop;
+          prop.name = ts_.Advance().text;
+          KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kColon, "':'"));
+          KGM_ASSIGN_OR_RETURN(prop.value, vadalog::ParseTermAt(ts_));
+          atom.properties.push_back(std::move(prop));
+        }
+        if (!ts_.Match(TokKind::kComma)) break;
+      }
+    }
+    return atom;
+  }
+
+  TokenStream& ts_;
+};
+
+}  // namespace
+
+Result<MetaProgram> ParseMetaProgram(std::string_view source) {
+  KGM_ASSIGN_OR_RETURN(std::vector<Token> tokens,
+                       vadalog::Tokenize(source));
+  TokenStream ts(std::move(tokens));
+  MetaParser parser(ts);
+  return parser.ParseProgram();
+}
+
+Result<MetaRule> ParseMetaRule(std::string_view source) {
+  KGM_ASSIGN_OR_RETURN(std::vector<Token> tokens,
+                       vadalog::Tokenize(source));
+  TokenStream ts(std::move(tokens));
+  MetaParser parser(ts);
+  return parser.ParseSingleRule();
+}
+
+}  // namespace kgm::metalog

@@ -1,0 +1,40 @@
+// Parser for the MetaLog surface syntax.
+//
+// Grammar sketch (scalar sub-grammars shared with the Vadalog parser):
+//
+//   program   := rule*
+//   rule      := body '->' head '.'
+//   body      := element (',' element)*
+//   element   := pattern | VAR '=' (aggregate | expr) | expr
+//   pattern   := node (path node)*
+//   node      := '(' [IDENT] [':' IDENT] [';' props] ')'
+//   props     := prop (',' prop)* ;  prop := IDENT ':' term | '*' IDENT
+//   path      := seq ;  seq := postfix ('/' postfix)*
+//   postfix   := primary ('*' | '+' | '-')*
+//   primary   := edge | '(' alt ')' ;  alt := seq ('|' seq)*
+//   edge      := '[' [IDENT] [':' IDENT] [';' props] ']'
+//   head      := ('exists' spec ','?)* pattern (',' pattern)*
+//
+// Disambiguation: after '(' in body position, '[' or '(' starts a path
+// group, anything else a node atom; a body element starting with '(' is a
+// graph pattern (parenthesized conditions must not start an element).
+
+#ifndef KGM_METALOG_PARSER_H_
+#define KGM_METALOG_PARSER_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "metalog/ast.h"
+
+namespace kgm::metalog {
+
+// Parses a full MetaLog program.
+Result<MetaProgram> ParseMetaProgram(std::string_view source);
+
+// Parses a single MetaLog rule.
+Result<MetaRule> ParseMetaRule(std::string_view source);
+
+}  // namespace kgm::metalog
+
+#endif  // KGM_METALOG_PARSER_H_

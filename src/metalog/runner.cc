@@ -1,0 +1,36 @@
+#include "metalog/runner.h"
+
+#include "metalog/parser.h"
+
+namespace kgm::metalog {
+
+Result<MetaRunResult> RunMetaLog(const MetaProgram& program,
+                                 pg::PropertyGraph* graph,
+                                 const MetaRunOptions& options) {
+  GraphCatalog catalog = GraphCatalog::FromGraph(*graph);
+  catalog.Merge(options.extra_catalog);
+  KGM_RETURN_IF_ERROR(catalog.AbsorbProgram(program));
+
+  vadalog::FactDb db = EncodeGraph(*graph, catalog);
+  KGM_ASSIGN_OR_RETURN(MtvResult mtv,
+                       TranslateMetaProgram(program, catalog, options.mtv));
+
+  vadalog::Engine engine(std::move(mtv.program), options.engine);
+  KGM_RETURN_IF_ERROR(engine.status());
+  KGM_RETURN_IF_ERROR(engine.Run(&db));
+
+  MetaRunResult result;
+  result.engine_stats = engine.stats();
+  result.vadalog_rule_count = engine.program().rules.size();
+  KGM_ASSIGN_OR_RETURN(result.decode, DecodeGraph(db, catalog, graph));
+  return result;
+}
+
+Result<MetaRunResult> RunMetaLogSource(std::string_view source,
+                                       pg::PropertyGraph* graph,
+                                       const MetaRunOptions& options) {
+  KGM_ASSIGN_OR_RETURN(MetaProgram program, ParseMetaProgram(source));
+  return RunMetaLog(program, graph, options);
+}
+
+}  // namespace kgm::metalog

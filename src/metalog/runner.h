@@ -1,0 +1,53 @@
+// End-to-end MetaLog execution against a property graph:
+//
+//   1. build a catalog from the graph, absorb the program's labels,
+//   2. encode the graph relationally (MTV step (1)),
+//   3. compile the MetaLog program to Vadalog (MTV steps (2)-(3)),
+//   4. run the Vadalog engine to fixpoint,
+//   5. decode derived node/edge facts back into the graph.
+//
+// This mirrors how KGModel executes intensional components and schema
+// mappings via the Vadalog System (Sections 4-6 of the paper).
+
+#ifndef KGM_METALOG_RUNNER_H_
+#define KGM_METALOG_RUNNER_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "metalog/ast.h"
+#include "metalog/catalog.h"
+#include "metalog/mtv.h"
+#include "pg/property_graph.h"
+#include "vadalog/engine.h"
+
+namespace kgm::metalog {
+
+struct MetaRunOptions {
+  vadalog::EngineOptions engine;
+  MtvOptions mtv;
+  // Extra labels to register before translation (for intensional labels
+  // whose properties are not mentioned in the program).
+  GraphCatalog extra_catalog;
+};
+
+struct MetaRunResult {
+  DecodeStats decode;
+  vadalog::EngineStats engine_stats;
+  size_t vadalog_rule_count = 0;
+};
+
+// Runs a parsed MetaLog program against `graph`, materializing derived
+// nodes, edges and properties in place.
+Result<MetaRunResult> RunMetaLog(const MetaProgram& program,
+                                 pg::PropertyGraph* graph,
+                                 const MetaRunOptions& options = {});
+
+// Parses and runs MetaLog source text.
+Result<MetaRunResult> RunMetaLogSource(std::string_view source,
+                                       pg::PropertyGraph* graph,
+                                       const MetaRunOptions& options = {});
+
+}  // namespace kgm::metalog
+
+#endif  // KGM_METALOG_RUNNER_H_

@@ -1,0 +1,235 @@
+#include "pg/property_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace kgm::pg {
+
+bool Node::HasLabel(std::string_view label) const {
+  return std::find(labels.begin(), labels.end(), label) != labels.end();
+}
+
+PropertyGraph PropertyGraph::Clone() const {
+  PropertyGraph copy;
+  copy.nodes_ = nodes_;
+  copy.edges_ = edges_;
+  copy.out_edges_ = out_edges_;
+  copy.in_edges_ = in_edges_;
+  copy.node_label_index_ = node_label_index_;
+  copy.edge_label_index_ = edge_label_index_;
+  copy.num_live_nodes_ = num_live_nodes_;
+  copy.num_live_edges_ = num_live_edges_;
+  return copy;
+}
+
+NodeId PropertyGraph::AddNode(std::vector<std::string> labels,
+                              PropertyMap props) {
+  NodeId id = nodes_.size();
+  Node n;
+  n.id = id;
+  n.labels = std::move(labels);
+  n.props = std::move(props);
+  for (const std::string& label : n.labels) {
+    node_label_index_[label].push_back(id);
+  }
+  nodes_.push_back(std::move(n));
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  ++num_live_nodes_;
+  return id;
+}
+
+NodeId PropertyGraph::AddNode(std::string label, PropertyMap props) {
+  return AddNode(std::vector<std::string>{std::move(label)},
+                 std::move(props));
+}
+
+EdgeId PropertyGraph::AddEdge(NodeId from, NodeId to, std::string label,
+                              PropertyMap props) {
+  KGM_CHECK(HasNode(from));
+  KGM_CHECK(HasNode(to));
+  EdgeId id = edges_.size();
+  Edge e;
+  e.id = id;
+  e.from = from;
+  e.to = to;
+  e.label = std::move(label);
+  e.props = std::move(props);
+  edge_label_index_[e.label].push_back(id);
+  out_edges_[from].push_back(id);
+  in_edges_[to].push_back(id);
+  edges_.push_back(std::move(e));
+  ++num_live_edges_;
+  return id;
+}
+
+void PropertyGraph::AddLabel(NodeId id, const std::string& label) {
+  KGM_CHECK(HasNode(id));
+  Node& n = nodes_[id];
+  if (n.HasLabel(label)) return;
+  n.labels.push_back(label);
+  node_label_index_[label].push_back(id);
+}
+
+void PropertyGraph::SetNodeProperty(NodeId id, const std::string& key,
+                                    Value value) {
+  KGM_CHECK(HasNode(id));
+  nodes_[id].props[key] = std::move(value);
+}
+
+void PropertyGraph::SetEdgeProperty(EdgeId id, const std::string& key,
+                                    Value value) {
+  KGM_CHECK(HasEdge(id));
+  edges_[id].props[key] = std::move(value);
+}
+
+void PropertyGraph::DeleteNode(NodeId id) {
+  if (!HasNode(id)) return;
+  for (EdgeId e : out_edges_[id]) DeleteEdge(e);
+  for (EdgeId e : in_edges_[id]) DeleteEdge(e);
+  nodes_[id].deleted = true;
+  --num_live_nodes_;
+}
+
+void PropertyGraph::DeleteEdge(EdgeId id) {
+  if (!HasEdge(id)) return;
+  edges_[id].deleted = true;
+  --num_live_edges_;
+}
+
+const Node& PropertyGraph::node(NodeId id) const {
+  KGM_CHECK(id < nodes_.size());
+  return nodes_[id];
+}
+
+const Edge& PropertyGraph::edge(EdgeId id) const {
+  KGM_CHECK(id < edges_.size());
+  return edges_[id];
+}
+
+const Value* PropertyGraph::NodeProperty(NodeId id,
+                                         std::string_view key) const {
+  const Node& n = node(id);
+  auto it = n.props.find(key);
+  if (it == n.props.end()) return nullptr;
+  return &it->second;
+}
+
+const Value* PropertyGraph::EdgeProperty(EdgeId id,
+                                         std::string_view key) const {
+  const Edge& e = edge(id);
+  auto it = e.props.find(key);
+  if (it == e.props.end()) return nullptr;
+  return &it->second;
+}
+
+std::vector<NodeId> PropertyGraph::NodesWithLabel(
+    std::string_view label) const {
+  std::vector<NodeId> out;
+  auto it = node_label_index_.find(std::string(label));
+  if (it == node_label_index_.end()) return out;
+  for (NodeId id : it->second) {
+    if (HasNode(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<EdgeId> PropertyGraph::EdgesWithLabel(
+    std::string_view label) const {
+  std::vector<EdgeId> out;
+  auto it = edge_label_index_.find(std::string(label));
+  if (it == edge_label_index_.end()) return out;
+  for (EdgeId id : it->second) {
+    if (HasEdge(id)) out.push_back(id);
+  }
+  return out;
+}
+
+const std::vector<EdgeId>& PropertyGraph::OutEdges(NodeId id) const {
+  KGM_CHECK(id < out_edges_.size());
+  return out_edges_[id];
+}
+
+const std::vector<EdgeId>& PropertyGraph::InEdges(NodeId id) const {
+  KGM_CHECK(id < in_edges_.size());
+  return in_edges_[id];
+}
+
+std::vector<std::string> PropertyGraph::NodeLabels() const {
+  std::set<std::string> labels;
+  for (const auto& [label, ids] : node_label_index_) {
+    for (NodeId id : ids) {
+      if (HasNode(id)) {
+        labels.insert(label);
+        break;
+      }
+    }
+  }
+  return {labels.begin(), labels.end()};
+}
+
+std::vector<std::string> PropertyGraph::EdgeLabels() const {
+  std::set<std::string> labels;
+  for (const auto& [label, ids] : edge_label_index_) {
+    for (EdgeId id : ids) {
+      if (HasEdge(id)) {
+        labels.insert(label);
+        break;
+      }
+    }
+  }
+  return {labels.begin(), labels.end()};
+}
+
+NodeId PropertyGraph::FindNode(std::string_view label, std::string_view key,
+                               const Value& value) const {
+  auto it = node_label_index_.find(std::string(label));
+  if (it == node_label_index_.end()) return kInvalidNode;
+  for (NodeId id : it->second) {
+    if (!HasNode(id)) continue;
+    const Value* v = NodeProperty(id, key);
+    if (v != nullptr && *v == value) return id;
+  }
+  return kInvalidNode;
+}
+
+std::string PropertyGraph::DebugString() const {
+  std::ostringstream os;
+  for (const Node& n : nodes_) {
+    if (n.deleted) continue;
+    os << "(" << n.id;
+    for (const std::string& label : n.labels) os << ":" << label;
+    if (!n.props.empty()) {
+      os << " {";
+      bool first = true;
+      for (const auto& [k, v] : n.props) {
+        if (!first) os << ", ";
+        first = false;
+        os << k << ": " << v.ToString();
+      }
+      os << "}";
+    }
+    os << ")\n";
+  }
+  for (const Edge& e : edges_) {
+    if (e.deleted) continue;
+    os << "(" << e.from << ")-[" << e.id << ":" << e.label;
+    if (!e.props.empty()) {
+      os << " {";
+      bool first = true;
+      for (const auto& [k, v] : e.props) {
+        if (!first) os << ", ";
+        first = false;
+        os << k << ": " << v.ToString();
+      }
+      os << "}";
+    }
+    os << "]->(" << e.to << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace kgm::pg

@@ -1,0 +1,141 @@
+// In-memory property graph store.
+//
+// Implements the (regular) Property Graph model of Section 4 of the paper:
+// G = (N, E, mu, lambda, sigma) with binary edges, partial labeling and
+// partial property assignment.  Nodes may carry multiple labels, which the
+// super-schema -> PG translation relies on (type accumulation when
+// generalizations are eliminated, Section 5.2).
+//
+// The store doubles as the backing structure for KGModel's graph
+// dictionaries: super-schemas, model schemas and instance super-components
+// are all stored as property graphs (Section 2.2).
+//
+// The store is append-mostly: nodes and edges are never physically removed;
+// a tombstone flag supports the Eliminate phase of schema translation.
+
+#ifndef KGM_PG_PROPERTY_GRAPH_H_
+#define KGM_PG_PROPERTY_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/value.h"
+
+namespace kgm::pg {
+
+using NodeId = uint64_t;
+using EdgeId = uint64_t;
+
+inline constexpr NodeId kInvalidNode = ~0ULL;
+inline constexpr EdgeId kInvalidEdge = ~0ULL;
+
+// Deterministically ordered property map.
+using PropertyMap = std::map<std::string, Value, std::less<>>;
+
+struct Node {
+  NodeId id = kInvalidNode;
+  std::vector<std::string> labels;
+  PropertyMap props;
+  bool deleted = false;
+
+  bool HasLabel(std::string_view label) const;
+};
+
+struct Edge {
+  EdgeId id = kInvalidEdge;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  std::string label;
+  PropertyMap props;
+  bool deleted = false;
+};
+
+class PropertyGraph {
+ public:
+  PropertyGraph() = default;
+
+  // Movable but not copyable (graphs can be large); use Clone() to copy.
+  PropertyGraph(PropertyGraph&&) = default;
+  PropertyGraph& operator=(PropertyGraph&&) = default;
+  PropertyGraph(const PropertyGraph&) = delete;
+  PropertyGraph& operator=(const PropertyGraph&) = delete;
+
+  PropertyGraph Clone() const;
+
+  // --- construction ---------------------------------------------------------
+
+  NodeId AddNode(std::vector<std::string> labels, PropertyMap props = {});
+  NodeId AddNode(std::string label, PropertyMap props = {});
+
+  // `from` and `to` must exist.
+  EdgeId AddEdge(NodeId from, NodeId to, std::string label,
+                 PropertyMap props = {});
+
+  // Adds `label` to an existing node (no-op if present).
+  void AddLabel(NodeId id, const std::string& label);
+
+  void SetNodeProperty(NodeId id, const std::string& key, Value value);
+  void SetEdgeProperty(EdgeId id, const std::string& key, Value value);
+
+  // Marks a node deleted, along with its incident edges.
+  void DeleteNode(NodeId id);
+  void DeleteEdge(EdgeId id);
+
+  // --- access ---------------------------------------------------------------
+
+  bool HasNode(NodeId id) const { return id < nodes_.size() && !nodes_[id].deleted; }
+  bool HasEdge(EdgeId id) const { return id < edges_.size() && !edges_[id].deleted; }
+
+  const Node& node(NodeId id) const;
+  const Edge& edge(EdgeId id) const;
+
+  // Property lookup; returns nullptr when absent.
+  const Value* NodeProperty(NodeId id, std::string_view key) const;
+  const Value* EdgeProperty(EdgeId id, std::string_view key) const;
+
+  // Live nodes carrying `label`, in id order.
+  std::vector<NodeId> NodesWithLabel(std::string_view label) const;
+  // Live edges labeled `label`, in id order.
+  std::vector<EdgeId> EdgesWithLabel(std::string_view label) const;
+
+  // Ids of live out-/in-edges of a node, in insertion order.
+  const std::vector<EdgeId>& OutEdges(NodeId id) const;
+  const std::vector<EdgeId>& InEdges(NodeId id) const;
+
+  // All distinct node labels / edge labels present (sorted).
+  std::vector<std::string> NodeLabels() const;
+  std::vector<std::string> EdgeLabels() const;
+
+  // Counts of live nodes / edges.
+  size_t num_nodes() const { return num_live_nodes_; }
+  size_t num_edges() const { return num_live_edges_; }
+  // Upper bound of node/edge ids (including tombstones).
+  size_t node_capacity() const { return nodes_.size(); }
+  size_t edge_capacity() const { return edges_.size(); }
+
+  // The first live node with `label` whose property `key` equals `value`,
+  // or kInvalidNode.  Linear scan over the label index.
+  NodeId FindNode(std::string_view label, std::string_view key,
+                  const Value& value) const;
+
+  // Human-readable multi-line rendering (small graphs only).
+  std::string DebugString() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+  std::unordered_map<std::string, std::vector<NodeId>> node_label_index_;
+  std::unordered_map<std::string, std::vector<EdgeId>> edge_label_index_;
+  size_t num_live_nodes_ = 0;
+  size_t num_live_edges_ = 0;
+};
+
+}  // namespace kgm::pg
+
+#endif  // KGM_PG_PROPERTY_GRAPH_H_

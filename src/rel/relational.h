@@ -1,0 +1,148 @@
+// Minimal in-memory relational engine.
+//
+// This is the "relational target system" of the paper (Section 5.3): the
+// SSST translator emits relational schemas (Relations, Fields, Predicates,
+// ForeignKeys per Figure 7) that are enforced here, and the instance pipeline
+// (Section 6) loads from / flushes to these tables.  The engine supports
+// typed columns, primary keys, unique constraints, foreign keys, insertion
+// with constraint checking, and full-database referential validation.
+
+#ifndef KGM_REL_RELATIONAL_H_
+#define KGM_REL_RELATIONAL_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/value.h"
+
+namespace kgm::rel {
+
+// Declared column types.  kAny accepts every Value kind.
+enum class ColumnType {
+  kAny = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+};
+
+const char* ColumnTypeName(ColumnType t);
+
+// True if `v` conforms to `t` (nulls are governed by `nullable`).
+bool ValueMatchesType(const Value& v, ColumnType t);
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kAny;
+  bool nullable = true;
+};
+
+struct ForeignKeyDef {
+  std::string name;                       // constraint name (may be empty)
+  std::vector<std::string> columns;       // referencing columns
+  std::string ref_table;                  // referenced table
+  std::vector<std::string> ref_columns;   // referenced columns (its key)
+};
+
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::vector<std::string> primary_key;              // column names
+  std::vector<std::vector<std::string>> unique_keys; // extra unique constraints
+  std::vector<ForeignKeyDef> foreign_keys;
+
+  // Index of column `name`, or -1.
+  int ColumnIndex(std::string_view name) const;
+  size_t arity() const { return columns.size(); }
+};
+
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t h = 0x12345;
+    for (const Value& v : t) h = HashCombine(h, v.Hash());
+    return h;
+  }
+};
+
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+  // Inserts a row, checking arity, column types, nullability, primary-key
+  // and unique-constraint violations.  Foreign keys are validated at the
+  // database level (ValidateForeignKeys), mirroring deferred constraints.
+  Status Insert(Tuple row);
+
+  // Inserts without any checking (bulk loads from trusted translators).
+  void InsertUnchecked(Tuple row);
+
+  // Rows whose column `col` equals `v`.
+  std::vector<const Tuple*> Lookup(std::string_view col,
+                                   const Value& v) const;
+
+  // The row matching primary-key values `key`, if any.
+  const Tuple* FindByPrimaryKey(const Tuple& key) const;
+  // Its index, or -1.
+  int64_t FindRowIndexByPrimaryKey(const Tuple& key) const;
+
+  // Updates one cell (UPDATE ... SET col = v).  Rejects type mismatches
+  // and changes to primary-key or unique columns.
+  Status UpdateValue(size_t row, std::string_view col, Value v);
+
+ private:
+  Tuple ProjectKey(const Tuple& row,
+                   const std::vector<int>& positions) const;
+
+  TableSchema schema_;
+  std::vector<Tuple> rows_;
+  std::vector<int> pk_positions_;
+  std::vector<std::vector<int>> unique_positions_;
+  std::unordered_map<Tuple, size_t, TupleHash> pk_index_;
+  std::vector<std::unordered_map<Tuple, size_t, TupleHash>> unique_indexes_;
+};
+
+class Database {
+ public:
+  Database() = default;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Status CreateTable(TableSchema schema);
+  bool HasTable(std::string_view name) const;
+  Table* GetTable(std::string_view name);
+  const Table* GetTable(std::string_view name) const;
+
+  // Table names in creation order.
+  std::vector<std::string> TableNames() const;
+
+  // Checks every foreign key of every table; reports the first violation.
+  Status ValidateForeignKeys() const;
+
+  size_t TotalRows() const;
+
+ private:
+  std::vector<std::string> order_;
+  std::map<std::string, Table, std::less<>> tables_;
+};
+
+// Renders ANSI-style DDL (CREATE TABLE with PRIMARY KEY, UNIQUE, FOREIGN KEY
+// and NOT NULL clauses) for the whole database schema.  This is the
+// "enforcement by DDL statements" of Section 2.2 / Section 5.
+std::string RenderSqlDdl(const std::vector<TableSchema>& schemas);
+
+}  // namespace kgm::rel
+
+#endif  // KGM_REL_RELATIONAL_H_

@@ -1,0 +1,342 @@
+#include "translate/csv_io.h"
+
+#include <cstdio>
+#include <map>
+
+#include "base/strings.h"
+#include "metalog/catalog.h"  // kOidProperty
+#include "translate/native.h"
+
+namespace kgm::translate {
+
+namespace {
+
+using core::AttrType;
+using core::AttributeDef;
+using core::SuperSchema;
+
+std::string CsvValue(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      return "";
+    case ValueKind::kBool:
+      return v.AsBool() ? "true" : "false";
+    case ValueKind::kInt:
+      return std::to_string(v.AsInt());
+    case ValueKind::kDouble: {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", v.AsDoubleExact());
+      return buffer;
+    }
+    case ValueKind::kString:
+      return v.AsString();
+    default:
+      return v.ToString();
+  }
+}
+
+Result<Value> ParseCsvValue(const std::string& field, AttrType type) {
+  if (field.empty()) return Value();
+  switch (type) {
+    case AttrType::kString:
+    case AttrType::kDate:
+      return Value(field);
+    case AttrType::kInt:
+      return Value(static_cast<int64_t>(std::stoll(field)));
+    case AttrType::kDouble:
+      return Value(std::stod(field));
+    case AttrType::kBool:
+      if (field == "true") return Value(true);
+      if (field == "false") return Value(false);
+      return InvalidArgument("bad boolean: " + field);
+  }
+  return Value(field);
+}
+
+size_t Depth(const SuperSchema& schema, const std::string& node) {
+  return schema.AncestorsOf(node).size();
+}
+
+const core::NodeDef* PrimaryType(const SuperSchema& schema,
+                                 const pg::Node& node) {
+  const core::NodeDef* best = nullptr;
+  for (const std::string& label : node.labels) {
+    const core::NodeDef* def = schema.FindNode(label);
+    if (def != nullptr &&
+        (best == nullptr ||
+         Depth(schema, def->name) > Depth(schema, best->name))) {
+      best = def;
+    }
+  }
+  return best;
+}
+
+// The node's identity fields: effective id values, or the surrogate OID.
+std::vector<std::string> NodeKeyFields(const SuperSchema& schema,
+                                       const pg::PropertyGraph& data,
+                                       pg::NodeId id,
+                                       const std::string& type) {
+  std::vector<std::string> out;
+  auto ids = schema.EffectiveIdAttributes(type);
+  if (ids.empty()) {
+    const Value* oid = data.NodeProperty(id, metalog::kOidProperty);
+    out.push_back(oid != nullptr ? CsvValue(*oid)
+                                 : "n" + std::to_string(id));
+    return out;
+  }
+  for (const AttributeDef& attr : ids) {
+    const Value* v = data.NodeProperty(id, attr.name);
+    out.push_back(v == nullptr ? "" : CsvValue(*v));
+  }
+  return out;
+}
+
+std::vector<std::string> KeyColumnNames(const SuperSchema& schema,
+                                        const std::string& type,
+                                        const std::string& prefix) {
+  std::vector<std::string> out;
+  auto ids = schema.EffectiveIdAttributes(type);
+  if (ids.empty()) {
+    out.push_back(prefix + ToSnakeCase(type) + "_oid");
+    return out;
+  }
+  for (const AttributeDef& attr : ids) {
+    out.push_back(prefix + ToSnakeCase(attr.name));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Result<std::vector<std::string>> CsvSplitLine(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      out.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  if (quoted) return InvalidArgument("unterminated quote in CSV line");
+  out.push_back(std::move(field));
+  return out;
+}
+
+Result<std::map<std::string, std::string>> ExportCsv(
+    const SuperSchema& schema, const pg::PropertyGraph& data) {
+  KGM_RETURN_IF_ERROR(schema.Validate());
+  std::map<std::string, std::string> files;
+
+  // Node files: rows are the nodes whose primary (deepest) type matches.
+  for (const core::NodeDef& node : schema.nodes()) {
+    std::vector<std::string> header =
+        KeyColumnNames(schema, node.name, "");
+    auto effective = schema.EffectiveAttributes(node.name);
+    std::vector<const AttributeDef*> non_id;
+    for (const AttributeDef& a : effective) {
+      if (!a.is_id) non_id.push_back(&a);
+    }
+    for (const AttributeDef* a : non_id) {
+      header.push_back(ToSnakeCase(a->name));
+    }
+    std::string doc = Join(header, ",") + "\n";
+    for (pg::NodeId id = 0; id < data.node_capacity(); ++id) {
+      if (!data.HasNode(id)) continue;
+      const core::NodeDef* primary = PrimaryType(schema, data.node(id));
+      if (primary == nullptr || primary->name != node.name) continue;
+      std::vector<std::string> row =
+          NodeKeyFields(schema, data, id, node.name);
+      for (const AttributeDef* a : non_id) {
+        const Value* v = data.NodeProperty(id, a->name);
+        row.push_back(v == nullptr ? "" : CsvValue(*v));
+      }
+      for (std::string& field : row) field = CsvEscape(field);
+      doc += Join(row, ",") + "\n";
+    }
+    files[ToSnakeCase(node.name) + ".csv"] = std::move(doc);
+  }
+
+  // Edge files: endpoint keys plus attributes.
+  for (const core::EdgeDef& edge : schema.edges()) {
+    std::vector<std::string> header =
+        KeyColumnNames(schema, edge.from, "from_");
+    for (std::string& col :
+         KeyColumnNames(schema, edge.to, "to_")) {
+      header.push_back(std::move(col));
+    }
+    for (const AttributeDef& a : edge.attributes) {
+      header.push_back(ToSnakeCase(a.name));
+    }
+    std::string doc = Join(header, ",") + "\n";
+    for (pg::EdgeId e : data.EdgesWithLabel(edge.name)) {
+      const pg::Edge& instance = data.edge(e);
+      std::vector<std::string> row =
+          NodeKeyFields(schema, data, instance.from, edge.from);
+      for (std::string& field :
+           NodeKeyFields(schema, data, instance.to, edge.to)) {
+        row.push_back(std::move(field));
+      }
+      for (const AttributeDef& a : edge.attributes) {
+        auto it = instance.props.find(a.name);
+        row.push_back(it == instance.props.end() ? ""
+                                                 : CsvValue(it->second));
+      }
+      for (std::string& field : row) field = CsvEscape(field);
+      doc += Join(row, ",") + "\n";
+    }
+    files[ToSnakeCase(edge.name) + ".csv"] = std::move(doc);
+  }
+  return files;
+}
+
+Result<pg::PropertyGraph> ImportCsv(
+    const SuperSchema& schema,
+    const std::map<std::string, std::string>& files) {
+  KGM_RETURN_IF_ERROR(schema.Validate());
+  pg::PropertyGraph graph;
+  std::map<std::string, pg::NodeId> entity_of;  // root + keys -> node
+
+  auto entity_key = [&schema](const std::string& type,
+                              const std::vector<std::string>& key) {
+    std::string out = schema.RootOf(type);
+    for (const std::string& k : key) {
+      out += '\x1f';
+      out += k;
+    }
+    return out;
+  };
+
+  auto parse_lines =
+      [](const std::string& doc) -> std::vector<std::string> {
+    std::vector<std::string> lines = Split(doc, '\n');
+    while (!lines.empty() && lines.back().empty()) lines.pop_back();
+    return lines;
+  };
+
+  // Nodes.
+  for (const core::NodeDef& node : schema.nodes()) {
+    auto it = files.find(ToSnakeCase(node.name) + ".csv");
+    if (it == files.end()) continue;
+    std::vector<std::string> lines = parse_lines(it->second);
+    if (lines.empty()) continue;
+    KGM_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                         CsvSplitLine(lines[0]));
+    auto ids = schema.EffectiveIdAttributes(node.name);
+    size_t key_width = ids.empty() ? 1 : ids.size();
+    auto effective = schema.EffectiveAttributes(node.name);
+    std::vector<std::string> labels{node.name};
+    for (const std::string& a : schema.AncestorsOf(node.name)) {
+      labels.push_back(a);
+    }
+    for (size_t li = 1; li < lines.size(); ++li) {
+      KGM_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                           CsvSplitLine(lines[li]));
+      if (fields.size() != header.size()) {
+        return InvalidArgument(it->first + " line " + std::to_string(li) +
+                               ": field count mismatch");
+      }
+      pg::NodeId id = graph.AddNode(labels);
+      std::vector<std::string> key(fields.begin(),
+                                   fields.begin() + key_width);
+      if (ids.empty()) {
+        graph.SetNodeProperty(id, metalog::kOidProperty,
+                              Value(fields[0]));
+      } else {
+        for (size_t i = 0; i < ids.size(); ++i) {
+          KGM_ASSIGN_OR_RETURN(Value v,
+                               ParseCsvValue(fields[i], ids[i].type));
+          if (!v.is_null()) graph.SetNodeProperty(id, ids[i].name, v);
+        }
+      }
+      // Remaining columns by header name.
+      for (size_t col = key_width; col < header.size(); ++col) {
+        for (const AttributeDef& a : effective) {
+          if (ToSnakeCase(a.name) != header[col]) continue;
+          KGM_ASSIGN_OR_RETURN(Value v, ParseCsvValue(fields[col], a.type));
+          if (!v.is_null()) graph.SetNodeProperty(id, a.name, v);
+          break;
+        }
+      }
+      auto [pos, inserted] =
+          entity_of.emplace(entity_key(node.name, key), id);
+      if (!inserted) {
+        return InvalidArgument(it->first + ": duplicate key at line " +
+                               std::to_string(li));
+      }
+    }
+  }
+
+  // Edges.
+  for (const core::EdgeDef& edge : schema.edges()) {
+    auto it = files.find(ToSnakeCase(edge.name) + ".csv");
+    if (it == files.end()) continue;
+    std::vector<std::string> lines = parse_lines(it->second);
+    if (lines.empty()) continue;
+    auto from_ids = schema.EffectiveIdAttributes(edge.from);
+    auto to_ids = schema.EffectiveIdAttributes(edge.to);
+    size_t from_width = from_ids.empty() ? 1 : from_ids.size();
+    size_t to_width = to_ids.empty() ? 1 : to_ids.size();
+    for (size_t li = 1; li < lines.size(); ++li) {
+      KGM_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                           CsvSplitLine(lines[li]));
+      if (fields.size() < from_width + to_width) {
+        return InvalidArgument(it->first + " line " + std::to_string(li) +
+                               ": too few fields");
+      }
+      std::vector<std::string> from_key(fields.begin(),
+                                        fields.begin() + from_width);
+      std::vector<std::string> to_key(
+          fields.begin() + from_width,
+          fields.begin() + from_width + to_width);
+      auto from_it = entity_of.find(entity_key(edge.from, from_key));
+      auto to_it = entity_of.find(entity_key(edge.to, to_key));
+      if (from_it == entity_of.end() || to_it == entity_of.end()) {
+        return FailedPrecondition(it->first + " line " +
+                                  std::to_string(li) +
+                                  ": dangling endpoint reference");
+      }
+      pg::PropertyMap props;
+      size_t col = from_width + to_width;
+      for (const AttributeDef& a : edge.attributes) {
+        if (col >= fields.size()) break;
+        KGM_ASSIGN_OR_RETURN(Value v, ParseCsvValue(fields[col], a.type));
+        if (!v.is_null()) props[a.name] = v;
+        ++col;
+      }
+      graph.AddEdge(from_it->second, to_it->second, edge.name,
+                    std::move(props));
+    }
+  }
+  return graph;
+}
+
+}  // namespace kgm::translate

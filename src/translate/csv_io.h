@@ -1,0 +1,40 @@
+// CSV serialization of instances (the plain-file model of Section 2.2).
+//
+// ExportCsv writes a property-graph instance into one CSV document per
+// node type (effective attributes) and per edge type (endpoint keys plus
+// edge attributes), following TranslateToCsvNative's file schemas;
+// ImportCsv reads such documents back into a property graph with the
+// type-accumulated labels of the Figure 6 schema.
+
+#ifndef KGM_TRANSLATE_CSV_IO_H_
+#define KGM_TRANSLATE_CSV_IO_H_
+
+#include <map>
+#include <string>
+
+#include "base/status.h"
+#include "core/superschema.h"
+#include "pg/property_graph.h"
+
+namespace kgm::translate {
+
+// RFC-4180-style quoting: fields containing ',', '"' or newlines are
+// quoted, with '"' doubled.
+std::string CsvEscape(const std::string& field);
+
+// Splits one CSV line honoring quotes.
+Result<std::vector<std::string>> CsvSplitLine(const std::string& line);
+
+// file name -> document (header line + one line per node/edge).
+Result<std::map<std::string, std::string>> ExportCsv(
+    const core::SuperSchema& schema, const pg::PropertyGraph& data);
+
+// Inverse of ExportCsv.  Typed columns are parsed back per the schema's
+// attribute types; empty fields become absent properties.
+Result<pg::PropertyGraph> ImportCsv(
+    const core::SuperSchema& schema,
+    const std::map<std::string, std::string>& files);
+
+}  // namespace kgm::translate
+
+#endif  // KGM_TRANSLATE_CSV_IO_H_

@@ -1,0 +1,83 @@
+#include "translate/enforce.h"
+
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace kgm::translate {
+
+std::string RenderCypherConstraints(const core::PgSchema& schema) {
+  std::ostringstream os;
+  for (const core::PgNodeType& n : schema.node_types) {
+    const std::string& label = n.primary_label();
+    for (const core::PgPropertyDef& p : n.properties) {
+      if (p.unique) {
+        os << "CREATE CONSTRAINT " << ToSnakeCase(label) << "_"
+           << ToSnakeCase(p.name) << "_unique FOR (n:" << label
+           << ") REQUIRE n." << p.name << " IS UNIQUE;\n";
+      }
+      if (p.required) {
+        os << "CREATE CONSTRAINT " << ToSnakeCase(label) << "_"
+           << ToSnakeCase(p.name) << "_exists FOR (n:" << label
+           << ") REQUIRE n." << p.name << " IS NOT NULL;\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+namespace {
+const char* XsdType(core::AttrType t) {
+  switch (t) {
+    case core::AttrType::kString:
+      return "xsd:string";
+    case core::AttrType::kInt:
+      return "xsd:integer";
+    case core::AttrType::kDouble:
+      return "xsd:double";
+    case core::AttrType::kBool:
+      return "xsd:boolean";
+    case core::AttrType::kDate:
+      return "xsd:date";
+  }
+  return "xsd:string";
+}
+}  // namespace
+
+std::string RenderRdfs(const core::SuperSchema& schema,
+                       const std::string& base_iri) {
+  std::ostringstream os;
+  os << "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+     << "@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .\n"
+     << "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+     << "@prefix : <" << base_iri << "> .\n\n";
+  for (const core::NodeDef& n : schema.nodes()) {
+    os << ":" << n.name << " rdf:type rdfs:Class .\n";
+    for (const core::AttributeDef& a : n.attributes) {
+      os << ":" << a.name << " rdf:type rdf:Property ;\n"
+         << "    rdfs:domain :" << n.name << " ;\n"
+         << "    rdfs:range " << XsdType(a.type) << " .\n";
+    }
+  }
+  for (const core::GeneralizationDef& g : schema.generalizations()) {
+    for (const std::string& child : g.children) {
+      os << ":" << child << " rdfs:subClassOf :" << g.parent << " .\n";
+    }
+  }
+  for (const core::EdgeDef& e : schema.edges()) {
+    os << ":" << e.name << " rdf:type rdf:Property ;\n"
+       << "    rdfs:domain :" << e.from << " ;\n"
+       << "    rdfs:range :" << e.to << " .\n";
+  }
+  return os.str();
+}
+
+std::string RenderCsvHeaders(const std::vector<CsvFileSchema>& files) {
+  std::ostringstream os;
+  for (const CsvFileSchema& f : files) {
+    os << f.file_name << ": " << Join(f.columns, ",") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace kgm::translate

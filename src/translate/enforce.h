@@ -1,0 +1,35 @@
+// Schema enforcement renderers (Section 2.2 / Section 5).
+//
+// "Schemas then contain all the information needed to be deployed and
+// enforced, with different methods, depending on the target systems": SQL
+// DDL for relational systems, RDF-S documents for RDF stores, and ad-hoc
+// constraint statements (Cypher-style) for schema-less graph databases.
+
+#ifndef KGM_TRANSLATE_ENFORCE_H_
+#define KGM_TRANSLATE_ENFORCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/models.h"
+#include "core/superschema.h"
+#include "rel/relational.h"
+#include "translate/native.h"
+
+namespace kgm::translate {
+
+// Cypher-style uniqueness / existence constraints for a PG schema.
+std::string RenderCypherConstraints(const core::PgSchema& schema);
+
+// An RDF-Schema document (Turtle syntax) for the super-schema: classes for
+// node types, subClassOf for generalizations, properties with domain and
+// range.
+std::string RenderRdfs(const core::SuperSchema& schema,
+                       const std::string& base_iri = "http://kgm.example/");
+
+// CSV headers, one line per file.
+std::string RenderCsvHeaders(const std::vector<CsvFileSchema>& files);
+
+}  // namespace kgm::translate
+
+#endif  // KGM_TRANSLATE_ENFORCE_H_

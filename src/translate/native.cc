@@ -1,0 +1,302 @@
+#include "translate/native.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "base/strings.h"
+
+namespace kgm::translate {
+
+using core::AttrType;
+using core::AttributeDef;
+using core::AttributeModifier;
+using core::EdgeDef;
+using core::GeneralizationDef;
+using core::NodeDef;
+using core::PgNodeType;
+using core::PgPropertyDef;
+using core::PgRelationshipType;
+using core::PgSchema;
+using core::SuperSchema;
+
+namespace {
+
+bool HasUniqueModifier(const AttributeDef& a) {
+  for (const AttributeModifier& m : a.modifiers) {
+    if (m.kind == AttributeModifier::Kind::kUnique) return true;
+  }
+  return false;
+}
+
+PgPropertyDef ToPgProperty(const AttributeDef& a) {
+  PgPropertyDef p;
+  p.name = a.name;
+  p.type = a.type;
+  p.required = !a.optional && !a.intensional;
+  p.unique = a.is_id || HasUniqueModifier(a);
+  p.intensional = a.intensional;
+  return p;
+}
+
+// Self plus all descendants.
+std::vector<std::string> SelfAndDescendants(const SuperSchema& schema,
+                                            const std::string& node) {
+  std::vector<std::string> out{node};
+  for (const std::string& d : schema.DescendantsOf(node)) out.push_back(d);
+  return out;
+}
+
+}  // namespace
+
+rel::ColumnType ToRelColumnType(AttrType t) {
+  switch (t) {
+    case AttrType::kString:
+      return rel::ColumnType::kString;
+    case AttrType::kInt:
+      return rel::ColumnType::kInt;
+    case AttrType::kDouble:
+      return rel::ColumnType::kDouble;
+    case AttrType::kBool:
+      return rel::ColumnType::kBool;
+    case AttrType::kDate:
+      return rel::ColumnType::kString;  // ISO-8601 strings
+  }
+  return rel::ColumnType::kAny;
+}
+
+std::vector<std::pair<std::string, rel::ColumnType>> RelationalKeyColumns(
+    const SuperSchema& schema, const std::string& node) {
+  std::vector<std::pair<std::string, rel::ColumnType>> out;
+  for (const AttributeDef& a : schema.EffectiveIdAttributes(node)) {
+    out.emplace_back(ToSnakeCase(a.name), ToRelColumnType(a.type));
+  }
+  if (out.empty()) {
+    out.emplace_back(ToSnakeCase(node) + "_oid", rel::ColumnType::kString);
+  }
+  return out;
+}
+
+Result<PgSchema> TranslateToPgNative(const SuperSchema& schema,
+                                     PgGeneralizationStrategy strategy) {
+  KGM_RETURN_IF_ERROR(schema.Validate());
+  PgSchema out;
+  out.name = schema.name() + "_pg";
+
+  for (const NodeDef& node : schema.nodes()) {
+    PgNodeType nt;
+    nt.intensional = node.intensional;
+    nt.labels.push_back(node.name);
+    if (strategy == PgGeneralizationStrategy::kTypeAccumulation) {
+      // Eliminate.DeleteGeneralizations(1): types of all ancestors
+      // accumulate on the node.
+      for (const std::string& ancestor : schema.AncestorsOf(node.name)) {
+        nt.labels.push_back(ancestor);
+      }
+      // Eliminate.DeleteGeneralizations(2): ancestor attributes are copied
+      // down.
+      for (const AttributeDef& a : schema.EffectiveAttributes(node.name)) {
+        nt.properties.push_back(ToPgProperty(a));
+      }
+    } else {
+      for (const AttributeDef& a : node.attributes) {
+        nt.properties.push_back(ToPgProperty(a));
+      }
+    }
+    out.node_types.push_back(std::move(nt));
+  }
+
+  for (const EdgeDef& edge : schema.edges()) {
+    std::vector<std::string> froms{edge.from};
+    std::vector<std::string> tos{edge.to};
+    if (strategy == PgGeneralizationStrategy::kTypeAccumulation) {
+      // Eliminate.DeleteGeneralizations(3)+(4): the edge is inherited by
+      // every descendant of each endpoint.
+      froms = SelfAndDescendants(schema, edge.from);
+      tos = SelfAndDescendants(schema, edge.to);
+    }
+    for (const std::string& f : froms) {
+      for (const std::string& t : tos) {
+        PgRelationshipType rt;
+        rt.name = edge.name;
+        rt.from = f;
+        rt.to = t;
+        rt.intensional = edge.intensional;
+        for (const AttributeDef& a : edge.attributes) {
+          rt.properties.push_back(ToPgProperty(a));
+        }
+        out.relationship_types.push_back(std::move(rt));
+      }
+    }
+  }
+
+  if (strategy == PgGeneralizationStrategy::kChildParentEdges) {
+    for (const GeneralizationDef& g : schema.generalizations()) {
+      for (const std::string& child : g.children) {
+        PgRelationshipType rt;
+        rt.name = "IS_A";
+        rt.from = child;
+        rt.to = g.parent;
+        out.relationship_types.push_back(std::move(rt));
+      }
+    }
+  }
+
+  out.Canonicalize();
+  return out;
+}
+
+Result<std::vector<rel::TableSchema>> TranslateToRelationalNative(
+    const SuperSchema& schema) {
+  KGM_RETURN_IF_ERROR(schema.Validate());
+  std::vector<rel::TableSchema> tables;
+  std::map<std::string, size_t> table_index;  // node name -> tables index
+
+  auto key_columns = [&schema](const std::string& node) {
+    return RelationalKeyColumns(schema, node);
+  };
+
+  // Pass 1: one relation per SM_Node ("a relation for each generalization
+  // member", Section 5.3).
+  for (const NodeDef& node : schema.nodes()) {
+    rel::TableSchema table;
+    table.name = ToSnakeCase(node.name);
+    std::set<std::string> present;
+    // Keys first (inherited from the hierarchy root when not own).
+    for (const auto& [col, type] : key_columns(node.name)) {
+      table.columns.push_back({col, type, /*nullable=*/false});
+      table.primary_key.push_back(col);
+      present.insert(col);
+    }
+    // Own non-id attributes.
+    for (const AttributeDef& a : node.attributes) {
+      std::string col = ToSnakeCase(a.name);
+      if (present.count(col) > 0) continue;
+      table.columns.push_back(
+          {col, ToRelColumnType(a.type), a.optional || a.intensional});
+      present.insert(col);
+      if (HasUniqueModifier(a)) table.unique_keys.push_back({col});
+    }
+    // Child relations reference their parent through the shared key.
+    std::vector<std::string> ancestors = schema.AncestorsOf(node.name);
+    if (!ancestors.empty()) {
+      rel::ForeignKeyDef fk;
+      fk.name = "fk_" + table.name + "_is_a";
+      for (const auto& [col, type] : key_columns(node.name)) {
+        fk.columns.push_back(col);
+        fk.ref_columns.push_back(col);
+      }
+      fk.ref_table = ToSnakeCase(ancestors.front());
+      table.foreign_keys.push_back(std::move(fk));
+    }
+    table_index[node.name] = tables.size();
+    tables.push_back(std::move(table));
+  }
+
+  // Pass 2: edges.
+  for (const EdgeDef& edge : schema.edges()) {
+    bool from_functional = edge.source.functional;
+    bool to_functional = edge.target.functional;
+    std::string edge_col_prefix = ToSnakeCase(edge.name) + "_";
+    if (from_functional || to_functional) {
+      // A functional side holds the foreign key (Eliminate.
+      // CopyOneToManyEdges; one-to-one edges are handled the same way,
+      // with the source side chosen as the owner).
+      const std::string& owner = from_functional ? edge.from : edge.to;
+      const std::string& target = from_functional ? edge.to : edge.from;
+      bool owner_optional =
+          from_functional ? edge.source.optional : edge.target.optional;
+      rel::TableSchema& table = tables[table_index[owner]];
+      rel::ForeignKeyDef fk;
+      fk.name = "fk_" + ToSnakeCase(owner) + "_" + ToSnakeCase(edge.name);
+      for (const auto& [col, type] : key_columns(target)) {
+        std::string fk_col = edge_col_prefix + col;
+        table.columns.push_back({fk_col, type, owner_optional});
+        fk.columns.push_back(fk_col);
+        fk.ref_columns.push_back(col);
+      }
+      fk.ref_table = ToSnakeCase(target);
+      table.foreign_keys.push_back(std::move(fk));
+      // Edge attributes live on the owning relation
+      // (CopyOneToManyEdges(2)).
+      for (const AttributeDef& a : edge.attributes) {
+        table.columns.push_back({edge_col_prefix + ToSnakeCase(a.name),
+                                 ToRelColumnType(a.type), true});
+      }
+      if (from_functional && to_functional) {
+        // One-to-one: the foreign key is also unique.
+        tables[table_index[owner]].unique_keys.push_back(
+            tables[table_index[owner]].foreign_keys.back().columns);
+      }
+    } else {
+      // Many-to-many: junction relation
+      // (Eliminate.DeleteManyToManyEdges).  Self-referencing edges would
+      // collide on column names, so they get from_/to_ prefixes.
+      bool self_edge = edge.from == edge.to;
+      rel::TableSchema junction;
+      junction.name = ToSnakeCase(edge.name);
+      rel::ForeignKeyDef fk_from;
+      fk_from.name = "fk_" + junction.name + "_from";
+      fk_from.ref_table = ToSnakeCase(edge.from);
+      rel::ForeignKeyDef fk_to;
+      fk_to.name = "fk_" + junction.name + "_to";
+      fk_to.ref_table = ToSnakeCase(edge.to);
+      std::string from_prefix =
+          (self_edge ? "from_" : "") + ToSnakeCase(edge.from) + "_";
+      std::string to_prefix =
+          (self_edge ? "to_" : "") + ToSnakeCase(edge.to) + "_";
+      for (const auto& [col, type] : key_columns(edge.from)) {
+        std::string jcol = from_prefix + col;
+        junction.columns.push_back({jcol, type, /*nullable=*/false});
+        junction.primary_key.push_back(jcol);
+        fk_from.columns.push_back(jcol);
+        fk_from.ref_columns.push_back(col);
+      }
+      for (const auto& [col, type] : key_columns(edge.to)) {
+        std::string jcol = to_prefix + col;
+        junction.columns.push_back({jcol, type, /*nullable=*/false});
+        junction.primary_key.push_back(jcol);
+        fk_to.columns.push_back(jcol);
+        fk_to.ref_columns.push_back(col);
+      }
+      for (const AttributeDef& a : edge.attributes) {
+        junction.columns.push_back({ToSnakeCase(a.name),
+                                    ToRelColumnType(a.type),
+                                    a.optional || a.intensional});
+      }
+      junction.foreign_keys.push_back(std::move(fk_from));
+      junction.foreign_keys.push_back(std::move(fk_to));
+      tables.push_back(std::move(junction));
+    }
+  }
+  return tables;
+}
+
+std::vector<CsvFileSchema> TranslateToCsvNative(const SuperSchema& schema) {
+  std::vector<CsvFileSchema> out;
+  for (const NodeDef& node : schema.nodes()) {
+    CsvFileSchema file;
+    file.file_name = ToSnakeCase(node.name) + ".csv";
+    for (const AttributeDef& a : schema.EffectiveAttributes(node.name)) {
+      file.columns.push_back(ToSnakeCase(a.name));
+    }
+    out.push_back(std::move(file));
+  }
+  for (const EdgeDef& edge : schema.edges()) {
+    CsvFileSchema file;
+    file.file_name = ToSnakeCase(edge.name) + ".csv";
+    for (const AttributeDef& a : schema.EffectiveIdAttributes(edge.from)) {
+      file.columns.push_back("from_" + ToSnakeCase(a.name));
+    }
+    for (const AttributeDef& a : schema.EffectiveIdAttributes(edge.to)) {
+      file.columns.push_back("to_" + ToSnakeCase(a.name));
+    }
+    for (const AttributeDef& a : edge.attributes) {
+      file.columns.push_back(ToSnakeCase(a.name));
+    }
+    out.push_back(std::move(file));
+  }
+  return out;
+}
+
+}  // namespace kgm::translate

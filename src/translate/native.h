@@ -1,0 +1,66 @@
+// Native (procedural) super-schema -> schema translators.
+//
+// These implement exactly the Eliminate/Copy semantics of Section 5 of the
+// paper, but as direct C++ over the typed SuperSchema instead of MetaLog
+// programs over the dictionary graph.  The declarative path
+// (pg_mapping.h) is the faithful mechanism; the native path serves as an
+// independent oracle for equivalence testing and as the performance
+// ablation baseline (DESIGN.md, E10).
+
+#ifndef KGM_TRANSLATE_NATIVE_H_
+#define KGM_TRANSLATE_NATIVE_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "core/models.h"
+#include "core/superschema.h"
+#include "rel/relational.h"
+
+namespace kgm::translate {
+
+// Strategy for representing generalizations in the PG model (the
+// "implementation strategy" the engineer picks in Algorithm 1, line 2).
+enum class PgGeneralizationStrategy {
+  // Children accumulate the labels of all ancestors; edges and attributes
+  // are inherited downwards (Section 5.2, multi-tagging targets).
+  kTypeAccumulation,
+  // Children keep a single label and link to their parent through an IS_A
+  // relationship (targets without multi-tagging).
+  kChildParentEdges,
+};
+
+// Section 5.2: the PG model mapping.
+Result<core::PgSchema> TranslateToPgNative(
+    const core::SuperSchema& schema,
+    PgGeneralizationStrategy strategy =
+        PgGeneralizationStrategy::kTypeAccumulation);
+
+// Section 5.3: the relational model mapping.  Generalizations become one
+// relation per member with foreign keys to the parent; one-to-many edges
+// become foreign keys; many-to-many edges become junction relations.
+Result<std::vector<rel::TableSchema>> TranslateToRelationalNative(
+    const core::SuperSchema& schema);
+
+// The AttrType -> ColumnType mapping the relational translation uses.
+rel::ColumnType ToRelColumnType(core::AttrType t);
+
+// The relational key columns (snake_case name, type) of a node type: its
+// effective id attributes, or the surrogate `<name>_oid` column for
+// intensional nodes without identifiers.
+std::vector<std::pair<std::string, rel::ColumnType>> RelationalKeyColumns(
+    const core::SuperSchema& schema, const std::string& node);
+
+// A CSV "schema": one file per node type (effective attributes) and one per
+// edge type (endpoint keys plus edge attributes).
+struct CsvFileSchema {
+  std::string file_name;            // e.g. "physical_person.csv"
+  std::vector<std::string> columns;
+};
+
+std::vector<CsvFileSchema> TranslateToCsvNative(
+    const core::SuperSchema& schema);
+
+}  // namespace kgm::translate
+
+#endif  // KGM_TRANSLATE_NATIVE_H_

@@ -1,0 +1,459 @@
+#include "translate/pg_mapping.h"
+
+#include <chrono>
+#include <map>
+#include <set>
+
+#include "core/dictionary.h"
+#include "metalog/runner.h"
+
+namespace kgm::translate {
+
+namespace {
+
+// --- the Eliminate program (Section 5.2, Examples 5.1/5.2) -------------------
+//
+// schemaOID 1 = S (source super-schema), 2 = S- (intermediate).
+// The reflexive star over ([: SM_CHILD]- / [: SM_PARENT]) walks from a node
+// to itself and to each of its ancestors, so CopyAttributes and
+// DeleteGeneralizations(1)/(2) collapse into single rules.
+const char kPgEliminate[] = R"(
+% Eliminate.CopyNodes
+(n: SM_Node; schemaOID: 1, isIntensional: i)
+  -> exists x = skN(n)
+     (x: SM_Node; schemaOID: 2, isIntensional: i).
+
+% Eliminate.DeleteGeneralizations(1): the node keeps its own type...
+(n: SM_Node; schemaOID: 1)[: SM_HAS_NODE_TYPE](t: SM_Type; name: w)
+  -> exists x = skN(n), exists h = skHNT(n, t), exists l = skTy(n, t)
+     (x: SM_Node; schemaOID: 2)
+       [h: SM_HAS_NODE_TYPE; isPrimary: true]
+     (l: SM_Type; schemaOID: 2, name: w).
+
+% ... and accumulates the types of every proper ancestor.
+(n: SM_Node; schemaOID: 1)
+    ([: SM_CHILD]- / [: SM_PARENT])+
+    (a: SM_Node)[: SM_HAS_NODE_TYPE](t: SM_Type; name: w)
+  -> exists x = skN(n), exists h = skHNT(n, t), exists l = skTy(n, t)
+     (x: SM_Node; schemaOID: 2)
+       [h: SM_HAS_NODE_TYPE; isPrimary: false]
+     (l: SM_Type; schemaOID: 2, name: w).
+
+% Eliminate.CopyAttributes + DeleteGeneralizations(2): own and inherited
+% attributes (the star is reflexive: a = n covers CopyAttributes).
+(n: SM_Node; schemaOID: 1)
+    ([: SM_CHILD]- / [: SM_PARENT])*
+    (a: SM_Node)[: SM_HAS_NODE_PROPERTY]
+    (p: SM_Attribute; name: m, dataType: d, isId: ii, isOpt: io,
+     isIntensional: iz)
+  -> exists x = skN(n), exists h = skHNP(n, p), exists q = skAt(n, p)
+     (x: SM_Node; schemaOID: 2)[h: SM_HAS_NODE_PROPERTY]
+     (q: SM_Attribute; schemaOID: 2, name: m, dataType: d, isId: ii,
+      isOpt: io, isIntensional: iz).
+
+% Attribute modifiers follow their attribute.
+(n: SM_Node; schemaOID: 1)
+    ([: SM_CHILD]- / [: SM_PARENT])*
+    (a: SM_Node)[: SM_HAS_NODE_PROPERTY](p: SM_Attribute)
+    [: SM_HAS_MODIFIER]
+    (mo: SM_AttributeModifier; kind: k, enumValues: ev, rangeMin: rlo,
+     rangeMax: rhi)
+  -> exists q = skAt(n, p), exists h = skHM(n, mo), exists m2 = skMod(n, mo)
+     (q: SM_Attribute; schemaOID: 2)[h: SM_HAS_MODIFIER]
+     (m2: SM_AttributeModifier; schemaOID: 2, kind: k, enumValues: ev,
+      rangeMin: rlo, rangeMax: rhi).
+
+% Eliminate.CopyEdges + DeleteGeneralizations(3)/(4): every edge is
+% replicated between each descendant-or-self pair of its endpoints
+% (Example 5.2 generalized to both directions).
+(e: SM_Edge; schemaOID: 1, isIntensional: i, isOpt1: o1, isFun1: f1,
+   isOpt2: o2, isFun2: f2)
+    [: SM_HAS_EDGE_TYPE](t: SM_Type; name: w),
+(e)[: SM_FROM](nf: SM_Node),
+(e)[: SM_TO](nt: SM_Node),
+(ef: SM_Node; schemaOID: 1) ([: SM_CHILD]- / [: SM_PARENT])* (nf),
+(et: SM_Node; schemaOID: 1) ([: SM_CHILD]- / [: SM_PARENT])* (nt)
+  -> exists e2 = skE(e, ef, et), exists ht = skEHT(e, ef, et),
+     exists t2 = skETy(e, ef, et), exists hf = skEF(e, ef, et),
+     exists h2 = skETo(e, ef, et), exists xf = skN(ef), exists xt = skN(et)
+     (e2: SM_Edge; schemaOID: 2, isIntensional: i, isOpt1: o1, isFun1: f1,
+        isOpt2: o2, isFun2: f2)
+       [ht: SM_HAS_EDGE_TYPE](t2: SM_Type; schemaOID: 2, name: w),
+     (e2)[hf: SM_FROM](xf: SM_Node; schemaOID: 2),
+     (e2)[h2: SM_TO](xt: SM_Node; schemaOID: 2).
+
+% Edge attributes follow each replica.
+(e: SM_Edge; schemaOID: 1)
+    [: SM_HAS_EDGE_PROPERTY]
+    (p: SM_Attribute; name: m, dataType: d, isId: ii, isOpt: io,
+     isIntensional: iz),
+(e)[: SM_FROM](nf: SM_Node),
+(e)[: SM_TO](nt: SM_Node),
+(ef: SM_Node; schemaOID: 1) ([: SM_CHILD]- / [: SM_PARENT])* (nf),
+(et: SM_Node; schemaOID: 1) ([: SM_CHILD]- / [: SM_PARENT])* (nt)
+  -> exists e2 = skE(e, ef, et), exists h = skEHP(e, ef, et, p),
+     exists q = skEAt(e, ef, et, p)
+     (e2: SM_Edge; schemaOID: 2)[h: SM_HAS_EDGE_PROPERTY]
+     (q: SM_Attribute; schemaOID: 2, name: m, dataType: d, isId: ii,
+      isOpt: io, isIntensional: iz).
+)";
+
+// --- the Copy program (Section 5.2, Copy.Store*) ------------------------------
+//
+// schemaOID 2 = S-, 3 = S' (instance of the PG model of Figure 5).
+const char kPgCopy[] = R"(
+% Copy.StoreNodes
+(n: SM_Node; schemaOID: 2, isIntensional: i)
+  -> exists x = skPN(n) (x: Node; schemaOID: 3, isIntensional: i).
+
+% Copy.StoreLabels: accumulated SM_Types become Labels (shared by name).
+(n: SM_Node; schemaOID: 2)
+    [: SM_HAS_NODE_TYPE; isPrimary: pr](t: SM_Type; name: w)
+  -> exists x = skPN(n), exists l = skPL(w), exists h = skPHL(n, t)
+     (x: Node; schemaOID: 3)[h: HAS_LABEL; isPrimary: pr]
+     (l: Label; schemaOID: 3, name: w).
+
+% Copy.StoreRelationships
+(e: SM_Edge; schemaOID: 2, isIntensional: i)
+    [: SM_HAS_EDGE_TYPE](t: SM_Type; name: w),
+(e)[: SM_FROM](nf: SM_Node),
+(e)[: SM_TO](nt: SM_Node)
+  -> exists r = skPR(e), exists hf = skPRF(e), exists h2 = skPRT(e),
+     exists xf = skPN(nf), exists xt = skPN(nt)
+     (r: Relationship; schemaOID: 3, name: w, isIntensional: i),
+     (r)[hf: R_FROM](xf: Node; schemaOID: 3),
+     (r)[h2: R_TO](xt: Node; schemaOID: 3).
+
+% Copy.StoreProperties (node side)
+(n: SM_Node; schemaOID: 2)
+    [: SM_HAS_NODE_PROPERTY]
+    (a: SM_Attribute; name: m, dataType: d, isId: ii, isOpt: io,
+     isIntensional: iz)
+  -> exists x = skPN(n), exists p = skPP(a), exists h = skPHP(n, a)
+     (x: Node; schemaOID: 3)[h: HAS_PROPERTY]
+     (p: Property; schemaOID: 3, name: m, dataType: d, isId: ii, isOpt: io,
+      isIntensional: iz).
+
+% Copy.StoreProperties (relationship side)
+(e: SM_Edge; schemaOID: 2)
+    [: SM_HAS_EDGE_PROPERTY]
+    (a: SM_Attribute; name: m, dataType: d, isId: ii, isOpt: io,
+     isIntensional: iz)
+  -> exists r = skPR(e), exists p = skPP(a), exists h = skPHPE(e, a)
+     (r: Relationship; schemaOID: 3)[h: HAS_PROPERTY]
+     (p: Property; schemaOID: 3, name: m, dataType: d, isId: ii, isOpt: io,
+      isIntensional: iz).
+
+% Copy.StoreUniquePropertyModifiers
+(a: SM_Attribute; schemaOID: 2)
+    [: SM_HAS_MODIFIER](mo: SM_AttributeModifier; kind: k), k == "unique"
+  -> exists p = skPP(a), exists u = skPU(mo), exists h = skPHU(mo)
+     (p: Property; schemaOID: 3)[h: HAS_MODIFIER]
+     (u: UniquePropertyModifier; schemaOID: 3).
+)";
+
+// --- the relational Eliminate program (Section 5.3) ---------------------------
+//
+// schemaOID 1 = S, 2 = S-.  Generalizations become explicit one-to-many
+// IS_A edges between the (kept) member nodes; one-to-many edges are copied
+// (the Copy phase turns them into ForeignKeys); many-to-many edges are
+// replaced by a junction SM_Node with two mandatory functional edges to the
+// original endpoints (Eliminate.DeleteManyToManyEdges(1)-(3)).
+const char kRelEliminate[] = R"(
+% Eliminate.CopyNodes
+(n: SM_Node; schemaOID: 1, isIntensional: i)
+  -> exists x = skN(n)
+     (x: SM_Node; schemaOID: 2, isIntensional: i).
+
+% Eliminate.CopyTypes (node types; each node keeps its single type)
+(n: SM_Node; schemaOID: 1)[: SM_HAS_NODE_TYPE](t: SM_Type; name: w)
+  -> exists x = skN(n), exists h = skHNT(n, t), exists l = skTy(n, t)
+     (x: SM_Node; schemaOID: 2)
+       [h: SM_HAS_NODE_TYPE; isPrimary: true]
+     (l: SM_Type; schemaOID: 2, name: w).
+
+% Eliminate.CopyNodeAttributes
+(n: SM_Node; schemaOID: 1)
+    [: SM_HAS_NODE_PROPERTY]
+    (p: SM_Attribute; name: m, dataType: d, isId: ii, isOpt: io,
+     isIntensional: iz)
+  -> exists x = skN(n), exists h = skHNP(n, p), exists q = skAt(n, p)
+     (x: SM_Node; schemaOID: 2)[h: SM_HAS_NODE_PROPERTY]
+     (q: SM_Attribute; schemaOID: 2, name: m, dataType: d, isId: ii,
+      isOpt: io, isIntensional: iz).
+
+% Eliminate.CopyOneToManyEdges: an edge with a functional side survives
+% (the Copy phase renders it as a ForeignKey).
+(e: SM_Edge; schemaOID: 1, isIntensional: i, isOpt1: o1, isFun1: true,
+   isOpt2: o2, isFun2: f2)
+    [: SM_HAS_EDGE_TYPE](t: SM_Type; name: w),
+(e)[: SM_FROM](nf: SM_Node),
+(e)[: SM_TO](nt: SM_Node)
+  -> exists e2 = skE(e), exists ht = skEHT(e), exists t2 = skETy(e),
+     exists hf = skEF(e), exists h2 = skETo(e),
+     exists xf = skN(nf), exists xt = skN(nt)
+     (e2: SM_Edge; schemaOID: 2, isIntensional: i, isOpt1: o1,
+        isFun1: true, isOpt2: o2, isFun2: f2)
+       [ht: SM_HAS_EDGE_TYPE](t2: SM_Type; schemaOID: 2, name: w),
+     (e2)[hf: SM_FROM](xf: SM_Node; schemaOID: 2),
+     (e2)[h2: SM_TO](xt: SM_Node; schemaOID: 2).
+
+% ... symmetrically when only the target side is functional.
+(e: SM_Edge; schemaOID: 1, isIntensional: i, isOpt1: o1, isFun1: false,
+   isOpt2: o2, isFun2: true)
+    [: SM_HAS_EDGE_TYPE](t: SM_Type; name: w),
+(e)[: SM_FROM](nf: SM_Node),
+(e)[: SM_TO](nt: SM_Node)
+  -> exists e2 = skE(e), exists ht = skEHT(e), exists t2 = skETy(e),
+     exists hf = skEF(e), exists h2 = skETo(e),
+     exists xf = skN(nf), exists xt = skN(nt)
+     (e2: SM_Edge; schemaOID: 2, isIntensional: i, isOpt1: o1,
+        isFun1: false, isOpt2: o2, isFun2: true)
+       [ht: SM_HAS_EDGE_TYPE](t2: SM_Type; schemaOID: 2, name: w),
+     (e2)[hf: SM_FROM](xf: SM_Node; schemaOID: 2),
+     (e2)[h2: SM_TO](xt: SM_Node; schemaOID: 2).
+
+% Eliminate.DeleteManyToManyEdges(1): a junction SM_Node takes the edge's
+% type and attributes ...
+(e: SM_Edge; schemaOID: 1, isFun1: false, isFun2: false)
+    [: SM_HAS_EDGE_TYPE](t: SM_Type; name: w)
+  -> exists p = skJn(e), exists tp = skJnTy(e), exists h = skJnHT(e)
+     (p: SM_Node; schemaOID: 2)
+       [h: SM_HAS_NODE_TYPE; isPrimary: true]
+     (tp: SM_Type; schemaOID: 2, name: w).
+
+(e: SM_Edge; schemaOID: 1, isFun1: false, isFun2: false)
+    [: SM_HAS_EDGE_PROPERTY]
+    (a: SM_Attribute; name: m, dataType: d, isId: ii, isOpt: io,
+     isIntensional: iz)
+  -> exists p = skJn(e), exists h = skJnHP(e, a), exists q = skJnAt(e, a)
+     (p: SM_Node; schemaOID: 2)[h: SM_HAS_NODE_PROPERTY]
+     (q: SM_Attribute; schemaOID: 2, name: m, dataType: d, isId: ii,
+      isOpt: io, isIntensional: iz).
+
+% Eliminate.DeleteManyToManyEdges(2): a mandatory functional edge fk_m from
+% the junction to the target endpoint ...
+(e: SM_Edge; schemaOID: 1, isFun1: false, isFun2: false, isOpt1: po),
+(e)[: SM_TO](m: SM_Node)
+  -> exists fk = skFkTo(e), exists t2 = skFkToTy(e),
+     exists ht = skFkToHT(e), exists hf = skFkToF(e),
+     exists h2 = skFkToT(e), exists p = skJn(e), exists xm = skN(m)
+     (fk: SM_Edge; schemaOID: 2, isIntensional: false, isOpt1: po,
+        isFun1: true, isOpt2: true, isFun2: false)
+       [ht: SM_HAS_EDGE_TYPE](t2: SM_Type; schemaOID: 2, name: "FK_TO"),
+     (fk)[hf: SM_FROM](p: SM_Node; schemaOID: 2),
+     (fk)[h2: SM_TO](xm: SM_Node; schemaOID: 2).
+
+% Eliminate.DeleteManyToManyEdges(3): ... and fk_n to the source endpoint.
+(e: SM_Edge; schemaOID: 1, isFun1: false, isFun2: false, isOpt2: po),
+(e)[: SM_FROM](n: SM_Node)
+  -> exists fk = skFkFrom(e), exists t2 = skFkFromTy(e),
+     exists ht = skFkFromHT(e), exists hf = skFkFromF(e),
+     exists h2 = skFkFromT(e), exists p = skJn(e), exists xn = skN(n)
+     (fk: SM_Edge; schemaOID: 2, isIntensional: false, isOpt1: po,
+        isFun1: true, isOpt2: true, isFun2: false)
+       [ht: SM_HAS_EDGE_TYPE](t2: SM_Type; schemaOID: 2, name: "FK_FROM"),
+     (fk)[hf: SM_FROM](p: SM_Node; schemaOID: 2),
+     (fk)[h2: SM_TO](xn: SM_Node; schemaOID: 2).
+
+% Eliminate.DeleteGeneralizations (relational tactic): each member keeps
+% its relation; the child links to its parent with a mandatory functional
+% IS_A edge (rendered as a foreign key on the shared key).
+(g: SM_Generalization; schemaOID: 1),
+(g)[: SM_CHILD](c: SM_Node),
+(g)[: SM_PARENT](par: SM_Node)
+  -> exists e2 = skIsA(g, c), exists t2 = skIsATy(g, c),
+     exists ht = skIsAHT(g, c), exists hf = skIsAF(g, c),
+     exists h2 = skIsAT(g, c), exists xc = skN(c), exists xp = skN(par)
+     (e2: SM_Edge; schemaOID: 2, isIntensional: false, isOpt1: false,
+        isFun1: true, isOpt2: true, isFun2: false)
+       [ht: SM_HAS_EDGE_TYPE](t2: SM_Type; schemaOID: 2, name: "IS_A"),
+     (e2)[hf: SM_FROM](xc: SM_Node; schemaOID: 2),
+     (e2)[h2: SM_TO](xp: SM_Node; schemaOID: 2).
+)";
+
+Result<core::AttrType> ParseAttrTypeName(const std::string& name) {
+  if (name == "string") return core::AttrType::kString;
+  if (name == "int") return core::AttrType::kInt;
+  if (name == "double") return core::AttrType::kDouble;
+  if (name == "bool") return core::AttrType::kBool;
+  if (name == "date") return core::AttrType::kDate;
+  return InvalidArgument("unknown attribute type: " + name);
+}
+
+bool BoolProp(const pg::PropertyGraph& g, pg::NodeId id,
+              std::string_view key) {
+  const Value* v = g.NodeProperty(id, key);
+  return v != nullptr && v->is_bool() && v->AsBool();
+}
+
+bool BoolEdgeProp(const pg::PropertyGraph& g, pg::EdgeId id,
+                  std::string_view key) {
+  const Value* v = g.EdgeProperty(id, key);
+  return v != nullptr && v->is_bool() && v->AsBool();
+}
+
+bool InSchema(const pg::PropertyGraph& g, pg::NodeId id, int64_t oid) {
+  const Value* v = g.NodeProperty(id, "schemaOID");
+  return v != nullptr && v->is_int() && v->AsInt() == oid;
+}
+
+Result<core::PgPropertyDef> ParseProperty(const pg::PropertyGraph& g,
+                                          pg::NodeId p) {
+  core::PgPropertyDef prop;
+  const Value* name = g.NodeProperty(p, "name");
+  if (name == nullptr || !name->is_string()) {
+    return FailedPrecondition("Property without name");
+  }
+  prop.name = name->AsString();
+  const Value* type = g.NodeProperty(p, "dataType");
+  if (type != nullptr && type->is_string()) {
+    KGM_ASSIGN_OR_RETURN(prop.type, ParseAttrTypeName(type->AsString()));
+  }
+  prop.intensional = BoolProp(g, p, "isIntensional");
+  prop.required = !BoolProp(g, p, "isOpt") && !prop.intensional;
+  prop.unique = BoolProp(g, p, "isId");
+  for (pg::EdgeId e : g.OutEdges(p)) {
+    if (g.HasEdge(e) && g.edge(e).label == "HAS_MODIFIER" &&
+        g.node(g.edge(e).to).HasLabel("UniquePropertyModifier")) {
+      prop.unique = true;
+    }
+  }
+  return prop;
+}
+
+// Properties of a Node/Relationship dictionary entry, deduplicated by name.
+Result<std::vector<core::PgPropertyDef>> ParseProperties(
+    const pg::PropertyGraph& g, pg::NodeId owner) {
+  std::vector<core::PgPropertyDef> out;
+  std::set<std::string> seen;
+  for (pg::EdgeId e : g.OutEdges(owner)) {
+    if (!g.HasEdge(e) || g.edge(e).label != "HAS_PROPERTY") continue;
+    KGM_ASSIGN_OR_RETURN(core::PgPropertyDef prop,
+                         ParseProperty(g, g.edge(e).to));
+    if (seen.insert(prop.name).second) out.push_back(std::move(prop));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Mapping>& MappingRepository() {
+  static const std::vector<Mapping>& repo = *new std::vector<Mapping>{
+      {"property_graph", "type_accumulation", kPgEliminate, kPgCopy},
+      // The relational Eliminate phase of Section 5.3 (junctions for
+      // many-to-many edges, IS_A foreign-key edges for generalizations);
+      // the Copy phase into Relations/Fields/ForeignKeys runs natively
+      // (DESIGN.md §5).
+      {"relational", "relation_per_member", kRelEliminate, ""},
+  };
+  return repo;
+}
+
+const Mapping* FindMapping(const std::string& model,
+                           const std::string& strategy) {
+  for (const Mapping& m : MappingRepository()) {
+    if (m.model == model && m.strategy == strategy) return &m;
+  }
+  return nullptr;
+}
+
+Result<core::PgSchema> ParsePgSchemaFromDictionary(
+    const pg::PropertyGraph& dict, int64_t schema_oid,
+    const std::string& name) {
+  core::PgSchema out;
+  out.name = name;
+  std::map<pg::NodeId, std::string> primary_label;
+
+  for (pg::NodeId id : dict.NodesWithLabel("Node")) {
+    if (!InSchema(dict, id, schema_oid)) continue;
+    core::PgNodeType nt;
+    nt.intensional = BoolProp(dict, id, "isIntensional");
+    std::string primary;
+    std::vector<std::string> others;
+    for (pg::EdgeId e : dict.OutEdges(id)) {
+      if (!dict.HasEdge(e) || dict.edge(e).label != "HAS_LABEL") continue;
+      const Value* label_name = dict.NodeProperty(dict.edge(e).to, "name");
+      if (label_name == nullptr) {
+        return FailedPrecondition("Label without name");
+      }
+      if (BoolEdgeProp(dict, e, "isPrimary")) {
+        primary = label_name->AsString();
+      } else {
+        others.push_back(label_name->AsString());
+      }
+    }
+    if (primary.empty()) {
+      return FailedPrecondition("translated Node without a primary label");
+    }
+    nt.labels.push_back(primary);
+    for (std::string& l : others) nt.labels.push_back(std::move(l));
+    KGM_ASSIGN_OR_RETURN(nt.properties, ParseProperties(dict, id));
+    primary_label[id] = primary;
+    out.node_types.push_back(std::move(nt));
+  }
+
+  for (pg::NodeId id : dict.NodesWithLabel("Relationship")) {
+    if (!InSchema(dict, id, schema_oid)) continue;
+    core::PgRelationshipType rt;
+    const Value* rel_name = dict.NodeProperty(id, "name");
+    if (rel_name == nullptr) {
+      return FailedPrecondition("Relationship without name");
+    }
+    rt.name = rel_name->AsString();
+    rt.intensional = BoolProp(dict, id, "isIntensional");
+    for (pg::EdgeId e : dict.OutEdges(id)) {
+      if (!dict.HasEdge(e)) continue;
+      const pg::Edge& edge = dict.edge(e);
+      if (edge.label == "R_FROM") {
+        rt.from = primary_label[edge.to];
+      } else if (edge.label == "R_TO") {
+        rt.to = primary_label[edge.to];
+      }
+    }
+    if (rt.from.empty() || rt.to.empty()) {
+      return FailedPrecondition("Relationship " + rt.name +
+                                " lacks endpoints");
+    }
+    KGM_ASSIGN_OR_RETURN(rt.properties, ParseProperties(dict, id));
+    out.relationship_types.push_back(std::move(rt));
+  }
+  out.Canonicalize();
+  return out;
+}
+
+Result<core::PgSchema> TranslateToPgDeclarative(
+    const core::SuperSchema& schema, DeclarativeStats* stats) {
+  const Mapping* mapping =
+      FindMapping("property_graph", "type_accumulation");
+  KGM_CHECK(mapping != nullptr);
+
+  // Store S into a private dictionary under kSrcOid.
+  core::SuperSchema source = schema;  // copy to retag the OID
+  source.set_schema_oid(kSrcOid);
+  pg::PropertyGraph dict;
+  KGM_RETURN_IF_ERROR(core::StoreSuperSchema(source, &dict));
+
+  using Clock = std::chrono::steady_clock;
+  metalog::MetaRunOptions options;
+
+  auto t0 = Clock::now();
+  KGM_ASSIGN_OR_RETURN(metalog::MetaRunResult eliminate,
+                       metalog::RunMetaLogSource(mapping->eliminate, &dict,
+                                                 options));
+  auto t1 = Clock::now();
+  KGM_ASSIGN_OR_RETURN(metalog::MetaRunResult copy,
+                       metalog::RunMetaLogSource(mapping->copy, &dict,
+                                                 options));
+  auto t2 = Clock::now();
+  if (stats != nullptr) {
+    stats->eliminate_seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    stats->copy_seconds = std::chrono::duration<double>(t2 - t1).count();
+    stats->eliminate_rules = eliminate.vadalog_rule_count;
+    stats->copy_rules = copy.vadalog_rule_count;
+  }
+  return ParsePgSchemaFromDictionary(dict, kTargetOid, schema.name() + "_pg");
+}
+
+}  // namespace kgm::translate

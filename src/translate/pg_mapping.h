@@ -1,0 +1,76 @@
+// The declarative super-schema -> PG-model mapping (Section 5.2).
+//
+// The mapping M(PG) is a pair of MetaLog programs (Eliminate, Copy)
+// operating on the graph dictionary:
+//
+//   * Eliminate rewrites the super-schema S (schemaOID kSrcOid) into the
+//     intermediate super-schema S- (schemaOID kIntermediateOid):
+//     CopyNodes, CopyEdges, CopyAttributes and DeleteGeneralizations(1)-(4)
+//     — types accumulate on descendants, attributes and edges are
+//     inherited downwards, generalizations disappear (Examples 5.1, 5.2).
+//   * Copy downcasts S- into the PG schema S' (schemaOID kTargetOid),
+//     renaming super-constructs into the PG model constructs of Figure 5:
+//     StoreNodes, StoreLabels, StoreRelationships, StoreProperties,
+//     StoreUniquePropertyModifiers.
+//
+// Both programs run on the Vadalog engine via MTV, exactly as SSST
+// prescribes (Algorithm 1, lines 3-5).  Linker Skolem functors keep the
+// pieces produced by different rules glued to the same target OIDs.
+
+#ifndef KGM_TRANSLATE_PG_MAPPING_H_
+#define KGM_TRANSLATE_PG_MAPPING_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/models.h"
+#include "core/superschema.h"
+#include "pg/property_graph.h"
+
+namespace kgm::translate {
+
+// Fixed schema OIDs used inside the private translation dictionary.
+inline constexpr int64_t kSrcOid = 1;
+inline constexpr int64_t kIntermediateOid = 2;
+inline constexpr int64_t kTargetOid = 3;
+
+// A (model, strategy) entry of the mapping repository (Algorithm 1,
+// line 1: "select candidate mappings to M from REPO").
+struct Mapping {
+  std::string model;      // e.g. "property_graph"
+  std::string strategy;   // e.g. "type_accumulation"
+  std::string eliminate;  // MetaLog source
+  std::string copy;       // MetaLog source
+};
+
+// The built-in mapping repository.
+const std::vector<Mapping>& MappingRepository();
+
+// The mapping for (model, strategy); nullptr when absent.
+const Mapping* FindMapping(const std::string& model,
+                           const std::string& strategy);
+
+// Phase timings of one declarative translation.
+struct DeclarativeStats {
+  double eliminate_seconds = 0;
+  double copy_seconds = 0;
+  size_t eliminate_rules = 0;  // Vadalog rules after MTV
+  size_t copy_rules = 0;
+};
+
+// Runs the full declarative pipeline: store `schema` in a fresh dictionary,
+// apply Eliminate then Copy via the MetaLog runner, and parse the resulting
+// PG-construct subgraph into a PgSchema.
+Result<core::PgSchema> TranslateToPgDeclarative(
+    const core::SuperSchema& schema, DeclarativeStats* stats = nullptr);
+
+// Parses the PG-model constructs with `schema_oid` out of a dictionary
+// produced by the Copy phase.
+Result<core::PgSchema> ParsePgSchemaFromDictionary(
+    const pg::PropertyGraph& dict, int64_t schema_oid,
+    const std::string& name);
+
+}  // namespace kgm::translate
+
+#endif  // KGM_TRANSLATE_PG_MAPPING_H_

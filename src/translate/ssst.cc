@@ -1,0 +1,24 @@
+#include "translate/ssst.h"
+
+namespace kgm::translate {
+
+Result<core::PgSchema> TranslateToPropertyGraph(
+    const core::SuperSchema& schema, const SsstOptions& options) {
+  if (options.path == TranslationPath::kDeclarative &&
+      options.pg_strategy == PgGeneralizationStrategy::kTypeAccumulation) {
+    return TranslateToPgDeclarative(schema);
+  }
+  return TranslateToPgNative(schema, options.pg_strategy);
+}
+
+Result<std::vector<rel::TableSchema>> TranslateToRelational(
+    const core::SuperSchema& schema, const SsstOptions& options) {
+  (void)options;  // single strategy implemented; see header
+  return TranslateToRelationalNative(schema);
+}
+
+std::vector<CsvFileSchema> TranslateToCsv(const core::SuperSchema& schema) {
+  return TranslateToCsvNative(schema);
+}
+
+}  // namespace kgm::translate

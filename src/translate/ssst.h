@@ -1,0 +1,56 @@
+// SSST — the Super-Schema to Schema Translator (Algorithm 1).
+//
+// Given a super-schema S and a target model M, SSST selects candidate
+// mappings from the repository, applies the chosen implementation strategy,
+// compiles the MetaLog mapping to Vadalog through MTV, and produces the
+// schema S' of M (plus, for relational targets, enforceable DDL).
+//
+// Two execution paths are provided: kDeclarative runs the published
+// MetaLog Eliminate/Copy programs on the dictionary graph (the paper's
+// mechanism); kNative runs the equivalent procedural translator.  The two
+// must agree — tests and the E10 ablation bench rely on it.
+
+#ifndef KGM_TRANSLATE_SSST_H_
+#define KGM_TRANSLATE_SSST_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/models.h"
+#include "core/superschema.h"
+#include "rel/relational.h"
+#include "translate/native.h"
+#include "translate/pg_mapping.h"
+
+namespace kgm::translate {
+
+enum class TranslationPath {
+  kDeclarative,  // MetaLog mappings over the dictionary (Section 5)
+  kNative,       // procedural oracle
+};
+
+struct SsstOptions {
+  TranslationPath path = TranslationPath::kDeclarative;
+  PgGeneralizationStrategy pg_strategy =
+      PgGeneralizationStrategy::kTypeAccumulation;
+};
+
+// Super-schema -> PG model schema (Figure 6).  The declarative path only
+// implements the type-accumulation strategy; the child-parent-edges
+// strategy falls back to the native translator.
+Result<core::PgSchema> TranslateToPropertyGraph(
+    const core::SuperSchema& schema, const SsstOptions& options = {});
+
+// Super-schema -> relational schema (Figure 8).  Currently native-only;
+// the declarative relational mapping is listed as an extension in
+// DESIGN.md.
+Result<std::vector<rel::TableSchema>> TranslateToRelational(
+    const core::SuperSchema& schema, const SsstOptions& options = {});
+
+// Super-schema -> CSV files.
+std::vector<CsvFileSchema> TranslateToCsv(const core::SuperSchema& schema);
+
+}  // namespace kgm::translate
+
+#endif  // KGM_TRANSLATE_SSST_H_

@@ -1,0 +1,88 @@
+// Static analysis of Vadalog programs.
+//
+// Implements the checks the paper relies on (Section 4):
+//   * safety / range-restriction validation,
+//   * predicate dependency graph, SCC condensation and stratification
+//     (negation must not cross an SCC; aggregation inside an SCC switches the
+//     engine to monotonic semantics),
+//   * wardedness (affected positions, harmful/dangerous variables, ward
+//     existence) — the syntactic restriction that keeps reasoning decidable
+//     and PTIME,
+//   * piecewise linearity (at most one recursive body atom per rule), the
+//     fragment Non-Recursive Warded Datalog+- with transitive closure reduces
+//     to [Berger et al., PODS'19].
+
+#ifndef KGM_VADALOG_ANALYSIS_H_
+#define KGM_VADALOG_ANALYSIS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "vadalog/ast.h"
+
+namespace kgm::vadalog {
+
+// Result of stratification.
+struct Stratification {
+  // Predicate -> SCC id (dense, 0-based, topologically ordered:
+  // dependencies first).
+  std::map<std::string, int> pred_scc;
+  int num_sccs = 0;
+  // Rule index -> stratum (= SCC id of its head predicates; multi-head rules
+  // force their head predicates into one SCC).
+  std::vector<int> rule_stratum;
+  // Rule index -> true when some body predicate shares the head's SCC.
+  std::vector<bool> rule_recursive;
+
+  int SccOf(const std::string& pred) const {
+    auto it = pred_scc.find(pred);
+    return it == pred_scc.end() ? -1 : it->second;
+  }
+};
+
+// Builds the dependency graph and stratifies the program.  Fails when a
+// negated dependency or a pack() aggregate occurs inside a recursive SCC.
+Result<Stratification> Stratify(const Program& program);
+
+// Validates range restriction: head/condition/assignment/aggregate/negation
+// variables must be bound by positive literals or prior assignments;
+// existential variables must be fresh and appear only in the head.
+Status ValidateSafety(const Program& program);
+
+// A predicate position (predicate name, 0-based argument index).
+struct Position {
+  std::string pred;
+  int index;
+  bool operator<(const Position& o) const {
+    if (pred != o.pred) return pred < o.pred;
+    return index < o.index;
+  }
+  bool operator==(const Position& o) const {
+    return pred == o.pred && index == o.index;
+  }
+};
+
+struct WardednessReport {
+  bool warded = true;
+  // Affected positions: those where labeled nulls may appear.
+  std::set<Position> affected;
+  // Human-readable violations (empty when warded).
+  std::vector<std::string> violations;
+};
+
+// Checks wardedness of the program's rules.
+WardednessReport CheckWardedness(const Program& program);
+
+// True if every rule has at most one body atom mutually recursive with its
+// head (piecewise-linear Datalog+-).
+bool IsPiecewiseLinear(const Program& program);
+
+// True if the program's dependency graph has a cycle (self-loops count).
+bool IsRecursive(const Program& program);
+
+}  // namespace kgm::vadalog
+
+#endif  // KGM_VADALOG_ANALYSIS_H_

@@ -1,0 +1,471 @@
+#include "vadalog/ast.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace kgm::vadalog {
+
+std::string Term::ToString() const {
+  if (is_var()) return var;
+  return constant.ToString();
+}
+
+std::string Atom::ToString() const {
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string Literal::ToString() const {
+  return negated ? "not " + atom.ToString() : atom.ToString();
+}
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kMod:
+      return "%";
+    case BinOp::kEq:
+      return "==";
+    case BinOp::kNe:
+      return "!=";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAnd:
+      return "&&";
+    case BinOp::kOr:
+      return "||";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Const(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kConst;
+  e->constant = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Var(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kVar;
+  e->var = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr inner) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kNot;
+  e->lhs = std::move(inner);
+  return e;
+}
+
+ExprPtr Expr::Negate(ExprPtr inner) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kNeg;
+  e->lhs = std::move(inner);
+  return e;
+}
+
+ExprPtr Expr::Call(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kCall;
+  e->call_name = std::move(name);
+  e->call_args = std::move(args);
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kConst:
+      return constant.ToString();
+    case Kind::kVar:
+      return var;
+    case Kind::kBinary:
+      return "(" + lhs->ToString() + " " + BinOpName(op) + " " +
+             rhs->ToString() + ")";
+    case Kind::kNot:
+      return "!(" + lhs->ToString() + ")";
+    case Kind::kNeg:
+      return "-(" + lhs->ToString() + ")";
+    case Kind::kCall: {
+      std::string out = call_name + "(";
+      for (size_t i = 0; i < call_args.size(); ++i) {
+        if (i > 0) out += ",";
+        out += call_args[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+void Expr::CollectVars(std::vector<std::string>* out) const {
+  switch (kind) {
+    case Kind::kConst:
+      return;
+    case Kind::kVar:
+      out->push_back(var);
+      return;
+    case Kind::kBinary:
+      lhs->CollectVars(out);
+      rhs->CollectVars(out);
+      return;
+    case Kind::kNot:
+    case Kind::kNeg:
+      lhs->CollectVars(out);
+      return;
+    case Kind::kCall:
+      for (const ExprPtr& a : call_args) a->CollectVars(out);
+      return;
+  }
+}
+
+namespace {
+
+Result<Value> EvalArith(BinOp op, const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) {
+    if (op == BinOp::kAdd && a.is_string() && b.is_string()) {
+      return Value(a.AsString() + b.AsString());
+    }
+    return InvalidArgument("arithmetic on non-numeric values: " +
+                           a.ToString() + " " + BinOpName(op) + " " +
+                           b.ToString());
+  }
+  if (a.is_int() && b.is_int()) {
+    int64_t x = a.AsInt();
+    int64_t y = b.AsInt();
+    switch (op) {
+      case BinOp::kAdd:
+        return Value(x + y);
+      case BinOp::kSub:
+        return Value(x - y);
+      case BinOp::kMul:
+        return Value(x * y);
+      case BinOp::kDiv:
+        if (y == 0) return InvalidArgument("integer division by zero");
+        return Value(x / y);
+      case BinOp::kMod:
+        if (y == 0) return InvalidArgument("integer modulo by zero");
+        return Value(x % y);
+      default:
+        break;
+    }
+  }
+  double x = a.AsDouble();
+  double y = b.AsDouble();
+  switch (op) {
+    case BinOp::kAdd:
+      return Value(x + y);
+    case BinOp::kSub:
+      return Value(x - y);
+    case BinOp::kMul:
+      return Value(x * y);
+    case BinOp::kDiv:
+      return Value(x / y);
+    case BinOp::kMod:
+      return Value(std::fmod(x, y));
+    default:
+      break;
+  }
+  return Internal("unhandled arithmetic operator");
+}
+
+Result<Value> EvalCompare(BinOp op, const Value& a, const Value& b) {
+  // Numeric comparisons coerce int/double; everything else compares by the
+  // Value total order within the same kind.
+  int cmp;
+  if (a.is_numeric() && b.is_numeric()) {
+    double x = a.AsDouble();
+    double y = b.AsDouble();
+    cmp = (x < y) ? -1 : (x > y) ? 1 : 0;
+  } else if (a.kind() == b.kind()) {
+    cmp = (a < b) ? -1 : (b < a) ? 1 : 0;
+  } else {
+    // Cross-kind (including nulls): only (in)equality is meaningful;
+    // ordering comparisons are false, mirroring SQL's null semantics, so
+    // that a missing property silently fails a threshold condition instead
+    // of aborting the reasoning task.
+    if (op == BinOp::kEq) return Value(false);
+    if (op == BinOp::kNe) return Value(true);
+    return Value(false);
+  }
+  switch (op) {
+    case BinOp::kEq:
+      return Value(cmp == 0);
+    case BinOp::kNe:
+      return Value(cmp != 0);
+    case BinOp::kLt:
+      return Value(cmp < 0);
+    case BinOp::kLe:
+      return Value(cmp <= 0);
+    case BinOp::kGt:
+      return Value(cmp > 0);
+    case BinOp::kGe:
+      return Value(cmp >= 0);
+    default:
+      break;
+  }
+  return Internal("unhandled comparison operator");
+}
+
+Result<Value> EvalCall(const Expr& e, const VarLookup& env) {
+  std::vector<Value> args;
+  for (const ExprPtr& a : e.call_args) {
+    KGM_ASSIGN_OR_RETURN(Value v, EvalExpr(*a, env));
+    args.push_back(std::move(v));
+  }
+  const std::string& f = e.call_name;
+  auto want = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return InvalidArgument("function " + f + " expects " +
+                             std::to_string(n) + " arguments");
+    }
+    return OkStatus();
+  };
+  if (f == "abs") {
+    KGM_RETURN_IF_ERROR(want(1));
+    if (args[0].is_int()) {
+      int64_t v = args[0].AsInt();
+      return Value(v < 0 ? -v : v);
+    }
+    if (args[0].is_double()) return Value(std::fabs(args[0].AsDouble()));
+    return InvalidArgument("abs of non-numeric value");
+  }
+  if (f == "min" || f == "max") {
+    KGM_RETURN_IF_ERROR(want(2));
+    if (!args[0].is_numeric() || !args[1].is_numeric()) {
+      return InvalidArgument(f + " of non-numeric values");
+    }
+    bool first = (args[0].AsDouble() < args[1].AsDouble()) == (f == "min");
+    return first ? args[0] : args[1];
+  }
+  if (f == "concat") {
+    std::string out;
+    for (const Value& v : args) {
+      out += v.is_string() ? v.AsString() : v.ToString();
+    }
+    return Value(out);
+  }
+  if (f == "substr") {
+    KGM_RETURN_IF_ERROR(want(3));
+    if (!args[0].is_string() || !args[1].is_int() || !args[2].is_int()) {
+      return InvalidArgument("substr(string, int, int)");
+    }
+    const std::string& s = args[0].AsString();
+    int64_t pos = args[1].AsInt();
+    int64_t len = args[2].AsInt();
+    if (pos < 0 || pos > static_cast<int64_t>(s.size()) || len < 0) {
+      return OutOfRange("substr out of range");
+    }
+    return Value(s.substr(pos, len));
+  }
+  if (f == "strlen") {
+    KGM_RETURN_IF_ERROR(want(1));
+    if (!args[0].is_string()) return InvalidArgument("strlen(string)");
+    return Value(static_cast<int64_t>(args[0].AsString().size()));
+  }
+  if (f == "to_string") {
+    KGM_RETURN_IF_ERROR(want(1));
+    if (args[0].is_string()) return args[0];
+    return Value(args[0].ToString());
+  }
+  if (f == "to_int") {
+    KGM_RETURN_IF_ERROR(want(1));
+    if (args[0].is_int()) return args[0];
+    if (args[0].is_double())
+      return Value(static_cast<int64_t>(args[0].AsDouble()));
+    if (args[0].is_string()) {
+      return Value(static_cast<int64_t>(std::stoll(args[0].AsString())));
+    }
+    return InvalidArgument("to_int of " + args[0].ToString());
+  }
+  if (f == "to_double") {
+    KGM_RETURN_IF_ERROR(want(1));
+    if (args[0].is_numeric()) return Value(args[0].AsDouble());
+    if (args[0].is_string()) return Value(std::stod(args[0].AsString()));
+    return InvalidArgument("to_double of " + args[0].ToString());
+  }
+  if (f == "mod") {
+    KGM_RETURN_IF_ERROR(want(2));
+    return EvalArith(BinOp::kMod, args[0], args[1]);
+  }
+  if (f == "is_null") {
+    KGM_RETURN_IF_ERROR(want(1));
+    return Value(args[0].is_null());
+  }
+  if (f == "get") {
+    // get(record, "field"): the field's value, or null when missing.  Used
+    // by the MTV compiler to expand the `*p` record spread of Example 6.2.
+    KGM_RETURN_IF_ERROR(want(2));
+    if (!args[0].is_record() || !args[1].is_string()) {
+      return InvalidArgument("get(record, string)");
+    }
+    for (const auto& [name, value] : *args[0].AsRecord()) {
+      if (name == args[1].AsString()) return value;
+    }
+    return Value();
+  }
+  return InvalidArgument("unknown function: " + f);
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& e, const VarLookup& env) {
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      return e.constant;
+    case Expr::Kind::kVar: {
+      const Value* v = env(e.var);
+      if (v == nullptr) return InvalidArgument("unbound variable: " + e.var);
+      return *v;
+    }
+    case Expr::Kind::kNot: {
+      KGM_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.lhs, env));
+      if (!v.is_bool()) return InvalidArgument("! of non-boolean");
+      return Value(!v.AsBool());
+    }
+    case Expr::Kind::kNeg: {
+      KGM_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.lhs, env));
+      if (v.is_int()) return Value(-v.AsInt());
+      if (v.is_double()) return Value(-v.AsDouble());
+      return InvalidArgument("unary - of non-numeric");
+    }
+    case Expr::Kind::kBinary: {
+      if (e.op == BinOp::kAnd || e.op == BinOp::kOr) {
+        KGM_ASSIGN_OR_RETURN(Value l, EvalExpr(*e.lhs, env));
+        if (!l.is_bool()) return InvalidArgument("&&/|| of non-boolean");
+        if (e.op == BinOp::kAnd && !l.AsBool()) return Value(false);
+        if (e.op == BinOp::kOr && l.AsBool()) return Value(true);
+        KGM_ASSIGN_OR_RETURN(Value r, EvalExpr(*e.rhs, env));
+        if (!r.is_bool()) return InvalidArgument("&&/|| of non-boolean");
+        return r;
+      }
+      KGM_ASSIGN_OR_RETURN(Value l, EvalExpr(*e.lhs, env));
+      KGM_ASSIGN_OR_RETURN(Value r, EvalExpr(*e.rhs, env));
+      switch (e.op) {
+        case BinOp::kAdd:
+        case BinOp::kSub:
+        case BinOp::kMul:
+        case BinOp::kDiv:
+        case BinOp::kMod:
+          return EvalArith(e.op, l, r);
+        default:
+          return EvalCompare(e.op, l, r);
+      }
+    }
+    case Expr::Kind::kCall:
+      return EvalCall(e, env);
+  }
+  return Internal("unhandled expression kind");
+}
+
+Result<Value> EvalExpr(const Expr& e, const Bindings& env) {
+  return EvalExpr(e, [&env](const std::string& name) -> const Value* {
+    auto it = env.find(name);
+    return it == env.end() ? nullptr : &it->second;
+  });
+}
+
+std::string Assignment::ToString() const {
+  return var + " = " + expr->ToString();
+}
+
+std::string Condition::ToString() const { return expr->ToString(); }
+
+std::string Aggregate::ToString() const {
+  std::string out = result_var + " = " + func + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += args[i]->ToString();
+  }
+  if (!contributors.empty()) {
+    out += ", <";
+    for (size_t i = 0; i < contributors.size(); ++i) {
+      if (i > 0) out += ",";
+      out += contributors[i];
+    }
+    out += ">";
+  }
+  out += ")";
+  return out;
+}
+
+std::string ExistentialSpec::ToString() const {
+  std::string out = "exists " + var;
+  if (!skolem_functor.empty()) {
+    out += " = " + skolem_functor + "(";
+    for (size_t i = 0; i < skolem_args.size(); ++i) {
+      if (i > 0) out += ",";
+      out += skolem_args[i];
+    }
+    out += ")";
+  }
+  return out;
+}
+
+std::string Rule::ToString() const {
+  std::vector<std::string> parts;
+  for (const Literal& l : body) parts.push_back(l.ToString());
+  for (const Assignment& a : assignments) parts.push_back(a.ToString());
+  for (const Aggregate& a : aggregates) parts.push_back(a.ToString());
+  for (const Condition& c : conditions) parts.push_back(c.ToString());
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += parts[i];
+  }
+  out += " -> ";
+  for (const ExistentialSpec& e : existentials) out += e.ToString() + " ";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += head[i].ToString();
+  }
+  out += ".";
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::ostringstream os;
+  for (const std::string& p : inputs) os << "@input(\"" << p << "\").\n";
+  for (const FactDecl& f : facts) {
+    os << "@fact " << f.predicate << "(";
+    for (size_t i = 0; i < f.values.size(); ++i) {
+      if (i > 0) os << ",";
+      os << f.values[i].ToString();
+    }
+    os << ").\n";
+  }
+  for (const Rule& r : rules) os << r.ToString() << "\n";
+  for (const std::string& p : outputs) os << "@output(\"" << p << "\").\n";
+  return os.str();
+}
+
+}  // namespace kgm::vadalog

@@ -1,0 +1,190 @@
+// Abstract syntax of the Vadalog dialect.
+//
+// A program is a set of existential rules (Section 4 of the paper,
+// "Relational Foundations and Vadalog"):
+//
+//     body -> exists z1 [= sk(x,y)] ... head
+//
+// where the body is a conjunction of positive/negated relational atoms,
+// conditions, assignments and aggregates, and the head is a conjunction of
+// atoms that may use existentially quantified variables, optionally bound to
+// linker Skolem functors.  Both the paper's arrow form (`body -> head.`) and
+// classic Datalog form (`head :- body.`) are accepted by the parser.
+
+#ifndef KGM_VADALOG_AST_H_
+#define KGM_VADALOG_AST_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/value.h"
+
+namespace kgm::vadalog {
+
+// --- terms and atoms ---------------------------------------------------------
+
+struct Term {
+  enum class Kind { kVar, kConst };
+  Kind kind = Kind::kConst;
+  std::string var;  // variable name ("_" denotes an anonymous variable)
+  Value constant;
+
+  static Term Var(std::string name) {
+    Term t;
+    t.kind = Kind::kVar;
+    t.var = std::move(name);
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.kind = Kind::kConst;
+    t.constant = std::move(v);
+    return t;
+  }
+  bool is_var() const { return kind == Kind::kVar; }
+  bool is_anonymous() const { return is_var() && var == "_"; }
+  std::string ToString() const;
+};
+
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+  std::string ToString() const;
+};
+
+struct Literal {
+  Atom atom;
+  bool negated = false;
+  std::string ToString() const;
+};
+
+// --- expressions -------------------------------------------------------------
+
+enum class BinOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* BinOpName(BinOp op);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind { kConst, kVar, kBinary, kNot, kNeg, kCall };
+  Kind kind = Kind::kConst;
+
+  Value constant;                // kConst
+  std::string var;               // kVar
+  BinOp op = BinOp::kAdd;        // kBinary
+  ExprPtr lhs, rhs;              // kBinary; kNot/kNeg use lhs
+  std::string call_name;         // kCall (scalar builtin)
+  std::vector<ExprPtr> call_args;
+
+  static ExprPtr Const(Value v);
+  static ExprPtr Var(std::string name);
+  static ExprPtr Binary(BinOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Not(ExprPtr e);
+  static ExprPtr Negate(ExprPtr e);
+  static ExprPtr Call(std::string name, std::vector<ExprPtr> args);
+
+  std::string ToString() const;
+  // Appends the variables referenced by this expression to `out`.
+  void CollectVars(std::vector<std::string>* out) const;
+};
+
+// Environment for expression evaluation.
+using Bindings = std::unordered_map<std::string, Value>;
+
+// Variable resolution callback: returns nullptr for unbound names.
+using VarLookup = std::function<const Value*(const std::string&)>;
+
+// Evaluates `e`, resolving variables through `lookup`; unbound variables and
+// type errors are reported through the Result.  Scalar builtins: abs, min,
+// max, concat, substr, to_string, to_int, to_double, strlen, mod.
+Result<Value> EvalExpr(const Expr& e, const VarLookup& lookup);
+
+// Convenience overload resolving variables from a map.
+Result<Value> EvalExpr(const Expr& e, const Bindings& env);
+
+// --- rule components ---------------------------------------------------------
+
+// `var = expr` where expr is a scalar expression.
+struct Assignment {
+  std::string var;
+  ExprPtr expr;
+  std::string ToString() const;
+};
+
+// A Boolean body condition.
+struct Condition {
+  ExprPtr expr;
+  std::string ToString() const;
+};
+
+// `result = func(arg, <contributors>)`.  Functions: sum, prod, count, min,
+// max (auto-monotonic when the rule is recursive), their explicitly
+// monotonic forms msum/mprod/mcount/mmin/mmax, and pack(name, value) which
+// builds a record per group.
+struct Aggregate {
+  std::string result_var;
+  std::string func;
+  std::vector<ExprPtr> args;
+  std::vector<std::string> contributors;
+  std::string ToString() const;
+};
+
+// An existentially quantified head variable, optionally with a linker
+// Skolem functor (`exists k = skT(t)`; Section 4).
+struct ExistentialSpec {
+  std::string var;
+  std::string skolem_functor;             // empty: plain existential
+  std::vector<std::string> skolem_args;   // universally quantified variables
+  std::string ToString() const;
+};
+
+struct Rule {
+  std::vector<Literal> body;
+  std::vector<Assignment> assignments;
+  std::vector<Condition> conditions;
+  std::vector<Aggregate> aggregates;
+  std::vector<ExistentialSpec> existentials;
+  std::vector<Atom> head;
+  std::string label;  // diagnostics; optional
+
+  std::string ToString() const;
+};
+
+// A ground fact asserted in the program text via `@fact`.
+struct FactDecl {
+  std::string predicate;
+  std::vector<Value> values;
+};
+
+struct Program {
+  std::vector<Rule> rules;
+  std::vector<FactDecl> facts;
+  std::vector<std::string> inputs;   // @input("pred")
+  std::vector<std::string> outputs;  // @output("pred")
+
+  std::string ToString() const;
+};
+
+}  // namespace kgm::vadalog
+
+#endif  // KGM_VADALOG_AST_H_

@@ -1,0 +1,135 @@
+#include "vadalog/database.h"
+
+#include <sstream>
+
+#include "base/check.h"
+
+namespace kgm::vadalog {
+
+const std::vector<uint32_t> Relation::kEmptyRows;
+
+size_t HashTuple(const Tuple& t) {
+  size_t h = 0x8f3a7b12;
+  for (const Value& v : t) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+size_t HashTupleMasked(const Tuple& t, uint64_t mask) {
+  size_t h = 0x51ab03c7;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (mask & (1ULL << i)) h = HashCombine(h, t[i].Hash());
+  }
+  return h;
+}
+
+size_t Relation::FindRow(const Tuple& t) const {
+  auto it = dedup_.find(HashTuple(t));
+  if (it == dedup_.end()) return static_cast<size_t>(-1);
+  for (uint32_t row : it->second.rows) {
+    if (tuples_[row] == t) return row;
+  }
+  return static_cast<size_t>(-1);
+}
+
+bool Relation::Insert(Tuple t) {
+  KGM_CHECK(t.size() == arity_);
+  size_t h = HashTuple(t);
+  Bucket& bucket = dedup_[h];
+  for (uint32_t row : bucket.rows) {
+    if (tuples_[row] == t) return false;
+  }
+  uint32_t row = static_cast<uint32_t>(tuples_.size());
+  bucket.rows.push_back(row);
+  // Maintain already-built secondary indexes.
+  for (auto& [mask, index] : indexes_) {
+    index[HashTupleMasked(t, mask)].rows.push_back(row);
+  }
+  tuples_.push_back(std::move(t));
+  return true;
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  return FindRow(t) != static_cast<size_t>(-1);
+}
+
+const std::vector<uint32_t>& Relation::Lookup(uint64_t mask,
+                                              const Tuple& probe) {
+  KGM_CHECK(mask != 0);
+  auto it = indexes_.find(mask);
+  if (it == indexes_.end()) {
+    HashIndex index;
+    for (size_t row = 0; row < tuples_.size(); ++row) {
+      index[HashTupleMasked(tuples_[row], mask)].rows.push_back(
+          static_cast<uint32_t>(row));
+    }
+    it = indexes_.emplace(mask, std::move(index)).first;
+  }
+  auto bucket = it->second.find(HashTupleMasked(probe, mask));
+  if (bucket == it->second.end()) return kEmptyRows;
+  return bucket->second.rows;
+}
+
+bool Relation::MatchesMasked(size_t i, uint64_t mask,
+                             const Tuple& probe) const {
+  const Tuple& t = tuples_[i];
+  for (size_t p = 0; p < t.size(); ++p) {
+    if ((mask & (1ULL << p)) && !(t[p] == probe[p])) return false;
+  }
+  return true;
+}
+
+Relation& FactDb::GetOrCreate(const std::string& pred, size_t arity) {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) {
+    it = relations_.emplace(pred, Relation(arity)).first;
+  }
+  KGM_CHECK_MSG(it->second.arity() == arity,
+                ("arity conflict for predicate " + pred).c_str());
+  return it->second;
+}
+
+const Relation* FactDb::Get(const std::string& pred) const {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) return nullptr;
+  return &it->second;
+}
+
+Relation* FactDb::GetMutable(const std::string& pred) {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) return nullptr;
+  return &it->second;
+}
+
+bool FactDb::Add(const std::string& pred, Tuple t) {
+  return GetOrCreate(pred, t.size()).Insert(std::move(t));
+}
+
+std::vector<std::string> FactDb::Predicates() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [pred, rel] : relations_) out.push_back(pred);
+  return out;
+}
+
+size_t FactDb::TotalFacts() const {
+  size_t n = 0;
+  for (const auto& [pred, rel] : relations_) n += rel.size();
+  return n;
+}
+
+std::string FactDb::DebugString() const {
+  std::ostringstream os;
+  for (const auto& [pred, rel] : relations_) {
+    for (const Tuple& t : rel.tuples()) {
+      os << pred << "(";
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) os << ",";
+        os << t[i].ToString();
+      }
+      os << ")\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace kgm::vadalog

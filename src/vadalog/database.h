@@ -1,0 +1,95 @@
+// Fact storage for the Vadalog engine.
+//
+// A FactDb maps predicate names to relations; a Relation is a deduplicated
+// append-only tuple store with lazily built hash indexes over arbitrary
+// position masks (used by the join in the semi-naive evaluator).
+
+#ifndef KGM_VADALOG_DATABASE_H_
+#define KGM_VADALOG_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/value.h"
+
+namespace kgm::vadalog {
+
+using Tuple = std::vector<Value>;
+
+size_t HashTuple(const Tuple& t);
+
+// Hashes only positions selected by `mask` (bit i set = position i).
+size_t HashTupleMasked(const Tuple& t, uint64_t mask);
+
+class Relation {
+ public:
+  explicit Relation(size_t arity) : arity_(arity) {}
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+
+  // Inserts (deduplicated); returns true if the tuple is new.
+  bool Insert(Tuple t);
+
+  bool Contains(const Tuple& t) const;
+
+  // Row indices whose masked positions equal the corresponding positions of
+  // `probe`.  Builds (and afterwards maintains) a hash index for `mask` on
+  // first use.  mask must have at least one bit set and fit the arity.
+  const std::vector<uint32_t>& Lookup(uint64_t mask, const Tuple& probe);
+
+  // True if row `i`'s masked positions equal those of `probe`.
+  bool MatchesMasked(size_t i, uint64_t mask, const Tuple& probe) const;
+
+ private:
+  struct Bucket {
+    std::vector<uint32_t> rows;
+  };
+  using HashIndex = std::unordered_map<size_t, Bucket>;
+
+  size_t FindRow(const Tuple& t) const;
+
+  size_t arity_;
+  std::vector<Tuple> tuples_;
+  HashIndex dedup_;                          // full-tuple hash -> rows
+  std::map<uint64_t, HashIndex> indexes_;    // mask -> index
+  static const std::vector<uint32_t> kEmptyRows;
+};
+
+class FactDb {
+ public:
+  FactDb() = default;
+  FactDb(FactDb&&) = default;
+  FactDb& operator=(FactDb&&) = default;
+  FactDb(const FactDb&) = delete;
+  FactDb& operator=(const FactDb&) = delete;
+
+  // The relation for `pred`, created with `arity` if absent.  Aborts on an
+  // arity conflict (callers validate programs first).
+  Relation& GetOrCreate(const std::string& pred, size_t arity);
+
+  // nullptr if the predicate has no facts.
+  const Relation* Get(const std::string& pred) const;
+  Relation* GetMutable(const std::string& pred);
+
+  // Convenience: insert one fact.
+  bool Add(const std::string& pred, Tuple t);
+
+  std::vector<std::string> Predicates() const;
+  size_t TotalFacts() const;
+
+  std::string DebugString() const;
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace kgm::vadalog
+
+#endif  // KGM_VADALOG_DATABASE_H_

@@ -1,0 +1,995 @@
+#include "vadalog/engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/check.h"
+#include "vadalog/parser.h"
+
+namespace kgm::vadalog {
+
+namespace {
+
+struct TupleHashFn {
+  size_t operator()(const Tuple& t) const { return HashTuple(t); }
+};
+
+// --- compiled rule representation -------------------------------------------
+
+struct ArgSlot {
+  bool is_const = false;
+  Value constant;
+  int slot = -1;  // -1 for anonymous variables
+};
+
+struct CompiledLiteral {
+  std::string pred;
+  std::vector<ArgSlot> args;
+  bool recursive = false;  // predicate in the rule's own SCC
+};
+
+struct CompiledAgg {
+  std::string base_func;  // sum / prod / count / min / max / pack
+  bool monotonic = false;
+  std::vector<ExprPtr> args;
+  std::vector<int> contributor_slots;
+  int result_slot = -1;
+};
+
+struct ExistSlot {
+  int slot = -1;
+  std::string functor;          // never empty after compilation
+  std::vector<int> arg_slots;   // Skolem arguments
+};
+
+// Per-group aggregation state.  Persistent across fixpoint iterations for
+// monotonic aggregates, per-evaluation for stratified ones.
+struct GroupState {
+  std::vector<Value> acc;                  // one accumulator per aggregate
+  std::vector<bool> has_value;             // accumulator initialized?
+  std::vector<Record> packed;              // pack() accumulators
+  std::vector<std::unordered_set<Tuple, TupleHashFn>> seen;  // contributions
+};
+
+struct CompiledRule {
+  const Rule* rule = nullptr;
+  int index = 0;
+  int stratum = 0;
+  bool recursive = false;
+
+  std::vector<std::string> slot_names;
+  std::unordered_map<std::string, int> varmap;
+
+  std::vector<CompiledLiteral> positives;
+  std::vector<CompiledLiteral> negatives;
+  // Assignments evaluated before aggregation, and those that depend
+  // (transitively) on aggregate results, evaluated after it.
+  std::vector<std::pair<int, ExprPtr>> assignments;       // pre-aggregation
+  std::vector<std::pair<int, ExprPtr>> post_assignments;  // post-aggregation
+  std::vector<ExprPtr> pre_conditions;
+  std::vector<ExprPtr> post_conditions;
+  std::vector<CompiledAgg> aggregates;
+  std::vector<int> group_slots;
+  std::vector<ExistSlot> existentials;
+  std::vector<CompiledLiteral> head;  // reuse ArgSlot encoding
+
+  // Monotonic aggregation state (persists across the whole run).
+  std::unordered_map<Tuple, GroupState, TupleHashFn> mono_groups;
+};
+
+Result<Value> FoldNumeric(const std::string& func, const Value& acc,
+                          const Value& v) {
+  if (!v.is_numeric() || !acc.is_numeric()) {
+    return InvalidArgument("aggregate " + func + " over non-numeric value " +
+                           v.ToString());
+  }
+  if (acc.is_int() && v.is_int()) {
+    int64_t a = acc.AsInt();
+    int64_t b = v.AsInt();
+    if (func == "sum") return Value(a + b);
+    if (func == "prod") return Value(a * b);
+    if (func == "min") return Value(std::min(a, b));
+    if (func == "max") return Value(std::max(a, b));
+  }
+  double a = acc.AsDouble();
+  double b = v.AsDouble();
+  if (func == "sum") return Value(a + b);
+  if (func == "prod") return Value(a * b);
+  if (func == "min") return Value(std::min(a, b));
+  if (func == "max") return Value(std::max(a, b));
+  return Internal("unknown numeric aggregate " + func);
+}
+
+}  // namespace
+
+// --- engine implementation ---------------------------------------------------
+
+struct Engine::Impl {
+  Engine* engine;
+  FactDb* db = nullptr;
+  const EngineOptions& options;
+  EngineStats* stats;
+
+  std::vector<CompiledRule> compiled;
+  std::map<std::string, size_t> arity;
+  NullFactory nulls;
+
+  // Per-stratum evaluation state.
+  const std::set<std::string>* recursive_preds = nullptr;
+  std::map<std::string, Relation>* next_delta = nullptr;
+  std::map<std::string, Relation>* cur_delta = nullptr;
+
+  // Per-rule-evaluation binding state.
+  std::vector<Value> slots;
+  std::vector<char> bound;
+
+  // Stratified (non-monotonic) aggregation state of the current evaluation.
+  std::unordered_map<Tuple, GroupState, TupleHashFn> eval_groups;
+  std::vector<Tuple> eval_group_order;
+
+  explicit Impl(Engine* e) : engine(e), options(e->options_),
+                             stats(&e->stats_) {}
+
+  Status CompileAll();
+  Status CompileRule(const Rule& rule, int index);
+  Status Run(FactDb* target);
+  Status EvalStratum(int stratum, const std::vector<CompiledRule*>& rules);
+  Status EvalRule(CompiledRule& cr, int delta_literal);
+  Status Join(CompiledRule& cr, size_t literal_index, int delta_literal);
+  Status FinishBinding(CompiledRule& cr);
+  Status ProcessAggregates(CompiledRule& cr);
+  Status EmitWithAggregates(CompiledRule& cr, const Tuple& group_key,
+                            GroupState& state);
+  Status FinalizeStratifiedAggregates(CompiledRule& cr);
+  Status EmitHeadWithPostConditions(CompiledRule& cr);
+  Status EmitHead(CompiledRule& cr);
+  bool HeadSatisfied(CompiledRule& cr);
+  Status InsertFact(const std::string& pred, Tuple t);
+
+  Result<Value> Eval(const ExprPtr& e) {
+    return EvalExpr(*e, [this](const std::string& name) -> const Value* {
+      // The varmap of the rule being evaluated is tracked via current_rule_.
+      auto it = current_rule_->varmap.find(name);
+      if (it == current_rule_->varmap.end()) return nullptr;
+      if (!bound[it->second]) return nullptr;
+      return &slots[it->second];
+    });
+  }
+
+  CompiledRule* current_rule_ = nullptr;
+};
+
+Status Engine::Impl::CompileAll() {
+  const Program& program = engine->program_;
+  // Predicate arities.
+  auto note_arity = [this](const std::string& pred,
+                           size_t n) -> Status {
+    auto [it, inserted] = arity.emplace(pred, n);
+    if (!inserted && it->second != n) {
+      return FailedPrecondition("predicate " + pred +
+                                " used with conflicting arities " +
+                                std::to_string(it->second) + " and " +
+                                std::to_string(n));
+    }
+    return OkStatus();
+  };
+  for (const Rule& r : program.rules) {
+    for (const Literal& l : r.body) {
+      KGM_RETURN_IF_ERROR(note_arity(l.atom.predicate, l.atom.args.size()));
+    }
+    for (const Atom& h : r.head) {
+      KGM_RETURN_IF_ERROR(note_arity(h.predicate, h.args.size()));
+    }
+  }
+  for (const FactDecl& f : program.facts) {
+    KGM_RETURN_IF_ERROR(note_arity(f.predicate, f.values.size()));
+  }
+  for (size_t i = 0; i < program.rules.size(); ++i) {
+    KGM_RETURN_IF_ERROR(CompileRule(program.rules[i], static_cast<int>(i)));
+  }
+  return OkStatus();
+}
+
+Status Engine::Impl::CompileRule(const Rule& rule, int index) {
+  const Stratification& strat = engine->strat_;
+  CompiledRule cr;
+  cr.rule = &rule;
+  cr.index = index;
+  cr.stratum = strat.rule_stratum[index];
+  cr.recursive = strat.rule_recursive[index];
+  std::string where = " (rule " + (rule.label.empty()
+                                       ? std::to_string(index + 1)
+                                       : rule.label) + ")";
+
+  auto slot_of = [&cr](const std::string& name) -> int {
+    auto it = cr.varmap.find(name);
+    if (it != cr.varmap.end()) return it->second;
+    int s = static_cast<int>(cr.slot_names.size());
+    cr.slot_names.push_back(name);
+    cr.varmap.emplace(name, s);
+    return s;
+  };
+  auto compile_atom = [&](const Atom& atom,
+                          bool recursive) -> CompiledLiteral {
+    CompiledLiteral cl;
+    cl.pred = atom.predicate;
+    cl.recursive = recursive;
+    for (const Term& t : atom.args) {
+      ArgSlot a;
+      if (t.is_var()) {
+        a.is_const = false;
+        a.slot = t.is_anonymous() ? -1 : slot_of(t.var);
+      } else {
+        a.is_const = true;
+        a.constant = t.constant;
+      }
+      cl.args.push_back(std::move(a));
+    }
+    return cl;
+  };
+
+  for (const Literal& l : rule.body) {
+    bool rec = strat.SccOf(l.atom.predicate) == cr.stratum;
+    CompiledLiteral cl = compile_atom(l.atom, rec);
+    if (l.negated) {
+      cr.negatives.push_back(std::move(cl));
+    } else {
+      cr.positives.push_back(std::move(cl));
+    }
+  }
+  std::unordered_set<std::string> result_names;
+  for (const Aggregate& a : rule.aggregates) {
+    result_names.insert(a.result_var);
+  }
+  std::unordered_set<std::string> post_targets;
+  for (const Assignment& a : rule.assignments) {
+    std::vector<std::string> vars;
+    a.expr->CollectVars(&vars);
+    bool post = false;
+    for (const std::string& v : vars) {
+      if (result_names.count(v) > 0 || post_targets.count(v) > 0) {
+        post = true;
+      }
+    }
+    if (post) {
+      post_targets.insert(a.var);
+      cr.post_assignments.emplace_back(slot_of(a.var), a.expr);
+    } else {
+      cr.assignments.emplace_back(slot_of(a.var), a.expr);
+    }
+  }
+
+  std::unordered_set<std::string> result_vars;
+  for (const Aggregate& a : rule.aggregates) {
+    CompiledAgg ca;
+    bool explicit_mono = IsMonotonicAggregateName(a.func);
+    ca.base_func = explicit_mono ? a.func.substr(1) : a.func;
+    ca.monotonic = explicit_mono || cr.recursive;
+    ca.args = a.args;
+    size_t want_args = ca.base_func == "pack" ? 2 :
+                       ca.base_func == "count" ? 0 : 1;
+    if (ca.base_func == "count" && a.args.size() > 1) {
+      return FailedPrecondition("count takes at most one argument" + where);
+    }
+    if (ca.base_func != "count" && a.args.size() != want_args) {
+      return FailedPrecondition("aggregate " + a.func + " takes " +
+                                std::to_string(want_args) + " argument(s)" +
+                                where);
+    }
+    for (const std::string& c : a.contributors) {
+      ca.contributor_slots.push_back(slot_of(c));
+    }
+    ca.result_slot = slot_of(a.result_var);
+    result_vars.insert(a.result_var);
+    cr.aggregates.push_back(std::move(ca));
+  }
+
+  std::unordered_set<std::string> existential_vars;
+  for (const ExistentialSpec& e : rule.existentials) {
+    ExistSlot es;
+    es.slot = slot_of(e.var);
+    existential_vars.insert(e.var);
+    if (e.skolem_functor.empty()) {
+      es.functor = "_sk_r" + std::to_string(index) + "_" + e.var;
+      // Frontier Skolemization: arguments are the universal variables of the
+      // head, filled in below once the head is compiled.
+    } else {
+      es.functor = e.skolem_functor;
+      for (const std::string& a : e.skolem_args) {
+        es.arg_slots.push_back(slot_of(a));
+      }
+    }
+    cr.existentials.push_back(std::move(es));
+  }
+
+  for (const Atom& h : rule.head) {
+    cr.head.push_back(compile_atom(h, false));
+  }
+
+  // Frontier arguments for auto-Skolemized existentials: the universal
+  // variables appearing in the head, in slot order — plus the arguments of
+  // any explicit linker Skolem functor in the same head, so that two
+  // firings differing only in an explicitly Skolemized sibling (e.g. an
+  // edge OID) still mint distinct auto OIDs.
+  std::set<int> frontier;
+  for (const Atom& h : rule.head) {
+    for (const Term& t : h.args) {
+      if (!t.is_var()) continue;
+      if (existential_vars.count(t.var) > 0) continue;
+      frontier.insert(cr.varmap[t.var]);
+    }
+  }
+  for (const ExistentialSpec& e : rule.existentials) {
+    if (e.skolem_functor.empty()) continue;
+    for (const std::string& a : e.skolem_args) {
+      frontier.insert(cr.varmap[a]);
+    }
+  }
+  for (size_t i = 0; i < rule.existentials.size(); ++i) {
+    if (rule.existentials[i].skolem_functor.empty()) {
+      cr.existentials[i].arg_slots.assign(frontier.begin(), frontier.end());
+    }
+  }
+
+  // Split conditions into pre-/post-aggregation.
+  for (const Condition& c : rule.conditions) {
+    std::vector<std::string> vars;
+    c.expr->CollectVars(&vars);
+    bool post = false;
+    for (const std::string& v : vars) {
+      if (result_vars.count(v) > 0) post = true;
+    }
+    if (post) {
+      cr.post_conditions.push_back(c.expr);
+    } else {
+      cr.pre_conditions.push_back(c.expr);
+    }
+  }
+
+  // Aggregation group: variables needed after aggregation (head atoms,
+  // post-conditions, Skolem arguments) minus results and existentials.
+  if (!cr.aggregates.empty()) {
+    std::set<int> group;
+    std::vector<std::string> needed;
+    for (const Atom& h : rule.head) {
+      for (const Term& t : h.args) {
+        if (t.is_var() && !t.is_anonymous()) needed.push_back(t.var);
+      }
+    }
+    for (const ExprPtr& c : cr.post_conditions) c->CollectVars(&needed);
+    for (const ExistentialSpec& e : rule.existentials) {
+      for (const std::string& a : e.skolem_args) needed.push_back(a);
+    }
+    // Post-aggregation assignments consume group values too.
+    for (const auto& [slot, expr] : cr.post_assignments) {
+      expr->CollectVars(&needed);
+    }
+    for (const std::string& v : needed) {
+      if (result_vars.count(v) > 0 || existential_vars.count(v) > 0 ||
+          post_targets.count(v) > 0) {
+        continue;
+      }
+      auto it = cr.varmap.find(v);
+      if (it != cr.varmap.end()) group.insert(it->second);
+    }
+    cr.group_slots.assign(group.begin(), group.end());
+  }
+
+  if (cr.slot_names.size() > 64) {
+    return FailedPrecondition("rule uses more than 64 variables" + where);
+  }
+  for (const Literal& l : rule.body) {
+    if (l.atom.args.size() > 60) {
+      return FailedPrecondition("atom with more than 60 arguments" + where);
+    }
+  }
+  for (const Atom& h : rule.head) {
+    if (h.args.size() > 60) {
+      return FailedPrecondition("atom with more than 60 arguments" + where);
+    }
+  }
+
+  compiled.push_back(std::move(cr));
+  return OkStatus();
+}
+
+Status Engine::Impl::InsertFact(const std::string& pred, Tuple t) {
+  Relation& rel = db->GetOrCreate(pred, t.size());
+  if (rel.Insert(t)) {
+    ++stats->facts_derived;
+    if (db->TotalFacts() > options.max_facts) {
+      return ResourceExhausted(
+          "fact budget exceeded (" + std::to_string(options.max_facts) +
+          "); the chase may not terminate on this program");
+    }
+    if (recursive_preds != nullptr && next_delta != nullptr &&
+        recursive_preds->count(pred) > 0) {
+      auto it = next_delta->find(pred);
+      if (it == next_delta->end()) {
+        it = next_delta->emplace(pred, Relation(t.size())).first;
+      }
+      it->second.Insert(std::move(t));
+    }
+  }
+  return OkStatus();
+}
+
+Status Engine::Impl::Run(FactDb* target) {
+  db = target;
+  // Materialize program facts and pre-create relations.
+  for (const FactDecl& f : engine->program_.facts) {
+    Relation& rel = db->GetOrCreate(f.predicate, f.values.size());
+    rel.Insert(Tuple(f.values.begin(), f.values.end()));
+  }
+  for (const auto& [pred, n] : arity) {
+    const Relation* existing = db->Get(pred);
+    if (existing != nullptr && existing->arity() != n) {
+      return FailedPrecondition("database relation " + pred + " has arity " +
+                                std::to_string(existing->arity()) +
+                                " but the program expects " +
+                                std::to_string(n));
+    }
+    db->GetOrCreate(pred, n);
+  }
+
+  // Group rules by stratum.
+  std::map<int, std::vector<CompiledRule*>> by_stratum;
+  for (CompiledRule& cr : compiled) {
+    by_stratum[cr.stratum].push_back(&cr);
+  }
+  stats->strata = static_cast<int>(by_stratum.size());
+  for (auto& [stratum, rules] : by_stratum) {
+    KGM_RETURN_IF_ERROR(EvalStratum(stratum, rules));
+  }
+  return OkStatus();
+}
+
+Status Engine::Impl::EvalStratum(int stratum,
+                                 const std::vector<CompiledRule*>& rules) {
+  // Predicates recursive in this stratum.
+  std::set<std::string> rec_preds;
+  for (CompiledRule* cr : rules) {
+    for (const CompiledLiteral& l : cr->positives) {
+      if (l.recursive) rec_preds.insert(l.pred);
+    }
+  }
+  std::map<std::string, Relation> delta_a, delta_b;
+  recursive_preds = &rec_preds;
+  next_delta = &delta_a;
+  cur_delta = nullptr;
+
+  // Phase A: every rule once, full mode.
+  for (CompiledRule* cr : rules) {
+    KGM_RETURN_IF_ERROR(EvalRule(*cr, /*delta_literal=*/-1));
+  }
+
+  // Phase B: semi-naive fixpoint over recursive rules.
+  std::vector<CompiledRule*> rec_rules;
+  for (CompiledRule* cr : rules) {
+    bool has_rec_literal = false;
+    for (const CompiledLiteral& l : cr->positives) {
+      if (l.recursive) has_rec_literal = true;
+    }
+    if (has_rec_literal) rec_rules.push_back(cr);
+  }
+  size_t iterations = 0;
+  while (!next_delta->empty()) {
+    if (++iterations > options.max_iterations) {
+      return ResourceExhausted("iteration budget exceeded in stratum " +
+                               std::to_string(stratum));
+    }
+    ++stats->iterations;
+    // Swap deltas.
+    cur_delta = next_delta;
+    next_delta = (cur_delta == &delta_a) ? &delta_b : &delta_a;
+    next_delta->clear();
+    for (CompiledRule* cr : rec_rules) {
+      for (size_t li = 0; li < cr->positives.size(); ++li) {
+        if (!cr->positives[li].recursive) continue;
+        KGM_RETURN_IF_ERROR(EvalRule(*cr, static_cast<int>(li)));
+      }
+    }
+    cur_delta = nullptr;
+  }
+  recursive_preds = nullptr;
+  next_delta = nullptr;
+  return OkStatus();
+}
+
+// All aggregates of a rule share one mode (mixing is rejected at
+// construction time).
+static bool AllMonotonic(const CompiledRule& cr) {
+  for (const CompiledAgg& a : cr.aggregates) {
+    if (!a.monotonic) return false;
+  }
+  return true;
+}
+
+Status Engine::Impl::EvalRule(CompiledRule& cr, int delta_literal) {
+  current_rule_ = &cr;
+  slots.assign(cr.slot_names.size(), Value());
+  bound.assign(cr.slot_names.size(), 0);
+  if (!cr.aggregates.empty() && !AllMonotonic(cr)) {
+    eval_groups.clear();
+    eval_group_order.clear();
+  }
+  KGM_RETURN_IF_ERROR(Join(cr, 0, delta_literal));
+  if (!cr.aggregates.empty() && !AllMonotonic(cr)) {
+    KGM_RETURN_IF_ERROR(FinalizeStratifiedAggregates(cr));
+  }
+  return OkStatus();
+}
+
+Status Engine::Impl::Join(CompiledRule& cr, size_t literal_index,
+                          int delta_literal) {
+  if (literal_index == cr.positives.size()) {
+    return FinishBinding(cr);
+  }
+  const CompiledLiteral& lit = cr.positives[literal_index];
+  Relation* source = nullptr;
+  if (static_cast<int>(literal_index) == delta_literal) {
+    KGM_CHECK(cur_delta != nullptr);
+    auto it = cur_delta->find(lit.pred);
+    if (it == cur_delta->end()) return OkStatus();
+    source = &it->second;
+  } else {
+    source = db->GetMutable(lit.pred);
+    if (source == nullptr) return OkStatus();
+  }
+  // Build the bound mask and probe.
+  size_t n = lit.args.size();
+  uint64_t mask = 0;
+  Tuple probe(n);
+  for (size_t i = 0; i < n; ++i) {
+    const ArgSlot& a = lit.args[i];
+    if (a.is_const) {
+      mask |= 1ULL << i;
+      probe[i] = a.constant;
+    } else if (a.slot >= 0 && bound[a.slot]) {
+      mask |= 1ULL << i;
+      probe[i] = slots[a.slot];
+    }
+  }
+
+  // Takes the row by value: head emission may insert into `source` itself,
+  // reallocating its tuple storage under us.
+  auto try_row = [&](Tuple row) -> Status {
+    // Bind free positions, checking intra-atom repeated variables.
+    std::vector<int> bound_here;
+    bool ok = true;
+    for (size_t i = 0; i < n && ok; ++i) {
+      const ArgSlot& a = lit.args[i];
+      if (a.is_const) {
+        if (!(row[i] == a.constant)) ok = false;
+      } else if (a.slot < 0) {
+        // anonymous: matches anything
+      } else if (bound[a.slot]) {
+        if (!(row[i] == slots[a.slot])) ok = false;
+      } else {
+        slots[a.slot] = row[i];
+        bound[a.slot] = 1;
+        bound_here.push_back(a.slot);
+      }
+    }
+    Status status = OkStatus();
+    if (ok) status = Join(cr, literal_index + 1, delta_literal);
+    for (int s : bound_here) bound[s] = 0;
+    return status;
+  };
+
+  if (mask == ((n >= 64 ? 0 : (1ULL << n)) - 1) && n > 0 && n < 64) {
+    // Fully bound: containment test.
+    if (source->Contains(probe)) {
+      return Join(cr, literal_index + 1, delta_literal);
+    }
+    return OkStatus();
+  }
+  if (mask != 0) {
+    const std::vector<uint32_t>& rows = source->Lookup(mask, probe);
+    // Lookup results can grow while we iterate if the same relation receives
+    // inserts from head emission; index by position defensively.
+    for (size_t k = 0; k < rows.size(); ++k) {
+      uint32_t rowi = rows[k];
+      if (!source->MatchesMasked(rowi, mask, probe)) continue;
+      KGM_RETURN_IF_ERROR(try_row(source->tuple(rowi)));
+    }
+    return OkStatus();
+  }
+  for (size_t k = 0; k < source->size(); ++k) {
+    KGM_RETURN_IF_ERROR(try_row(source->tuple(k)));
+  }
+  return OkStatus();
+}
+
+Status Engine::Impl::FinishBinding(CompiledRule& cr) {
+  ++stats->rule_firings;
+  // Negated literals: named arguments are bound (safety-validated);
+  // anonymous positions act as wildcards, so the check is a masked
+  // existence test.
+  for (const CompiledLiteral& lit : cr.negatives) {
+    size_t n = lit.args.size();
+    Tuple probe(n);
+    uint64_t mask = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const ArgSlot& a = lit.args[i];
+      if (a.is_const) {
+        probe[i] = a.constant;
+        mask |= 1ULL << i;
+      } else if (a.slot >= 0) {
+        KGM_CHECK(bound[a.slot]);
+        probe[i] = slots[a.slot];
+        mask |= 1ULL << i;
+      }
+    }
+    Relation* rel = db->GetMutable(lit.pred);
+    if (rel == nullptr) continue;  // empty relation: negation holds
+    if (mask == (n < 64 ? (1ULL << n) - 1 : ~0ULL)) {
+      if (rel->Contains(probe)) return OkStatus();
+    } else if (mask == 0) {
+      if (rel->size() > 0) return OkStatus();
+    } else {
+      bool found = false;
+      for (uint32_t row : rel->Lookup(mask, probe)) {
+        if (rel->MatchesMasked(row, mask, probe)) {
+          found = true;
+          break;
+        }
+      }
+      if (found) return OkStatus();
+    }
+  }
+  // Assignments, in order.
+  std::vector<int> bound_here;
+  auto cleanup = [&]() {
+    for (int s : bound_here) bound[s] = 0;
+  };
+  for (const auto& [slot, expr] : cr.assignments) {
+    Result<Value> v = Eval(expr);
+    if (!v.ok()) {
+      cleanup();
+      return v.status();
+    }
+    if (!bound[slot]) {
+      slots[slot] = std::move(v).value();
+      bound[slot] = 1;
+      bound_here.push_back(slot);
+    } else if (!(slots[slot] == v.value())) {
+      cleanup();
+      return OkStatus();  // equality constraint failed
+    }
+  }
+  // Pre-aggregation conditions.
+  for (const ExprPtr& c : cr.pre_conditions) {
+    Result<Value> v = Eval(c);
+    if (!v.ok()) {
+      cleanup();
+      return v.status();
+    }
+    if (!v.value().is_bool()) {
+      cleanup();
+      return InvalidArgument("condition is not boolean: " + c->ToString());
+    }
+    if (!v.value().AsBool()) {
+      cleanup();
+      return OkStatus();
+    }
+  }
+
+  Status status = cr.aggregates.empty() ? EmitHeadWithPostConditions(cr)
+                                        : ProcessAggregates(cr);
+  cleanup();
+  return status;
+}
+
+Status Engine::Impl::ProcessAggregates(CompiledRule& cr) {
+  // Group key.
+  Tuple group_key;
+  group_key.reserve(cr.group_slots.size());
+  for (int s : cr.group_slots) {
+    KGM_CHECK(bound[s]);
+    group_key.push_back(slots[s]);
+  }
+  bool monotonic = AllMonotonic(cr);
+  auto& groups = monotonic ? cr.mono_groups : eval_groups;
+  auto [it, inserted] = groups.try_emplace(group_key);
+  GroupState& state = it->second;
+  if (inserted) {
+    state.acc.resize(cr.aggregates.size());
+    state.has_value.resize(cr.aggregates.size(), false);
+    state.packed.resize(cr.aggregates.size());
+    state.seen.resize(cr.aggregates.size());
+    if (!monotonic) eval_group_order.push_back(group_key);
+  }
+
+  bool any_update = false;
+  for (size_t ai = 0; ai < cr.aggregates.size(); ++ai) {
+    CompiledAgg& agg = cr.aggregates[ai];
+    // Contribution identity: contributor values plus argument values.
+    Tuple contribution;
+    for (int s : agg.contributor_slots) {
+      KGM_CHECK(bound[s]);
+      contribution.push_back(slots[s]);
+    }
+    std::vector<Value> arg_values;
+    for (const ExprPtr& a : agg.args) {
+      KGM_ASSIGN_OR_RETURN(Value v, Eval(a));
+      contribution.push_back(v);
+      arg_values.push_back(std::move(v));
+    }
+    if (!state.seen[ai].insert(contribution).second) continue;  // duplicate
+    any_update = true;
+    if (agg.base_func == "count") {
+      state.acc[ai] =
+          Value(state.has_value[ai] ? state.acc[ai].AsInt() + 1 : int64_t{1});
+      state.has_value[ai] = true;
+    } else if (agg.base_func == "pack") {
+      const Value& name = arg_values[0];
+      state.packed[ai].emplace_back(
+          name.is_string() ? name.AsString() : name.ToString(),
+          arg_values[1]);
+      state.has_value[ai] = true;
+    } else {
+      const Value& v = arg_values[0];
+      if (!state.has_value[ai]) {
+        if (!v.is_numeric()) {
+          return InvalidArgument("aggregate " + agg.base_func +
+                                 " over non-numeric value " + v.ToString());
+        }
+        state.acc[ai] = v;
+        state.has_value[ai] = true;
+      } else {
+        KGM_ASSIGN_OR_RETURN(state.acc[ai],
+                             FoldNumeric(agg.base_func, state.acc[ai], v));
+      }
+    }
+  }
+
+  if (!monotonic) return OkStatus();  // finalized later
+  if (!any_update && !inserted) return OkStatus();
+  return EmitWithAggregates(cr, group_key, state);
+}
+
+Status Engine::Impl::EmitWithAggregates(CompiledRule& cr,
+                                        const Tuple& group_key,
+                                        GroupState& state) {
+  // Rebind the binding from the group key (the caller's binding may already
+  // match, but in the finalize path slots are stale).
+  std::vector<int> bound_here;
+  auto cleanup = [&]() {
+    for (int s : bound_here) bound[s] = 0;
+  };
+  for (size_t i = 0; i < cr.group_slots.size(); ++i) {
+    int s = cr.group_slots[i];
+    if (!bound[s]) {
+      bound[s] = 1;
+      bound_here.push_back(s);
+    }
+    slots[s] = group_key[i];
+  }
+  for (size_t ai = 0; ai < cr.aggregates.size(); ++ai) {
+    const CompiledAgg& agg = cr.aggregates[ai];
+    int s = agg.result_slot;
+    if (!bound[s]) {
+      bound[s] = 1;
+      bound_here.push_back(s);
+    }
+    if (agg.base_func == "pack") {
+      slots[s] = MakeRecord(state.packed[ai]);
+    } else if (agg.base_func == "count" && !state.has_value[ai]) {
+      slots[s] = Value(int64_t{0});
+    } else {
+      slots[s] = state.acc[ai];
+    }
+  }
+  // Post-aggregation assignments (e.g. record-spread get() calls).
+  for (const auto& [slot, expr] : cr.post_assignments) {
+    Result<Value> v = Eval(expr);
+    if (!v.ok()) {
+      cleanup();
+      return v.status();
+    }
+    if (!bound[slot]) {
+      bound[slot] = 1;
+      bound_here.push_back(slot);
+    }
+    slots[slot] = std::move(v).value();
+  }
+  Status status = EmitHeadWithPostConditions(cr);
+  cleanup();
+  return status;
+}
+
+Status Engine::Impl::FinalizeStratifiedAggregates(CompiledRule& cr) {
+  for (const Tuple& key : eval_group_order) {
+    auto it = eval_groups.find(key);
+    KGM_CHECK(it != eval_groups.end());
+    // Clear all slots: only group + results are meaningful now.
+    bound.assign(cr.slot_names.size(), 0);
+    KGM_RETURN_IF_ERROR(EmitWithAggregates(cr, key, it->second));
+  }
+  eval_groups.clear();
+  eval_group_order.clear();
+  return OkStatus();
+}
+
+Status Engine::Impl::EmitHeadWithPostConditions(CompiledRule& cr) {
+  for (const ExprPtr& c : cr.post_conditions) {
+    KGM_ASSIGN_OR_RETURN(Value v, Eval(c));
+    if (!v.is_bool()) {
+      return InvalidArgument("condition is not boolean: " + c->ToString());
+    }
+    if (!v.AsBool()) return OkStatus();
+  }
+  return EmitHead(cr);
+}
+
+bool Engine::Impl::HeadSatisfied(CompiledRule& cr) {
+  // Backtracking search for an assignment of the existential slots such that
+  // every head atom is already present in the database.
+  std::unordered_map<int, Value> assignment;
+  std::function<bool(size_t)> solve = [&](size_t atom_index) -> bool {
+    if (atom_index == cr.head.size()) return true;
+    const CompiledLiteral& h = cr.head[atom_index];
+    Relation* rel = db->GetMutable(h.pred);
+    if (rel == nullptr) return false;
+    size_t n = h.args.size();
+    uint64_t mask = 0;
+    Tuple probe(n);
+    std::vector<std::pair<size_t, int>> free_positions;  // (pos, slot)
+    for (size_t i = 0; i < n; ++i) {
+      const ArgSlot& a = h.args[i];
+      if (a.is_const) {
+        mask |= 1ULL << i;
+        probe[i] = a.constant;
+      } else if (bound[a.slot]) {
+        mask |= 1ULL << i;
+        probe[i] = slots[a.slot];
+      } else if (assignment.count(a.slot) > 0) {
+        mask |= 1ULL << i;
+        probe[i] = assignment[a.slot];
+      } else {
+        free_positions.emplace_back(i, a.slot);
+      }
+    }
+    if (free_positions.empty()) {
+      return rel->Contains(probe) && solve(atom_index + 1);
+    }
+    auto try_rows = [&](const std::vector<uint32_t>& rows) -> bool {
+      for (uint32_t rowi : rows) {
+        if (mask != 0 && !rel->MatchesMasked(rowi, mask, probe)) continue;
+        const Tuple& row = rel->tuple(rowi);
+        // Bind free positions consistently.
+        std::vector<int> assigned_here;
+        bool ok = true;
+        for (const auto& [pos, slot] : free_positions) {
+          auto it = assignment.find(slot);
+          if (it != assignment.end()) {
+            if (!(it->second == row[pos])) {
+              ok = false;
+              break;
+            }
+          } else {
+            assignment.emplace(slot, row[pos]);
+            assigned_here.push_back(slot);
+          }
+        }
+        if (ok && solve(atom_index + 1)) return true;
+        for (int s : assigned_here) assignment.erase(s);
+      }
+      return false;
+    };
+    if (mask != 0) {
+      return try_rows(rel->Lookup(mask, probe));
+    }
+    std::vector<uint32_t> all(rel->size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<uint32_t>(i);
+    return try_rows(all);
+  };
+  return solve(0);
+}
+
+Status Engine::Impl::EmitHead(CompiledRule& cr) {
+  std::vector<int> bound_here;
+  auto cleanup = [&]() {
+    for (int s : bound_here) bound[s] = 0;
+  };
+  if (!cr.existentials.empty()) {
+    if (options.chase_mode == ChaseMode::kRestricted && HeadSatisfied(cr)) {
+      return OkStatus();
+    }
+    for (const ExistSlot& e : cr.existentials) {
+      Value v;
+      if (options.chase_mode == ChaseMode::kRestricted &&
+          cr.rule->existentials[&e - cr.existentials.data()]
+              .skolem_functor.empty()) {
+        v = nulls.Fresh();
+      } else {
+        std::vector<Value> args;
+        args.reserve(e.arg_slots.size());
+        for (int s : e.arg_slots) {
+          KGM_CHECK(bound[s]);
+          args.push_back(slots[s]);
+        }
+        v = SkolemTable::Global().Intern(e.functor, args);
+      }
+      KGM_CHECK(!bound[e.slot]);
+      slots[e.slot] = std::move(v);
+      bound[e.slot] = 1;
+      bound_here.push_back(e.slot);
+    }
+  }
+  for (const CompiledLiteral& h : cr.head) {
+    Tuple t(h.args.size());
+    for (size_t i = 0; i < h.args.size(); ++i) {
+      const ArgSlot& a = h.args[i];
+      if (a.is_const) {
+        t[i] = a.constant;
+      } else {
+        KGM_CHECK_MSG(a.slot >= 0 && bound[a.slot],
+                      (cr.slot_names[a.slot] + " unbound in head of: " +
+                       cr.rule->ToString())
+                          .c_str());
+        t[i] = slots[a.slot];
+      }
+    }
+    Status status = InsertFact(h.pred, std::move(t));
+    if (!status.ok()) {
+      cleanup();
+      return status;
+    }
+  }
+  cleanup();
+  return OkStatus();
+}
+
+// --- Engine public interface --------------------------------------------------
+
+Engine::Engine(Program program, EngineOptions options)
+    : program_(std::move(program)), options_(options) {
+  init_status_ = ValidateSafety(program_);
+  if (!init_status_.ok()) return;
+  Result<Stratification> strat = Stratify(program_);
+  if (!strat.ok()) {
+    init_status_ = strat.status();
+    return;
+  }
+  strat_ = std::move(strat).value();
+  // Reject rules mixing monotonic and stratified aggregates.
+  for (size_t i = 0; i < program_.rules.size(); ++i) {
+    const Rule& r = program_.rules[i];
+    if (r.aggregates.size() < 2) continue;
+    bool rec = strat_.rule_recursive[i];
+    bool any_mono = false;
+    bool any_strat = false;
+    for (const Aggregate& a : r.aggregates) {
+      bool mono = rec || IsMonotonicAggregateName(a.func);
+      (mono ? any_mono : any_strat) = true;
+    }
+    if (any_mono && any_strat) {
+      init_status_ = FailedPrecondition(
+          "rule " + r.label +
+          " mixes monotonic and stratified aggregates");
+      return;
+    }
+  }
+}
+
+Status Engine::Run(FactDb* db) {
+  KGM_RETURN_IF_ERROR(init_status_);
+  Impl impl(this);
+  KGM_RETURN_IF_ERROR(impl.CompileAll());
+  return impl.Run(db);
+}
+
+Status RunProgram(std::string_view source, FactDb* db,
+                  EngineOptions options) {
+  KGM_ASSIGN_OR_RETURN(Program program, ParseProgram(source));
+  Engine engine(std::move(program), options);
+  return engine.Run(db);
+}
+
+}  // namespace kgm::vadalog

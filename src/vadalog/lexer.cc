@@ -1,0 +1,323 @@
+#include "vadalog/lexer.h"
+
+#include <cctype>
+
+#include "base/strings.h"
+
+namespace kgm::vadalog {
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokKind::kEnd:
+      return "<end>";
+    case TokKind::kIdent:
+      return "identifier '" + text + "'";
+    case TokKind::kInt:
+      return "integer " + std::to_string(int_value);
+    case TokKind::kDouble:
+      return "number";
+    case TokKind::kString:
+      return "string \"" + text + "\"";
+    default:
+      return "'" + text + "'";
+  }
+}
+
+namespace {
+
+Status LexError(int line, int col, std::string_view msg) {
+  return InvalidArgument("lex error at " + std::to_string(line) + ":" +
+                         std::to_string(col) + ": " + std::string(msg));
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view src) {
+  std::vector<Token> out;
+  int line = 1;
+  int col = 1;
+  size_t i = 0;
+  auto push = [&](TokKind kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = col;
+    out.push_back(std::move(t));
+  };
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      col = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      ++col;
+      continue;
+    }
+    if (c == '%') {  // comment to end of line
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < src.size() && IsIdentChar(src[i])) ++i;
+      push(TokKind::kIdent, std::string(src.substr(start, i - start)));
+      col += static_cast<int>(i - start);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i])))
+        ++i;
+      if (i + 1 < src.size() && src[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(src[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < src.size() &&
+               std::isdigit(static_cast<unsigned char>(src[i])))
+          ++i;
+      }
+      if (i < src.size() && (src[i] == 'e' || src[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < src.size() && (src[j] == '+' || src[j] == '-')) ++j;
+        if (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j]))) {
+          is_double = true;
+          i = j;
+          while (i < src.size() &&
+                 std::isdigit(static_cast<unsigned char>(src[i])))
+            ++i;
+        }
+      }
+      std::string text(src.substr(start, i - start));
+      Token t;
+      t.line = line;
+      t.column = col;
+      t.text = text;
+      if (is_double) {
+        t.kind = TokKind::kDouble;
+        t.double_value = std::stod(text);
+      } else {
+        t.kind = TokKind::kInt;
+        t.int_value = std::stoll(text);
+      }
+      out.push_back(std::move(t));
+      col += static_cast<int>(i - start);
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      ++col;
+      std::string text;
+      bool closed = false;
+      while (i < src.size()) {
+        char d = src[i];
+        if (d == '"') {
+          closed = true;
+          ++i;
+          ++col;
+          break;
+        }
+        if (d == '\\' && i + 1 < src.size()) {
+          char e = src[i + 1];
+          switch (e) {
+            case 'n':
+              text += '\n';
+              break;
+            case 't':
+              text += '\t';
+              break;
+            case '\\':
+              text += '\\';
+              break;
+            case '"':
+              text += '"';
+              break;
+            default:
+              return LexError(line, col, "bad escape in string");
+          }
+          i += 2;
+          col += 2;
+          continue;
+        }
+        if (d == '\n') return LexError(line, col, "unterminated string");
+        text += d;
+        ++i;
+        ++col;
+      }
+      if (!closed) return LexError(line, col, "unterminated string");
+      push(TokKind::kString, std::move(text));
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < src.size() && src[i + 1] == b;
+    };
+    TokKind kind;
+    std::string text;
+    int advance = 1;
+    if (two(':', '-')) {
+      kind = TokKind::kColonDash;
+      text = ":-";
+      advance = 2;
+    } else if (two('-', '>')) {
+      kind = TokKind::kArrow;
+      text = "->";
+      advance = 2;
+    } else if (two('=', '=')) {
+      kind = TokKind::kEq;
+      text = "==";
+      advance = 2;
+    } else if (two('!', '=')) {
+      kind = TokKind::kNe;
+      text = "!=";
+      advance = 2;
+    } else if (two('<', '=')) {
+      kind = TokKind::kLe;
+      text = "<=";
+      advance = 2;
+    } else if (two('>', '=')) {
+      kind = TokKind::kGe;
+      text = ">=";
+      advance = 2;
+    } else if (two('&', '&')) {
+      kind = TokKind::kAnd;
+      text = "&&";
+      advance = 2;
+    } else if (two('|', '|')) {
+      kind = TokKind::kOr;
+      text = "||";
+      advance = 2;
+    } else {
+      switch (c) {
+        case '(':
+          kind = TokKind::kLParen;
+          break;
+        case ')':
+          kind = TokKind::kRParen;
+          break;
+        case '[':
+          kind = TokKind::kLBracket;
+          break;
+        case ']':
+          kind = TokKind::kRBracket;
+          break;
+        case '{':
+          kind = TokKind::kLBrace;
+          break;
+        case '}':
+          kind = TokKind::kRBrace;
+          break;
+        case ',':
+          kind = TokKind::kComma;
+          break;
+        case '.':
+          kind = TokKind::kDot;
+          break;
+        case ';':
+          kind = TokKind::kSemicolon;
+          break;
+        case ':':
+          kind = TokKind::kColon;
+          break;
+        case '=':
+          kind = TokKind::kAssign;
+          break;
+        case '<':
+          kind = TokKind::kLt;
+          break;
+        case '>':
+          kind = TokKind::kGt;
+          break;
+        case '+':
+          kind = TokKind::kPlus;
+          break;
+        case '-':
+          kind = TokKind::kMinus;
+          break;
+        case '*':
+          kind = TokKind::kStar;
+          break;
+        case '/':
+          kind = TokKind::kSlash;
+          break;
+        case '!':
+          kind = TokKind::kBang;
+          break;
+        case '@':
+          kind = TokKind::kAt;
+          break;
+        case '|':
+          kind = TokKind::kPipe;
+          break;
+        case '?':
+          kind = TokKind::kQuestion;
+          break;
+        default:
+          return LexError(line, col, std::string("unexpected character '") +
+                                         c + "'");
+      }
+      text = std::string(1, c);
+    }
+    push(kind, std::move(text));
+    i += advance;
+    col += advance;
+  }
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.line = line;
+  end.column = col;
+  out.push_back(end);
+  return out;
+}
+
+const Token& TokenStream::Peek(size_t ahead) const {
+  size_t idx = pos_ + ahead;
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+  return tokens_[idx];
+}
+
+const Token& TokenStream::Advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool TokenStream::Match(TokKind kind) {
+  if (Check(kind)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool TokenStream::MatchIdent(std::string_view word) {
+  if (CheckIdent(word)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool TokenStream::CheckIdent(std::string_view word) const {
+  const Token& t = Peek();
+  return t.kind == TokKind::kIdent && t.text == word;
+}
+
+Status TokenStream::Expect(TokKind kind, std::string_view what) {
+  if (Match(kind)) return OkStatus();
+  return ErrorHere("expected " + std::string(what) + ", got " +
+                   Peek().Describe());
+}
+
+Status TokenStream::ErrorHere(std::string_view message) const {
+  const Token& t = Peek();
+  return InvalidArgument("parse error at " + std::to_string(t.line) + ":" +
+                         std::to_string(t.column) + ": " +
+                         std::string(message));
+}
+
+}  // namespace kgm::vadalog

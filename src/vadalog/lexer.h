@@ -1,0 +1,96 @@
+// Tokenizer shared by the Vadalog and MetaLog parsers.
+//
+// Comments run from '%' to end of line.  Numbers are 64-bit integers or
+// doubles; strings are double-quoted with \" \\ \n \t escapes.
+
+#ifndef KGM_VADALOG_LEXER_H_
+#define KGM_VADALOG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/value.h"
+
+namespace kgm::vadalog {
+
+enum class TokKind {
+  kEnd,
+  kIdent,      // identifier (variables, predicates, labels, keywords)
+  kInt,
+  kDouble,
+  kString,
+  kLParen,     // (
+  kRParen,     // )
+  kLBracket,   // [
+  kRBracket,   // ]
+  kLBrace,     // {
+  kRBrace,     // }
+  kComma,      // ,
+  kDot,        // .
+  kSemicolon,  // ;
+  kColon,      // :
+  kColonDash,  // :-
+  kArrow,      // ->
+  kAssign,     // =
+  kEq,         // ==
+  kNe,         // !=
+  kLt,         // <
+  kLe,         // <=
+  kGt,         // >
+  kGe,         // >=
+  kPlus,       // +
+  kMinus,      // -
+  kStar,       // *
+  kSlash,      // /
+  kBang,       // !
+  kAnd,        // &&
+  kOr,         // ||
+  kAt,         // @
+  kPipe,       // |
+  kQuestion,   // ?
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;     // identifier or string contents
+  int64_t int_value = 0;
+  double double_value = 0;
+  int line = 0;
+  int column = 0;
+
+  std::string Describe() const;
+};
+
+// Tokenizes `src`; on error returns InvalidArgument with line/column info.
+Result<std::vector<Token>> Tokenize(std::string_view src);
+
+// A cursor over a token stream with the usual peek/advance helpers.
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  bool Check(TokKind kind) const { return Peek().kind == kind; }
+  // True (and advances) if the next token has `kind`.
+  bool Match(TokKind kind);
+  // True (and advances) if the next token is the identifier `word`.
+  bool MatchIdent(std::string_view word);
+  bool CheckIdent(std::string_view word) const;
+
+  // Errors mention the offending token's position.
+  Status Expect(TokKind kind, std::string_view what);
+  Status ErrorHere(std::string_view message) const;
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace kgm::vadalog
+
+#endif  // KGM_VADALOG_LEXER_H_

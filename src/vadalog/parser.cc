@@ -1,0 +1,538 @@
+#include "vadalog/parser.h"
+
+#include <set>
+
+#include "vadalog/lexer.h"
+
+namespace kgm::vadalog {
+
+bool IsAggregateFunction(const std::string& name) {
+  static const std::set<std::string>& kNames = *new std::set<std::string>{
+      "sum",  "prod",  "count",  "min",  "max",  "pack",
+      "msum", "mprod", "mcount", "mmin", "mmax",
+  };
+  return kNames.count(name) > 0;
+}
+
+bool IsMonotonicAggregateName(const std::string& name) {
+  return name.size() > 1 && name[0] == 'm' &&
+         IsAggregateFunction(name.substr(1));
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(TokenStream& ts) : ts_(ts) {}
+
+  Result<Program> ParseProgram();
+  Result<Rule> ParseSingleRule();
+
+  Result<ExprPtr> ParseExprPublic() { return ParseExpr(); }
+  Result<Term> ParseTermPublic() { return ParseTerm(); }
+  Result<Aggregate> ParseAggregatePublic(std::string result_var,
+                                         std::string func) {
+    return ParseAggregate(std::move(result_var), std::move(func));
+  }
+  Result<std::vector<ExistentialSpec>> ParseExistentialsPublic();
+
+ private:
+  Result<Rule> ParseRuleStatement();
+  Status ParseAnnotation(Program* program);
+  Status ParseBody(Rule* rule);
+  Status ParseBodyElement(Rule* rule);
+  Status ParseHead(Rule* rule);
+  Result<Atom> ParseAtom();
+  Result<Term> ParseTerm();
+  Result<Value> ParseConstant();
+  Result<Aggregate> ParseAggregate(std::string result_var,
+                                   std::string func_name);
+
+  // Expression parsing with precedence climbing.
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAndExpr();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  TokenStream& ts_;
+};
+
+Result<Program> Parser::ParseProgram() {
+  Program program;
+  while (!ts_.AtEnd()) {
+    if (ts_.Check(TokKind::kAt)) {
+      KGM_RETURN_IF_ERROR(ParseAnnotation(&program));
+      continue;
+    }
+    KGM_ASSIGN_OR_RETURN(Rule rule, ParseRuleStatement());
+    rule.label = "r" + std::to_string(program.rules.size() + 1);
+    program.rules.push_back(std::move(rule));
+  }
+  return program;
+}
+
+Result<Rule> Parser::ParseSingleRule() {
+  KGM_ASSIGN_OR_RETURN(Rule rule, ParseRuleStatement());
+  if (!ts_.AtEnd()) return ts_.ErrorHere("trailing input after rule");
+  return rule;
+}
+
+Status Parser::ParseAnnotation(Program* program) {
+  KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kAt, "'@'"));
+  if (!ts_.Check(TokKind::kIdent)) {
+    return ts_.ErrorHere("expected annotation name after '@'");
+  }
+  std::string name = ts_.Advance().text;
+  if (name == "input" || name == "output") {
+    KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kLParen, "'('"));
+    if (!ts_.Check(TokKind::kString) && !ts_.Check(TokKind::kIdent)) {
+      return ts_.ErrorHere("expected predicate name");
+    }
+    std::string pred = ts_.Advance().text;
+    KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kRParen, "')'"));
+    KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kDot, "'.'"));
+    if (name == "input") {
+      program->inputs.push_back(std::move(pred));
+    } else {
+      program->outputs.push_back(std::move(pred));
+    }
+    return OkStatus();
+  }
+  if (name == "fact") {
+    if (!ts_.Check(TokKind::kIdent)) {
+      return ts_.ErrorHere("expected predicate name after '@fact'");
+    }
+    FactDecl fact;
+    fact.predicate = ts_.Advance().text;
+    KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kLParen, "'('"));
+    if (!ts_.Check(TokKind::kRParen)) {
+      while (true) {
+        KGM_ASSIGN_OR_RETURN(Value v, ParseConstant());
+        fact.values.push_back(std::move(v));
+        if (!ts_.Match(TokKind::kComma)) break;
+      }
+    }
+    KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kRParen, "')'"));
+    KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kDot, "'.'"));
+    program->facts.push_back(std::move(fact));
+    return OkStatus();
+  }
+  return ts_.ErrorHere("unknown annotation: @" + name);
+}
+
+Result<Rule> Parser::ParseRuleStatement() {
+  // Distinguish the two forms by scanning for '->' or ':-' at depth 0 is
+  // complex; instead: parse a body first.  If we then see '->', we had the
+  // paper form.  If we see ':-', the "body" we parsed must have been a
+  // plain atom list and becomes the head.
+  Rule rule;
+  KGM_RETURN_IF_ERROR(ParseBody(&rule));
+  if (ts_.Match(TokKind::kArrow)) {
+    KGM_RETURN_IF_ERROR(ParseHead(&rule));
+    KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kDot, "'.' at end of rule"));
+    return rule;
+  }
+  if (ts_.Match(TokKind::kColonDash)) {
+    // What we parsed was the head: it must be pure positive atoms.
+    if (!rule.assignments.empty() || !rule.conditions.empty() ||
+        !rule.aggregates.empty()) {
+      return ts_.ErrorHere("rule head must consist of atoms only");
+    }
+    Rule real;
+    for (Literal& l : rule.body) {
+      if (l.negated) return ts_.ErrorHere("negated atom in rule head");
+      real.head.push_back(std::move(l.atom));
+    }
+    KGM_RETURN_IF_ERROR(ParseBody(&real));
+    KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kDot, "'.' at end of rule"));
+    return real;
+  }
+  // A bodyless "rule" like `p(1,2).` is a fact if all args are constants.
+  if (ts_.Match(TokKind::kDot)) {
+    if (rule.body.size() >= 1 && rule.assignments.empty() &&
+        rule.conditions.empty() && rule.aggregates.empty()) {
+      bool all_const = true;
+      for (const Literal& l : rule.body) {
+        if (l.negated) all_const = false;
+        for (const Term& t : l.atom.args) {
+          if (t.is_var()) all_const = false;
+        }
+      }
+      if (all_const) {
+        Rule fact_rule;
+        for (Literal& l : rule.body) fact_rule.head.push_back(std::move(l.atom));
+        return fact_rule;  // body-free rule: unconditional facts
+      }
+    }
+    return ts_.ErrorHere("expected '->' or ':-' in rule");
+  }
+  return ts_.ErrorHere("expected '->', ':-' or '.'");
+}
+
+Status Parser::ParseBody(Rule* rule) {
+  while (true) {
+    KGM_RETURN_IF_ERROR(ParseBodyElement(rule));
+    if (!ts_.Match(TokKind::kComma)) return OkStatus();
+  }
+}
+
+Status Parser::ParseBodyElement(Rule* rule) {
+  // not atom
+  if (ts_.CheckIdent("not")) {
+    ts_.Advance();
+    KGM_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+    Literal lit;
+    lit.atom = std::move(atom);
+    lit.negated = true;
+    rule->body.push_back(std::move(lit));
+    return OkStatus();
+  }
+  // atom: IDENT '('
+  if (ts_.Check(TokKind::kIdent) && ts_.Peek(1).kind == TokKind::kLParen) {
+    KGM_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+    Literal lit;
+    lit.atom = std::move(atom);
+    rule->body.push_back(std::move(lit));
+    return OkStatus();
+  }
+  // assignment or aggregate: IDENT '=' (single '=')
+  if (ts_.Check(TokKind::kIdent) && ts_.Peek(1).kind == TokKind::kAssign) {
+    std::string var = ts_.Advance().text;
+    ts_.Advance();  // '='
+    if (ts_.Check(TokKind::kIdent) && IsAggregateFunction(ts_.Peek().text) &&
+        ts_.Peek(1).kind == TokKind::kLParen) {
+      std::string func = ts_.Advance().text;
+      KGM_ASSIGN_OR_RETURN(Aggregate agg,
+                           ParseAggregate(std::move(var), std::move(func)));
+      rule->aggregates.push_back(std::move(agg));
+      return OkStatus();
+    }
+    KGM_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+    rule->assignments.push_back(Assignment{std::move(var), std::move(expr)});
+    return OkStatus();
+  }
+  // otherwise: a condition expression
+  KGM_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+  rule->conditions.push_back(Condition{std::move(expr)});
+  return OkStatus();
+}
+
+Result<Aggregate> Parser::ParseAggregate(std::string result_var,
+                                         std::string func_name) {
+  Aggregate agg;
+  agg.result_var = std::move(result_var);
+  agg.func = std::move(func_name);
+  KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kLParen, "'('"));
+  // Arguments: zero or more exprs, then optionally ", <contributors>".
+  bool expect_more = !ts_.Check(TokKind::kRParen);
+  while (expect_more) {
+    if (ts_.Check(TokKind::kLt)) {
+      ts_.Advance();
+      while (true) {
+        if (!ts_.Check(TokKind::kIdent)) {
+          return ts_.ErrorHere("expected contributor variable");
+        }
+        agg.contributors.push_back(ts_.Advance().text);
+        if (!ts_.Match(TokKind::kComma)) break;
+      }
+      KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kGt, "'>'"));
+      break;  // contributor list is last
+    }
+    KGM_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+    agg.args.push_back(std::move(arg));
+    expect_more = ts_.Match(TokKind::kComma);
+  }
+  KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kRParen, "')'"));
+  return agg;
+}
+
+Result<std::vector<ExistentialSpec>> Parser::ParseExistentialsPublic() {
+  std::vector<ExistentialSpec> out;
+  while (ts_.CheckIdent("exists")) {
+    ts_.Advance();
+    if (!ts_.Check(TokKind::kIdent)) {
+      return ts_.ErrorHere("expected variable after 'exists'");
+    }
+    ExistentialSpec spec;
+    spec.var = ts_.Advance().text;
+    if (ts_.Match(TokKind::kAssign)) {
+      if (!ts_.Check(TokKind::kIdent)) {
+        return ts_.ErrorHere("expected Skolem functor name");
+      }
+      spec.skolem_functor = ts_.Advance().text;
+      KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kLParen, "'('"));
+      if (!ts_.Check(TokKind::kRParen)) {
+        while (true) {
+          if (!ts_.Check(TokKind::kIdent)) {
+            return ts_.ErrorHere("expected variable in Skolem argument list");
+          }
+          spec.skolem_args.push_back(ts_.Advance().text);
+          if (!ts_.Match(TokKind::kComma)) break;
+        }
+      }
+      KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kRParen, "')'"));
+    }
+    out.push_back(std::move(spec));
+    ts_.Match(TokKind::kComma);  // optional separator
+  }
+  return out;
+}
+
+Status Parser::ParseHead(Rule* rule) {
+  KGM_ASSIGN_OR_RETURN(rule->existentials, ParseExistentialsPublic());
+  while (true) {
+    KGM_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+    rule->head.push_back(std::move(atom));
+    if (!ts_.Match(TokKind::kComma)) break;
+  }
+  if (rule->head.empty()) return ts_.ErrorHere("empty rule head");
+  return OkStatus();
+}
+
+Result<Atom> Parser::ParseAtom() {
+  if (!ts_.Check(TokKind::kIdent)) {
+    return ts_.ErrorHere("expected predicate name");
+  }
+  Atom atom;
+  atom.predicate = ts_.Advance().text;
+  KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kLParen, "'('"));
+  if (!ts_.Check(TokKind::kRParen)) {
+    while (true) {
+      KGM_ASSIGN_OR_RETURN(Term t, ParseTerm());
+      atom.args.push_back(std::move(t));
+      if (!ts_.Match(TokKind::kComma)) break;
+    }
+  }
+  KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kRParen, "')'"));
+  return atom;
+}
+
+Result<Term> Parser::ParseTerm() {
+  const Token& t = ts_.Peek();
+  switch (t.kind) {
+    case TokKind::kIdent:
+      if (t.text == "true" || t.text == "false") {
+        ts_.Advance();
+        return Term::Const(Value(t.text == "true"));
+      }
+      ts_.Advance();
+      return Term::Var(t.text);
+    case TokKind::kInt:
+    case TokKind::kDouble:
+    case TokKind::kString:
+    case TokKind::kMinus: {
+      KGM_ASSIGN_OR_RETURN(Value v, ParseConstant());
+      return Term::Const(std::move(v));
+    }
+    default:
+      return ts_.ErrorHere("expected term, got " + t.Describe());
+  }
+}
+
+Result<Value> Parser::ParseConstant() {
+  bool negative = ts_.Match(TokKind::kMinus);
+  const Token& t = ts_.Peek();
+  switch (t.kind) {
+    case TokKind::kInt:
+      ts_.Advance();
+      return Value(negative ? -t.int_value : t.int_value);
+    case TokKind::kDouble:
+      ts_.Advance();
+      return Value(negative ? -t.double_value : t.double_value);
+    case TokKind::kString:
+      if (negative) return ts_.ErrorHere("'-' before string");
+      ts_.Advance();
+      return Value(t.text);
+    case TokKind::kIdent:
+      if (t.text == "true" || t.text == "false") {
+        if (negative) return ts_.ErrorHere("'-' before boolean");
+        ts_.Advance();
+        return Value(t.text == "true");
+      }
+      return ts_.ErrorHere("expected constant, got " + t.Describe());
+    default:
+      return ts_.ErrorHere("expected constant, got " + t.Describe());
+  }
+}
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  KGM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAndExpr());
+  while (ts_.Match(TokKind::kOr)) {
+    KGM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAndExpr());
+    lhs = Expr::Binary(BinOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAndExpr() {
+  KGM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+  while (ts_.Match(TokKind::kAnd)) {
+    KGM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+    lhs = Expr::Binary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  KGM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+  BinOp op;
+  switch (ts_.Peek().kind) {
+    case TokKind::kEq:
+      op = BinOp::kEq;
+      break;
+    case TokKind::kAssign:  // single '=' also accepted as equality test
+      op = BinOp::kEq;
+      break;
+    case TokKind::kNe:
+      op = BinOp::kNe;
+      break;
+    case TokKind::kLt:
+      op = BinOp::kLt;
+      break;
+    case TokKind::kLe:
+      op = BinOp::kLe;
+      break;
+    case TokKind::kGt:
+      op = BinOp::kGt;
+      break;
+    case TokKind::kGe:
+      op = BinOp::kGe;
+      break;
+    default:
+      return lhs;
+  }
+  ts_.Advance();
+  KGM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+  return Expr::Binary(op, std::move(lhs), std::move(rhs));
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  KGM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  while (true) {
+    if (ts_.Match(TokKind::kPlus)) {
+      KGM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Binary(BinOp::kAdd, std::move(lhs), std::move(rhs));
+    } else if (ts_.Match(TokKind::kMinus)) {
+      KGM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Binary(BinOp::kSub, std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  KGM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  while (true) {
+    if (ts_.Match(TokKind::kStar)) {
+      KGM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::Binary(BinOp::kMul, std::move(lhs), std::move(rhs));
+    } else if (ts_.Match(TokKind::kSlash)) {
+      KGM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::Binary(BinOp::kDiv, std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (ts_.Match(TokKind::kBang)) {
+    KGM_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+    return Expr::Not(std::move(inner));
+  }
+  if (ts_.Match(TokKind::kMinus)) {
+    KGM_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+    return Expr::Negate(std::move(inner));
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = ts_.Peek();
+  switch (t.kind) {
+    case TokKind::kInt:
+      ts_.Advance();
+      return Expr::Const(Value(t.int_value));
+    case TokKind::kDouble:
+      ts_.Advance();
+      return Expr::Const(Value(t.double_value));
+    case TokKind::kString:
+      ts_.Advance();
+      return Expr::Const(Value(t.text));
+    case TokKind::kIdent: {
+      if (t.text == "true" || t.text == "false") {
+        ts_.Advance();
+        return Expr::Const(Value(t.text == "true"));
+      }
+      std::string name = ts_.Advance().text;
+      if (ts_.Check(TokKind::kLParen)) {
+        ts_.Advance();
+        std::vector<ExprPtr> args;
+        if (!ts_.Check(TokKind::kRParen)) {
+          while (true) {
+            KGM_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            args.push_back(std::move(arg));
+            if (!ts_.Match(TokKind::kComma)) break;
+          }
+        }
+        KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kRParen, "')'"));
+        return Expr::Call(std::move(name), std::move(args));
+      }
+      return Expr::Var(std::move(name));
+    }
+    case TokKind::kLParen: {
+      ts_.Advance();
+      KGM_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kRParen, "')'"));
+      return inner;
+    }
+    default:
+      return ts_.ErrorHere("expected expression, got " + t.Describe());
+  }
+}
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view source) {
+  KGM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  TokenStream ts(std::move(tokens));
+  Parser parser(ts);
+  return parser.ParseProgram();
+}
+
+Result<Rule> ParseRule(std::string_view source) {
+  KGM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  TokenStream ts(std::move(tokens));
+  Parser parser(ts);
+  return parser.ParseSingleRule();
+}
+
+Result<ExprPtr> ParseExpression(TokenStream& ts) {
+  Parser parser(ts);
+  return parser.ParseExprPublic();
+}
+
+Result<Term> ParseTermAt(TokenStream& ts) {
+  Parser parser(ts);
+  return parser.ParseTermPublic();
+}
+
+Result<Aggregate> ParseAggregateBody(TokenStream& ts, std::string result_var,
+                                     std::string func) {
+  Parser parser(ts);
+  return parser.ParseAggregatePublic(std::move(result_var), std::move(func));
+}
+
+Result<std::vector<ExistentialSpec>> ParseExistentialPrefix(TokenStream& ts) {
+  Parser parser(ts);
+  return parser.ParseExistentialsPublic();
+}
+
+}  // namespace kgm::vadalog

@@ -1,0 +1,58 @@
+// Parser for the Vadalog dialect.
+//
+// Grammar sketch (see ast.h for semantics):
+//
+//   program     := (rule | annotation)*
+//   annotation  := '@' 'input' '(' STRING ')' '.'
+//                | '@' 'output' '(' STRING ')' '.'
+//                | '@' 'fact' IDENT '(' const (',' const)* ')' '.'
+//   rule        := body '->' head '.'            (paper form)
+//                | head ':-' body '.'            (Datalog form)
+//   body        := element (',' element)*
+//   element     := 'not' atom | atom | VAR '=' (aggregate | expr) | expr
+//   head        := ('exists' exist_spec ','?)* atom (',' atom)*
+//   exist_spec  := VAR ('=' IDENT '(' VAR (',' VAR)* ')')?
+//   aggregate   := AGG '(' expr? (',' '<' VAR (',' VAR)* '>')? ')'
+//
+// Bare identifiers in argument positions are variables ('_' anonymous);
+// constants are numbers, strings, true/false.  The aggregate functions are
+// sum, prod, count, min, max, their monotonic m- forms, and pack.
+
+#ifndef KGM_VADALOG_PARSER_H_
+#define KGM_VADALOG_PARSER_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "vadalog/ast.h"
+
+namespace kgm::vadalog {
+
+// True if `name` is an aggregate function name.
+bool IsAggregateFunction(const std::string& name);
+
+// True if `name` is an explicitly monotonic aggregate (m-prefixed).
+bool IsMonotonicAggregateName(const std::string& name);
+
+// Parses a full program.
+Result<Program> ParseProgram(std::string_view source);
+
+// Parses a single rule (no trailing annotations).
+Result<Rule> ParseRule(std::string_view source);
+
+class TokenStream;
+
+// Building blocks shared with the MetaLog parser.  Each consumes tokens from
+// `ts` starting at the current position.
+Result<ExprPtr> ParseExpression(TokenStream& ts);
+Result<Term> ParseTermAt(TokenStream& ts);
+// Parses the parenthesized argument part of `result_var = func(...)`; the
+// caller has already consumed `result_var`, `=` and `func`.
+Result<Aggregate> ParseAggregateBody(TokenStream& ts, std::string result_var,
+                                     std::string func);
+// Parses a (possibly empty) `exists v [= sk(args)]` prefix list.
+Result<std::vector<ExistentialSpec>> ParseExistentialPrefix(TokenStream& ts);
+
+}  // namespace kgm::vadalog
+
+#endif  // KGM_VADALOG_PARSER_H_

@@ -1,0 +1,80 @@
+#include "base/status.h"
+
+#include <gtest/gtest.h>
+
+namespace kgm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "invalid_argument: bad input");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status Fails() { return Internal("boom"); }
+Status PropagatesThrough() {
+  KGM_RETURN_IF_ERROR(Fails());
+  return OkStatus();
+}
+
+TEST(MacrosTest, ReturnIfError) {
+  Status s = PropagatesThrough();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+Result<int> GivesSeven() { return 7; }
+Result<int> GivesError() { return OutOfRange("nope"); }
+
+Result<int> UsesAssignOrReturn(bool fail) {
+  KGM_ASSIGN_OR_RETURN(int a, fail ? GivesError() : GivesSeven());
+  return a + 1;
+}
+
+TEST(MacrosTest, AssignOrReturn) {
+  EXPECT_EQ(UsesAssignOrReturn(false).value(), 8);
+  EXPECT_EQ(UsesAssignOrReturn(true).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace kgm

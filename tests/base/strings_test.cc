@@ -1,0 +1,49 @@
+#include "base/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace kgm {
+namespace {
+
+TEST(SplitTest, Basics) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(JoinTest, Basics) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(TrimTest, Basics) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nx"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(IdentTest, Classification) {
+  EXPECT_TRUE(IsIdentStart('a'));
+  EXPECT_TRUE(IsIdentStart('_'));
+  EXPECT_FALSE(IsIdentStart('1'));
+  EXPECT_TRUE(IsIdentChar('1'));
+  EXPECT_FALSE(IsIdentChar('-'));
+}
+
+TEST(ToLowerTest, Basics) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+}
+
+TEST(ToSnakeCaseTest, PascalCase) {
+  EXPECT_EQ(ToSnakeCase("PublicListedCompany"), "public_listed_company");
+  EXPECT_EQ(ToSnakeCase("Business"), "business");
+  EXPECT_EQ(ToSnakeCase("camelCase"), "camel_case");
+  EXPECT_EQ(ToSnakeCase("HTTPServer"), "http_server");
+  EXPECT_EQ(ToSnakeCase("already_snake"), "already_snake");
+}
+
+}  // namespace
+}  // namespace kgm

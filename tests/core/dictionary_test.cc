@@ -1,0 +1,141 @@
+#include "core/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include "finkg/company_kg.h"
+
+namespace kgm::core {
+namespace {
+
+bool SameAttr(const AttributeDef& a, const AttributeDef& b) {
+  return a.name == b.name && a.type == b.type && a.is_id == b.is_id &&
+         a.optional == b.optional && a.intensional == b.intensional &&
+         a.modifiers.size() == b.modifiers.size();
+}
+
+TEST(DictionaryTest, RoundTripCompanyKg) {
+  SuperSchema original = finkg::CompanyKgSchema();
+  pg::PropertyGraph dict;
+  ASSERT_TRUE(StoreSuperSchema(original, &dict).ok());
+
+  auto loaded = LoadSuperSchema(dict, original.schema_oid(), "CompanyKG");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->nodes().size(), original.nodes().size());
+  ASSERT_EQ(loaded->edges().size(), original.edges().size());
+  ASSERT_EQ(loaded->generalizations().size(),
+            original.generalizations().size());
+
+  for (const NodeDef& node : original.nodes()) {
+    const NodeDef* got = loaded->FindNode(node.name);
+    ASSERT_NE(got, nullptr) << node.name;
+    EXPECT_EQ(got->intensional, node.intensional) << node.name;
+    ASSERT_EQ(got->attributes.size(), node.attributes.size()) << node.name;
+    for (const AttributeDef& attr : node.attributes) {
+      const AttributeDef* got_attr = got->FindAttribute(attr.name);
+      ASSERT_NE(got_attr, nullptr) << node.name << "." << attr.name;
+      EXPECT_TRUE(SameAttr(*got_attr, attr))
+          << node.name << "." << attr.name;
+    }
+  }
+  for (const EdgeDef& edge : original.edges()) {
+    const EdgeDef* got = loaded->FindEdge(edge.name);
+    ASSERT_NE(got, nullptr) << edge.name;
+    EXPECT_EQ(got->from, edge.from);
+    EXPECT_EQ(got->to, edge.to);
+    EXPECT_EQ(got->intensional, edge.intensional);
+    EXPECT_EQ(got->source.functional, edge.source.functional);
+    EXPECT_EQ(got->source.optional, edge.source.optional);
+    EXPECT_EQ(got->target.functional, edge.target.functional);
+    EXPECT_EQ(got->target.optional, edge.target.optional);
+    EXPECT_EQ(got->attributes.size(), edge.attributes.size());
+  }
+  // Generalization flags survive.
+  bool found_total_disjoint = false;
+  for (const GeneralizationDef& g : loaded->generalizations()) {
+    if (g.parent == "Person") {
+      EXPECT_TRUE(g.total);
+      EXPECT_TRUE(g.disjoint);
+      found_total_disjoint = true;
+    }
+    if (g.parent == "Business") {
+      EXPECT_FALSE(g.total);
+    }
+  }
+  EXPECT_TRUE(found_total_disjoint);
+}
+
+TEST(DictionaryTest, ModifiersRoundTrip) {
+  SuperSchema s("Mods");
+  AttributeDef code = IdAttr("code");
+  code.modifiers.push_back(AttributeModifier::Unique());
+  AttributeDef kind = Attr("kind");
+  kind.modifiers.push_back(AttributeModifier::Enum(
+      {Value("spa"), Value("srl")}));
+  AttributeDef pct = Attr("pct", AttrType::kDouble);
+  pct.modifiers.push_back(AttributeModifier::Range(0.0, 1.0));
+  s.AddNode("A", {code, kind, pct});
+
+  pg::PropertyGraph dict;
+  ASSERT_TRUE(StoreSuperSchema(s, &dict).ok());
+  auto loaded = LoadSuperSchema(dict, 0);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const NodeDef* a = loaded->FindNode("A");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->FindAttribute("code")->modifiers.size(), 1u);
+  EXPECT_EQ(a->FindAttribute("code")->modifiers[0].kind,
+            AttributeModifier::Kind::kUnique);
+  ASSERT_EQ(a->FindAttribute("kind")->modifiers.size(), 1u);
+  EXPECT_EQ(a->FindAttribute("kind")->modifiers[0].enum_values.size(), 2u);
+  ASSERT_EQ(a->FindAttribute("pct")->modifiers.size(), 1u);
+  EXPECT_DOUBLE_EQ(a->FindAttribute("pct")->modifiers[0].max, 1.0);
+}
+
+TEST(DictionaryTest, MultipleSchemasCoexist) {
+  SuperSchema a("A", 1);
+  a.AddNode("X", {IdAttr("id")});
+  SuperSchema b("B", 2);
+  b.AddNode("Y", {IdAttr("id")});
+  b.AddNode("Z", {IdAttr("id")});
+  pg::PropertyGraph dict;
+  ASSERT_TRUE(StoreSuperSchema(a, &dict).ok());
+  ASSERT_TRUE(StoreSuperSchema(b, &dict).ok());
+  EXPECT_EQ(StoredSchemaOids(dict), (std::vector<int64_t>{1, 2}));
+  auto loaded_a = LoadSuperSchema(dict, 1);
+  auto loaded_b = LoadSuperSchema(dict, 2);
+  ASSERT_TRUE(loaded_a.ok());
+  ASSERT_TRUE(loaded_b.ok());
+  EXPECT_EQ(loaded_a->nodes().size(), 1u);
+  EXPECT_EQ(loaded_b->nodes().size(), 2u);
+}
+
+TEST(DictionaryTest, InvalidSchemaRejectedOnStore) {
+  SuperSchema s("Bad");
+  s.AddNode("A", {Attr("x")});  // no identifier
+  pg::PropertyGraph dict;
+  EXPECT_FALSE(StoreSuperSchema(s, &dict).ok());
+}
+
+TEST(DictionaryTest, DictionaryUsesPaperLinkDirections) {
+  // SM_PARENT and SM_CHILD run from the SM_Generalization node to the
+  // parent / child SM_Nodes, matching Example 4.4's extraction queries.
+  SuperSchema s("Dir", 9);
+  s.AddNode("P", {IdAttr("id")});
+  s.AddNode("C");
+  s.AddGeneralization("P", {"C"}, true, true);
+  pg::PropertyGraph dict;
+  ASSERT_TRUE(StoreSuperSchema(s, &dict).ok());
+  auto gens = dict.NodesWithLabel(kSmGeneralization);
+  ASSERT_EQ(gens.size(), 1u);
+  int parent_edges = 0;
+  int child_edges = 0;
+  for (pg::EdgeId e : dict.OutEdges(gens[0])) {
+    if (dict.edge(e).label == kSmParent) ++parent_edges;
+    if (dict.edge(e).label == kSmChild) ++child_edges;
+  }
+  EXPECT_EQ(parent_edges, 1);
+  EXPECT_EQ(child_edges, 1);
+}
+
+}  // namespace
+}  // namespace kgm::core

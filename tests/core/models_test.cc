@@ -1,0 +1,134 @@
+#include "core/models.h"
+
+#include <gtest/gtest.h>
+
+#include "core/gsl.h"
+#include "core/metamodel.h"
+#include "finkg/company_kg.h"
+
+namespace kgm::core {
+namespace {
+
+TEST(ModelDefTest, PropertyGraphModelConstructs) {
+  ModelDef pg = PropertyGraphModel();
+  EXPECT_EQ(pg.name, "property_graph");
+  EXPECT_TRUE(pg.Supports("SM_Node"));
+  EXPECT_TRUE(pg.Supports("SM_Edge"));
+  EXPECT_TRUE(pg.Supports("SM_Type"));
+  EXPECT_TRUE(pg.Supports("SM_Attribute"));
+  // No generalizations in the PG model: Eliminate must remove them.
+  EXPECT_FALSE(pg.Supports("SM_Generalization"));
+  EXPECT_EQ(pg.ConstructFor("SM_Node"), "Node");
+  EXPECT_EQ(pg.ConstructFor("SM_Edge"), "Relationship");
+  EXPECT_EQ(pg.ConstructFor("SM_Type"), "Label");
+}
+
+TEST(ModelDefTest, RelationalModelConstructs) {
+  ModelDef rel = RelationalModel();
+  EXPECT_EQ(rel.ConstructFor("SM_Type"), "Relation");
+  EXPECT_EQ(rel.ConstructFor("SM_Attribute"), "Field");
+  EXPECT_EQ(rel.ConstructFor("SM_Node"), "Predicate");
+  EXPECT_EQ(rel.ConstructFor("SM_Edge"), "ForeignKey");
+  EXPECT_FALSE(rel.Supports("SM_Generalization"));
+}
+
+TEST(ModelDefTest, CsvModelIsMinimal) {
+  ModelDef csv = CsvModel();
+  EXPECT_TRUE(csv.Supports("SM_Attribute"));
+  EXPECT_FALSE(csv.Supports("SM_Edge"));
+}
+
+TEST(MetaModelTest, Figure2Graph) {
+  pg::PropertyGraph g = MetaModelGraph();
+  EXPECT_EQ(g.NodesWithLabel("MM_Entity").size(), 1u);
+  EXPECT_EQ(g.NodesWithLabel("MM_Link").size(), 1u);
+  EXPECT_EQ(g.NodesWithLabel("MM_Property").size(), 1u);
+  EXPECT_EQ(g.EdgesWithLabel("MM_HAS_PROPERTY").size(), 2u);
+}
+
+TEST(MetaModelTest, SuperModelIsMetaInstance) {
+  pg::PropertyGraph g = SuperModelAsMetaInstance();
+  // Six super-construct entities of Figure 3.
+  EXPECT_EQ(g.NodesWithLabel("MM_Entity").size(), 6u);
+  // Nine link super-constructs.
+  EXPECT_EQ(g.NodesWithLabel("MM_Link").size(), 9u);
+  // Every MM_Link has exactly one source and one target.
+  for (pg::NodeId id : g.NodesWithLabel("MM_Link")) {
+    int sources = 0;
+    int targets = 0;
+    for (pg::EdgeId e : g.OutEdges(id)) {
+      if (g.edge(e).label == "MM_SOURCE") ++sources;
+      if (g.edge(e).label == "MM_TARGET") ++targets;
+    }
+    EXPECT_EQ(sources, 1);
+    EXPECT_EQ(targets, 1);
+  }
+}
+
+TEST(MetaModelTest, RenderingTableCoversConstructs) {
+  auto table = SuperModelRenderingTable();
+  EXPECT_GE(table.size(), 15u);
+  int without_grapheme = 0;
+  bool has_partial_disjoint = false;
+  for (const GraphemeEntry& e : table) {
+    if (!e.has_grapheme) ++without_grapheme;
+    if (e.construct == "SM_Generalization" &&
+        e.attributes.find("isTotal = false") != std::string::npos &&
+        e.attributes.find("isDisjoint = true") != std::string::npos) {
+      has_partial_disjoint = true;
+    }
+  }
+  // The link constructs without explicit notation (gray rows in Fig. 3).
+  EXPECT_GE(without_grapheme, 4);
+  EXPECT_TRUE(has_partial_disjoint);
+}
+
+TEST(MetaModelTest, ModelingStackMentionsAllLevels) {
+  std::string stack = RenderModelingStack();
+  EXPECT_NE(stack.find("meta-model"), std::string::npos);
+  EXPECT_NE(stack.find("super-model"), std::string::npos);
+  EXPECT_NE(stack.find("super-schema"), std::string::npos);
+  EXPECT_NE(stack.find("components"), std::string::npos);
+}
+
+TEST(GslTest, AsciiRenderingOfCompanyKg) {
+  SuperSchema s = finkg::CompanyKgSchema();
+  std::string ascii = RenderGslAscii(s);
+  EXPECT_NE(ascii.find("PhysicalPerson"), std::string::npos);
+  EXPECT_NE(ascii.find("fiscalCode <id>"), std::string::npos);
+  EXPECT_NE(ascii.find("[HOLDS]"), std::string::npos);
+  // Intensional edge rendered dashed (~).
+  EXPECT_NE(ascii.find("~[CONTROLS]~>"), std::string::npos);
+  // Total-disjoint generalization marker.
+  EXPECT_NE(ascii.find("<=td="), std::string::npos);
+  // Partial generalization (PublicListedCompany).
+  EXPECT_NE(ascii.find("<=pd="), std::string::npos);
+}
+
+TEST(GslTest, DotRenderingIsWellFormed) {
+  SuperSchema s = finkg::CompanyKgSchema();
+  std::string dot = RenderGslDot(s);
+  EXPECT_EQ(dot.find("digraph"), 0u);
+  EXPECT_NE(dot.find("\"Business\""), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("arrowhead=onormal"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}\n"), std::string::npos);
+}
+
+TEST(PgSchemaTest, CanonicalizeOrdersDeterministically) {
+  PgSchema s;
+  s.node_types.push_back(PgNodeType{{"B", "Z", "A"}, {}, false});
+  s.node_types.push_back(PgNodeType{{"A"}, {}, false});
+  s.relationship_types.push_back(PgRelationshipType{"R", "B", "A", {}, false});
+  s.relationship_types.push_back(PgRelationshipType{"R", "A", "B", {}, false});
+  s.Canonicalize();
+  EXPECT_EQ(s.node_types[0].primary_label(), "A");
+  EXPECT_EQ(s.node_types[1].labels,
+            (std::vector<std::string>{"B", "A", "Z"}));
+  EXPECT_EQ(s.relationship_types[0].from, "A");
+}
+
+}  // namespace
+}  // namespace kgm::core

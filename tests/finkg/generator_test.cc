@@ -1,0 +1,150 @@
+#include "finkg/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace kgm::finkg {
+namespace {
+
+GeneratorConfig TestConfig() {
+  GeneratorConfig config;
+  config.num_companies = 4000;
+  config.num_persons = 6000;
+  config.seed = 42;
+  return config;
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  ShareholdingNetwork a = ShareholdingNetwork::Generate(TestConfig());
+  ShareholdingNetwork b = ShareholdingNetwork::Generate(TestConfig());
+  ASSERT_EQ(a.holdings().size(), b.holdings().size());
+  for (size_t i = 0; i < a.holdings().size(); ++i) {
+    EXPECT_EQ(a.holdings()[i].holder, b.holdings()[i].holder);
+    EXPECT_EQ(a.holdings()[i].company, b.holdings()[i].company);
+    EXPECT_DOUBLE_EQ(a.holdings()[i].pct, b.holdings()[i].pct);
+  }
+}
+
+TEST(GeneratorTest, HoldingsAreWellFormed) {
+  ShareholdingNetwork net = ShareholdingNetwork::Generate(TestConfig());
+  ASSERT_FALSE(net.holdings().empty());
+  for (const Holding& h : net.holdings()) {
+    EXPECT_LT(h.company, net.config().num_companies);
+    EXPECT_LT(h.holder, net.num_entities());
+    EXPECT_NE(h.holder, h.company);
+    EXPECT_GT(h.pct, 0.0);
+    EXPECT_LE(h.pct, 1.0);
+  }
+}
+
+TEST(GeneratorTest, PerCompanyPercentagesSumToAtMostOne) {
+  ShareholdingNetwork net = ShareholdingNetwork::Generate(TestConfig());
+  std::vector<double> totals(net.config().num_companies, 0.0);
+  for (const Holding& h : net.holdings()) totals[h.company] += h.pct;
+  for (double t : totals) EXPECT_LE(t, 1.0 + 1e-9);
+}
+
+TEST(GeneratorTest, Section21ShapeHolds) {
+  // The calibration test for experiment E1: the published statistics table
+  // must reproduce in *shape* (DESIGN.md).
+  ShareholdingNetwork net = ShareholdingNetwork::Generate(TestConfig());
+  analytics::GraphStatsReport r =
+      analytics::ComputeGraphStats(net.ToDigraph());
+
+  // SCCs are near-trivial: count close to node count, small largest SCC —
+  // but cross-shareholding rings exist (paper: largest SCC 1.9k of 11.97M).
+  EXPECT_GT(r.scc.count, r.num_nodes * 95 / 100);
+  EXPECT_GE(r.scc.max_size, 3u);
+  EXPECT_LT(r.scc.max_size, r.num_nodes / 50);
+  EXPECT_NEAR(r.scc.avg_size, 1.0, 0.05);
+
+  // One giant WCC plus many smaller ones.
+  EXPECT_GT(r.wcc.max_size, r.num_nodes / 3);
+  EXPECT_GT(r.wcc.count, 10u);
+
+  // Degree asymmetry: avg in over companies-with-shareholders around 3,
+  // avg out over shareholders below it (paper: 3.12 vs 1.78).
+  EXPECT_GT(r.degrees.avg_in, 2.0);
+  EXPECT_LT(r.degrees.avg_in, 5.0);
+  EXPECT_GT(r.degrees.avg_out, 1.2);
+  EXPECT_LT(r.degrees.avg_out, r.degrees.avg_in);
+
+  // Hubs: max degrees far above the averages (scale-free signature).
+  EXPECT_GT(static_cast<double>(r.degrees.max_in), 10 * r.degrees.avg_in);
+  EXPECT_GT(static_cast<double>(r.degrees.max_out),
+            10 * r.degrees.avg_out);
+
+  // Tiny clustering coefficient.
+  EXPECT_LT(r.clustering, 0.05);
+
+  // Power-law tail on the in-degree distribution.
+  EXPECT_GT(r.power_law_alpha, 1.5);
+  EXPECT_LT(r.power_law_alpha, 4.0);
+}
+
+TEST(GeneratorTest, InstanceGraphMatchesTranslatedSchema) {
+  GeneratorConfig config;
+  config.num_companies = 50;
+  config.num_persons = 80;
+  ShareholdingNetwork net = ShareholdingNetwork::Generate(config);
+  pg::PropertyGraph g = net.ToInstanceGraph();
+  // Entities carry the accumulated labels of the Figure 6 schema.
+  EXPECT_EQ(g.NodesWithLabel("Business").size(), 50u);
+  EXPECT_EQ(g.NodesWithLabel("PhysicalPerson").size(), 80u);
+  EXPECT_EQ(g.NodesWithLabel("Person").size(), 130u);
+  // One Share per holding, with HOLDS and BELONGS_TO edges.
+  EXPECT_EQ(g.NodesWithLabel("Share").size(), net.holdings().size());
+  EXPECT_EQ(g.EdgesWithLabel("HOLDS").size(), net.holdings().size());
+  EXPECT_EQ(g.EdgesWithLabel("BELONGS_TO").size(), net.holdings().size());
+  // Every share has exactly one BELONGS_TO (cardinality (1,1)).
+  for (pg::NodeId s : g.NodesWithLabel("Share")) {
+    size_t belongs = 0;
+    for (pg::EdgeId e : g.OutEdges(s)) {
+      if (g.edge(e).label == "BELONGS_TO") ++belongs;
+    }
+    EXPECT_EQ(belongs, 1u);
+  }
+}
+
+TEST(GeneratorTest, OwnershipGraphAggregatesByPair) {
+  GeneratorConfig config;
+  config.num_companies = 100;
+  config.num_persons = 100;
+  ShareholdingNetwork net = ShareholdingNetwork::Generate(config);
+  pg::PropertyGraph g = net.ToOwnershipGraph();
+  EXPECT_EQ(g.NodesWithLabel("Business").size(), 100u);
+  EXPECT_TRUE(g.NodesWithLabel("PhysicalPerson").empty());
+  // Every OWNS edge carries a percentage in (0, 1].
+  for (pg::EdgeId e : g.EdgesWithLabel("OWNS")) {
+    const Value* pct = g.EdgeProperty(e, "percentage");
+    ASSERT_NE(pct, nullptr);
+    EXPECT_GT(pct->AsDouble(), 0.0);
+    EXPECT_LE(pct->AsDouble(), 1.0 + 1e-9);
+  }
+  pg::PropertyGraph with_persons = net.ToOwnershipGraph(true);
+  EXPECT_GT(with_persons.num_nodes(), g.num_nodes());
+  EXPECT_GE(with_persons.EdgesWithLabel("OWNS").size(),
+            g.EdgesWithLabel("OWNS").size());
+}
+
+TEST(GeneratorTest, SyntheticRegisterData) {
+  ShareholdingNetwork net = ShareholdingNetwork::Generate(TestConfig());
+  EXPECT_EQ(net.CompanyName(3), "company_3");
+  EXPECT_EQ(net.FiscalCode(3), "C3");
+  uint32_t person = static_cast<uint32_t>(net.config().num_companies) + 5;
+  EXPECT_EQ(net.FiscalCode(person), "P" + std::to_string(person));
+  EXPECT_FALSE(net.PersonSurname(person).empty());
+  // Some surnames repeat (families exist).
+  std::map<std::string, int> counts;
+  for (uint32_t i = 0; i < 2000; ++i) {
+    ++counts[net.PersonSurname(
+        static_cast<uint32_t>(net.config().num_companies) + i)];
+  }
+  bool repeated = false;
+  for (const auto& [name, count] : counts) {
+    if (count > 1) repeated = true;
+  }
+  EXPECT_TRUE(repeated);
+}
+
+}  // namespace
+}  // namespace kgm::finkg

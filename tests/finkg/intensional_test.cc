@@ -1,0 +1,207 @@
+// End-to-end tests of the Company KG intensional components (Sections 2.1,
+// 3.3, 4): OWNS, CONTROLS, numberOfStakeholders, families, close links —
+// each a MetaLog program run by MTV + the Vadalog engine over the
+// extensional property graph.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "finkg/company_kg.h"
+#include "finkg/generator.h"
+#include "metalog/runner.h"
+
+namespace kgm::finkg {
+namespace {
+
+pg::NodeId AddBusiness(pg::PropertyGraph* g, const std::string& code) {
+  return g->AddNode(
+      std::vector<std::string>{"Business", "LegalPerson", "Person"},
+      {{"fiscalCode", Value(code)}});
+}
+
+pg::NodeId AddPerson(pg::PropertyGraph* g, const std::string& code,
+                     const std::string& surname) {
+  return g->AddNode(std::vector<std::string>{"PhysicalPerson", "Person"},
+                    {{"fiscalCode", Value(code)},
+                     {"surname", Value(surname)}});
+}
+
+pg::NodeId AddShare(pg::PropertyGraph* g, const std::string& id, double pct,
+                    pg::NodeId holder, pg::NodeId company,
+                    const char* right = "ownership") {
+  pg::NodeId share = g->AddNode(std::vector<std::string>{"Share"},
+                                {{"shareId", Value(id)},
+                                 {"percentage", Value(pct)}});
+  g->AddEdge(holder, share, "HOLDS",
+             {{"right", Value(right)}, {"percentage", Value(pct)}});
+  g->AddEdge(share, company, "BELONGS_TO");
+  return share;
+}
+
+bool HasEdgeBetween(const pg::PropertyGraph& g, const std::string& label,
+                    pg::NodeId from, pg::NodeId to) {
+  for (pg::EdgeId e : g.EdgesWithLabel(label)) {
+    if (g.edge(e).from == from && g.edge(e).to == to) return true;
+  }
+  return false;
+}
+
+TEST(OwnsTest, AggregatesOwnershipRightsOnly) {
+  pg::PropertyGraph g;
+  pg::NodeId ada = AddPerson(&g, "P1", "rossi");
+  pg::NodeId acme = AddBusiness(&g, "C1");
+  AddShare(&g, "s1", 0.30, ada, acme);
+  AddShare(&g, "s2", 0.15, ada, acme);
+  AddShare(&g, "s3", 0.20, ada, acme, "usufruct");  // not ownership
+  auto result = metalog::RunMetaLogSource(kOwnsProgram, &g);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto owns = g.EdgesWithLabel("OWNS");
+  ASSERT_EQ(owns.size(), 1u);
+  const Value* pct = g.EdgeProperty(owns[0], "percentage");
+  ASSERT_NE(pct, nullptr);
+  EXPECT_NEAR(pct->AsDouble(), 0.45, 1e-9);
+  EXPECT_EQ(g.edge(owns[0]).from, ada);
+  EXPECT_EQ(g.edge(owns[0]).to, acme);
+}
+
+TEST(ControlTest, JointControlThroughOwnsChain) {
+  // The Example 4.1 scenario on the full pipeline: OWNS derived from
+  // HOLDS/BELONGS_TO, then CONTROLS derived from OWNS.
+  pg::PropertyGraph g;
+  pg::NodeId a = AddBusiness(&g, "A");
+  pg::NodeId b = AddBusiness(&g, "B");
+  pg::NodeId c = AddBusiness(&g, "C");
+  pg::NodeId d = AddBusiness(&g, "D");
+  AddShare(&g, "s1", 0.6, a, b);
+  AddShare(&g, "s2", 0.6, a, c);
+  AddShare(&g, "s3", 0.3, b, d);
+  AddShare(&g, "s4", 0.3, c, d);
+  ASSERT_TRUE(metalog::RunMetaLogSource(kOwnsProgram, &g).ok());
+  auto result = metalog::RunMetaLogSource(kControlProgram, &g);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(HasEdgeBetween(g, "CONTROLS", a, b));
+  EXPECT_TRUE(HasEdgeBetween(g, "CONTROLS", a, c));
+  EXPECT_TRUE(HasEdgeBetween(g, "CONTROLS", a, d));  // jointly via b and c
+  EXPECT_FALSE(HasEdgeBetween(g, "CONTROLS", b, d));
+  // 4 self-loops + 3 proper control edges.
+  EXPECT_EQ(g.EdgesWithLabel("CONTROLS").size(), 7u);
+}
+
+TEST(StakeholdersTest, CountsDistinctHolders) {
+  pg::PropertyGraph g;
+  pg::NodeId ada = AddPerson(&g, "P1", "rossi");
+  pg::NodeId bob = AddPerson(&g, "P2", "verdi");
+  pg::NodeId acme = AddBusiness(&g, "C1");
+  AddShare(&g, "s1", 0.5, ada, acme);
+  AddShare(&g, "s2", 0.2, ada, acme);  // same holder: still one stakeholder
+  AddShare(&g, "s3", 0.3, bob, acme);
+  auto result = metalog::RunMetaLogSource(kStakeholdersProgram, &g);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Value* n = g.NodeProperty(acme, "numberOfStakeholders");
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(*n, Value(int64_t{2}));
+}
+
+TEST(FamilyTest, FamiliesRelativesAndFamilyOwnership) {
+  pg::PropertyGraph g;
+  pg::NodeId ada = AddPerson(&g, "P1", "rossi");
+  pg::NodeId eva = AddPerson(&g, "P2", "rossi");
+  pg::NodeId bob = AddPerson(&g, "P3", "verdi");
+  pg::NodeId acme = AddBusiness(&g, "C1");
+  AddShare(&g, "s1", 0.7, ada, acme);
+  ASSERT_TRUE(metalog::RunMetaLogSource(kOwnsProgram, &g).ok());
+  auto result = metalog::RunMetaLogSource(kFamilyProgram, &g);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Two families (rossi, verdi); members share the family node.
+  auto families = g.NodesWithLabel("Family");
+  EXPECT_EQ(families.size(), 2u);
+  EXPECT_EQ(g.EdgesWithLabel("BELONGS_TO_FAMILY").size(), 3u);
+  // IS_RELATED_TO links distinct same-surname persons both ways.
+  EXPECT_TRUE(HasEdgeBetween(g, "IS_RELATED_TO", ada, eva));
+  EXPECT_TRUE(HasEdgeBetween(g, "IS_RELATED_TO", eva, ada));
+  EXPECT_FALSE(HasEdgeBetween(g, "IS_RELATED_TO", ada, bob));
+  EXPECT_FALSE(HasEdgeBetween(g, "IS_RELATED_TO", ada, ada));
+  // The rossi family owns acme through ada.
+  ASSERT_EQ(g.EdgesWithLabel("FAMILY_OWNS").size(), 1u);
+  pg::EdgeId fo = g.EdgesWithLabel("FAMILY_OWNS")[0];
+  EXPECT_EQ(g.edge(fo).to, acme);
+  const Value* fam_name =
+      g.NodeProperty(g.edge(fo).from, "familyName");
+  ASSERT_NE(fam_name, nullptr);
+  EXPECT_EQ(*fam_name, Value("rossi"));
+}
+
+TEST(CloseLinksTest, DirectIndirectAndThirdParty) {
+  pg::PropertyGraph g;
+  pg::NodeId a = AddBusiness(&g, "A");
+  pg::NodeId b = AddBusiness(&g, "B");
+  pg::NodeId c = AddBusiness(&g, "C");
+  pg::NodeId d = AddBusiness(&g, "D");
+  pg::NodeId e = AddBusiness(&g, "E");
+  // a owns 25% of b directly; a owns 50% of c which owns 50% of d
+  // (indirect 25%); a owns 10% of e (below threshold).
+  AddShare(&g, "s1", 0.25, a, b);
+  AddShare(&g, "s2", 0.50, a, c);
+  AddShare(&g, "s3", 0.50, c, d);
+  AddShare(&g, "s4", 0.10, a, e);
+  ASSERT_TRUE(metalog::RunMetaLogSource(kOwnsProgram, &g).ok());
+  auto result = metalog::RunMetaLogSource(kCloseLinksProgram, &g);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(HasEdgeBetween(g, "CLOSE_LINK", a, b));   // direct 25%
+  EXPECT_TRUE(HasEdgeBetween(g, "CLOSE_LINK", a, d));   // indirect 25%
+  EXPECT_FALSE(HasEdgeBetween(g, "CLOSE_LINK", a, e));  // 10% < 20%
+  // Third party: a holds >= 20% of both b and d -> b and d closely linked.
+  EXPECT_TRUE(HasEdgeBetween(g, "CLOSE_LINK", b, d));
+  EXPECT_TRUE(HasEdgeBetween(g, "CLOSE_LINK", d, b));
+}
+
+TEST(CloseLinksTest, CyclicShareholdingTerminates) {
+  pg::PropertyGraph g;
+  pg::NodeId a = AddBusiness(&g, "A");
+  pg::NodeId b = AddBusiness(&g, "B");
+  AddShare(&g, "s1", 0.8, a, b);
+  AddShare(&g, "s2", 0.8, b, a);  // cross-shareholding cycle
+  ASSERT_TRUE(metalog::RunMetaLogSource(kOwnsProgram, &g).ok());
+  auto result = metalog::RunMetaLogSource(kCloseLinksProgram, &g);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(HasEdgeBetween(g, "CLOSE_LINK", a, b));
+  EXPECT_TRUE(HasEdgeBetween(g, "CLOSE_LINK", b, a));
+}
+
+TEST(IntensionalSuiteTest, RunsOnGeneratedNetwork) {
+  GeneratorConfig config;
+  config.num_companies = 150;
+  config.num_persons = 250;
+  config.seed = 7;
+  ShareholdingNetwork net = ShareholdingNetwork::Generate(config);
+  pg::PropertyGraph g = net.ToInstanceGraph();
+  ASSERT_TRUE(metalog::RunMetaLogSource(kOwnsProgram, &g).ok());
+  ASSERT_TRUE(metalog::RunMetaLogSource(kControlProgram, &g).ok());
+  ASSERT_TRUE(metalog::RunMetaLogSource(kStakeholdersProgram, &g).ok());
+  ASSERT_TRUE(metalog::RunMetaLogSource(kFamilyProgram, &g).ok());
+  // Self-control for every business, plus whatever majority chains exist.
+  EXPECT_GE(g.EdgesWithLabel("CONTROLS").size(), 150u);
+  EXPECT_GT(g.EdgesWithLabel("OWNS").size(), 0u);
+  EXPECT_GT(g.NodesWithLabel("Family").size(), 0u);
+  // Control is reflexive and transitive on this graph: spot-check
+  // transitivity pairs.
+  std::map<pg::NodeId, std::set<pg::NodeId>> controls;
+  for (pg::EdgeId e : g.EdgesWithLabel("CONTROLS")) {
+    controls[g.edge(e).from].insert(g.edge(e).to);
+  }
+  for (const auto& [x, targets] : controls) {
+    for (pg::NodeId z : targets) {
+      if (z == x) continue;
+      for (pg::NodeId y : controls[z]) {
+        EXPECT_TRUE(controls[x].count(y) > 0)
+            << "transitivity violated: " << x << " ctrl " << z << " ctrl "
+            << y;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgm::finkg

@@ -1,0 +1,81 @@
+// Static guarantees for the Company KG's intensional programs: each parses,
+// compiles through MTV, and lands in the decidable fragments the paper
+// requires (wardedness; piecewise linearity where closures are involved).
+
+#include <gtest/gtest.h>
+
+#include "finkg/company_kg.h"
+#include "instance/pipeline.h"
+#include "metalog/mtv.h"
+#include "metalog/parser.h"
+#include "vadalog/analysis.h"
+#include "vadalog/engine.h"
+
+namespace kgm::finkg {
+namespace {
+
+struct ProgramCase {
+  const char* name;
+  const char* source;
+};
+
+class ProgramSuite : public ::testing::TestWithParam<ProgramCase> {};
+
+TEST_P(ProgramSuite, ParsesAndTranslates) {
+  auto program = metalog::ParseMetaProgram(GetParam().source);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_FALSE(program->rules.empty());
+
+  metalog::GraphCatalog catalog =
+      instance::SchemaCatalog(CompanyKgSchema());
+  ASSERT_TRUE(catalog.AbsorbProgram(*program).ok());
+  auto mtv = metalog::TranslateMetaProgram(*program, catalog);
+  ASSERT_TRUE(mtv.ok()) << mtv.status().ToString();
+  EXPECT_FALSE(mtv->program.rules.empty());
+}
+
+TEST_P(ProgramSuite, CompiledProgramIsWarded) {
+  auto program = metalog::ParseMetaProgram(GetParam().source).value();
+  metalog::GraphCatalog catalog =
+      instance::SchemaCatalog(CompanyKgSchema());
+  ASSERT_TRUE(catalog.AbsorbProgram(program).ok());
+  auto mtv = metalog::TranslateMetaProgram(program, catalog).value();
+  auto report = vadalog::CheckWardedness(mtv.program);
+  std::string violations;
+  for (const auto& v : report.violations) violations += v + "\n";
+  EXPECT_TRUE(report.warded) << violations;
+}
+
+TEST_P(ProgramSuite, CompiledProgramPassesEngineValidation) {
+  auto program = metalog::ParseMetaProgram(GetParam().source).value();
+  metalog::GraphCatalog catalog =
+      instance::SchemaCatalog(CompanyKgSchema());
+  ASSERT_TRUE(catalog.AbsorbProgram(program).ok());
+  auto mtv = metalog::TranslateMetaProgram(program, catalog).value();
+  vadalog::Engine engine(std::move(mtv.program));
+  EXPECT_TRUE(engine.status().ok()) << engine.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CompanyKg, ProgramSuite,
+    ::testing::Values(ProgramCase{"owns", kOwnsProgram},
+                      ProgramCase{"control", kControlProgram},
+                      ProgramCase{"stakeholders", kStakeholdersProgram},
+                      ProgramCase{"family", kFamilyProgram},
+                      ProgramCase{"close_links", kCloseLinksProgram}),
+    [](const ::testing::TestParamInfo<ProgramCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ProgramFragmentTest, ControlIsPiecewiseLinear) {
+  auto program = metalog::ParseMetaProgram(kControlProgram).value();
+  metalog::GraphCatalog catalog =
+      instance::SchemaCatalog(CompanyKgSchema());
+  ASSERT_TRUE(catalog.AbsorbProgram(program).ok());
+  auto mtv = metalog::TranslateMetaProgram(program, catalog).value();
+  EXPECT_TRUE(vadalog::IsPiecewiseLinear(mtv.program));
+  EXPECT_TRUE(vadalog::IsRecursive(mtv.program));
+}
+
+}  // namespace
+}  // namespace kgm::finkg

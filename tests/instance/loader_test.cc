@@ -1,0 +1,130 @@
+#include "instance/loader.h"
+
+#include <gtest/gtest.h>
+
+#include "finkg/company_kg.h"
+
+namespace kgm::instance {
+namespace {
+
+pg::PropertyGraph SmallData() {
+  pg::PropertyGraph g;
+  pg::NodeId ada = g.AddNode(
+      std::vector<std::string>{"PhysicalPerson", "Person"},
+      {{"fiscalCode", Value("P1")},
+       {"name", Value("ada")},
+       {"surname", Value("rossi")},
+       {"gender", Value("female")}});
+  pg::NodeId acme = g.AddNode(
+      std::vector<std::string>{"Business", "LegalPerson", "Person"},
+      {{"fiscalCode", Value("C1")},
+       {"businessName", Value("acme")},
+       {"legalNature", Value("spa")},
+       {"shareholdingCapital", Value(5000.0)}});
+  pg::NodeId share = g.AddNode(std::vector<std::string>{"Share"},
+                               {{"shareId", Value("S1")},
+                                {"percentage", Value(0.6)}});
+  g.AddEdge(ada, share, "HOLDS",
+            {{"right", Value("ownership")}, {"percentage", Value(0.6)}});
+  g.AddEdge(share, acme, "BELONGS_TO");
+  return g;
+}
+
+TEST(LoaderTest, LoadsNodesEdgesAndAttributes) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  pg::PropertyGraph data = SmallData();
+  auto loaded = LoadInstance(schema, data);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->loaded_nodes, 3u);
+  EXPECT_EQ(loaded->loaded_edges, 2u);
+  // ada: 4 props, acme: 4 props, share: 2 props, HOLDS: 2 props.
+  EXPECT_EQ(loaded->loaded_attributes, 12u);
+  EXPECT_EQ(loaded->dict.NodesWithLabel(kISmNode).size(), 3u);
+  EXPECT_EQ(loaded->dict.NodesWithLabel(kISmEdge).size(), 2u);
+  EXPECT_EQ(loaded->dict.NodesWithLabel(kISmAttribute).size(), 12u);
+}
+
+TEST(LoaderTest, InstanceConstructsReferenceSchemaConstructs) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  pg::PropertyGraph data = SmallData();
+  auto loaded = LoadInstance(schema, data);
+  ASSERT_TRUE(loaded.ok());
+  const pg::PropertyGraph& dict = loaded->dict;
+  // Every I_SM_Node has exactly one SM_REFERENCES to an SM_Node.
+  for (pg::NodeId i : dict.NodesWithLabel(kISmNode)) {
+    int refs = 0;
+    for (pg::EdgeId e : dict.OutEdges(i)) {
+      if (dict.edge(e).label == kSmReferences) {
+        EXPECT_TRUE(dict.node(dict.edge(e).to).HasLabel("SM_Node"));
+        ++refs;
+      }
+    }
+    EXPECT_EQ(refs, 1);
+    const Value* oid = dict.NodeProperty(i, "instanceOID");
+    ASSERT_NE(oid, nullptr);
+    EXPECT_EQ(*oid, Value(int64_t{234}));
+  }
+  // Every I_SM_Edge has I_SM_FROM and I_SM_TO.
+  for (pg::NodeId i : dict.NodesWithLabel(kISmEdge)) {
+    int from = 0;
+    int to = 0;
+    for (pg::EdgeId e : dict.OutEdges(i)) {
+      if (dict.edge(e).label == kISmFrom) ++from;
+      if (dict.edge(e).label == kISmTo) ++to;
+    }
+    EXPECT_EQ(from, 1);
+    EXPECT_EQ(to, 1);
+  }
+}
+
+TEST(LoaderTest, InheritedAttributeResolvesToAncestorConstruct) {
+  // fiscalCode is declared on Person; a Business instance's fiscalCode
+  // must reference Person's SM_Attribute.
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  pg::PropertyGraph data = SmallData();
+  auto loaded = LoadInstance(schema, data);
+  ASSERT_TRUE(loaded.ok());
+  const pg::PropertyGraph& dict = loaded->dict;
+  bool checked = false;
+  for (pg::NodeId ia : dict.NodesWithLabel(kISmAttribute)) {
+    const Value* v = dict.NodeProperty(ia, "value");
+    if (v == nullptr || !(*v == Value("C1"))) continue;
+    for (pg::EdgeId e : dict.OutEdges(ia)) {
+      if (dict.edge(e).label != kSmReferences) continue;
+      const Value* name = dict.NodeProperty(dict.edge(e).to, "name");
+      ASSERT_NE(name, nullptr);
+      EXPECT_EQ(*name, Value("fiscalCode"));
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(LoaderTest, UnknownLabelsAndPropsSkipped) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  pg::PropertyGraph data;
+  data.AddNode("Alien", {{"x", Value(int64_t{1})}});
+  data.AddNode(std::vector<std::string>{"PhysicalPerson", "Person"},
+               {{"fiscalCode", Value("P9")},
+                {"undeclaredProp", Value("zap")}});
+  auto loaded = LoadInstance(schema, data);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->loaded_nodes, 1u);       // Alien skipped
+  EXPECT_EQ(loaded->loaded_attributes, 1u);  // undeclaredProp skipped
+}
+
+TEST(LoaderTest, EdgeWithUnloadedEndpointSkipped) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  pg::PropertyGraph data;
+  pg::NodeId alien = data.AddNode("Alien");
+  pg::NodeId person = data.AddNode(
+      std::vector<std::string>{"PhysicalPerson", "Person"},
+      {{"fiscalCode", Value("P1")}});
+  data.AddEdge(person, alien, "HOLDS");
+  auto loaded = LoadInstance(schema, data);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->loaded_edges, 0u);
+}
+
+}  // namespace
+}  // namespace kgm::instance

@@ -1,0 +1,218 @@
+// End-to-end tests of Algorithm 2: load -> (V_I + Sigma + V_O) -> flush.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "finkg/company_kg.h"
+#include "finkg/generator.h"
+#include "instance/pipeline.h"
+#include "metalog/parser.h"
+
+namespace kgm::instance {
+namespace {
+
+pg::NodeId AddBusiness(pg::PropertyGraph* g, const std::string& code) {
+  return g->AddNode(
+      std::vector<std::string>{"Business", "LegalPerson", "Person"},
+      {{"fiscalCode", Value(code)}, {"businessName", Value(code)}});
+}
+
+void AddOwns(pg::PropertyGraph* g, pg::NodeId from, pg::NodeId to,
+             double pct) {
+  g->AddEdge(from, to, "OWNS", {{"percentage", Value(pct)}});
+}
+
+bool HasEdgeBetween(const pg::PropertyGraph& g, const std::string& label,
+                    pg::NodeId from, pg::NodeId to) {
+  for (pg::EdgeId e : g.EdgesWithLabel(label)) {
+    if (g.edge(e).from == from && g.edge(e).to == to) return true;
+  }
+  return false;
+}
+
+TEST(ViewGenerationTest, InputViewsCoverSigmaBodyLabels) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  auto sigma = metalog::ParseMetaProgram(finkg::kControlProgram);
+  ASSERT_TRUE(sigma.ok());
+  SigmaAnalysis analysis = AnalyzeSigma(*sigma);
+  EXPECT_TRUE(analysis.body_node_labels.count("Business") > 0);
+  EXPECT_TRUE(analysis.body_edge_labels.count("OWNS") > 0);
+  EXPECT_TRUE(analysis.body_edge_labels.count("CONTROLS") > 0);
+  EXPECT_TRUE(analysis.head_edge_labels.count("CONTROLS") > 0);
+  auto views = GenerateInputViews(schema, *sigma, 234);
+  ASSERT_TRUE(views.ok()) << views.status().ToString();
+  EXPECT_NE(views->find("pack(m, v)"), std::string::npos);
+  EXPECT_NE(views->find("(c: Business; *p)"), std::string::npos);
+  // The generated views must themselves parse.
+  EXPECT_TRUE(metalog::ParseMetaProgram(*views).ok());
+  auto out_views = GenerateOutputViews(schema, *sigma, 234);
+  ASSERT_TRUE(out_views.ok()) << out_views.status().ToString();
+  EXPECT_TRUE(metalog::ParseMetaProgram(*out_views).ok());
+  EXPECT_NE(out_views->find("O_SM_Edge"), std::string::npos);
+}
+
+TEST(ViewGenerationTest, UnknownLabelRejected) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  auto sigma = metalog::ParseMetaProgram(
+      "(x: Nonsense) -> (x)[: CONTROLS](x).");
+  ASSERT_TRUE(sigma.ok());
+  EXPECT_FALSE(GenerateInputViews(schema, *sigma, 1).ok());
+}
+
+TEST(PipelineTest, ControlMaterializationEndToEnd) {
+  // The joint-control scenario, driven through the *full* Algorithm 2:
+  // the data graph holds OWNS edges; CONTROLS materializes back into it.
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  pg::PropertyGraph data;
+  pg::NodeId a = AddBusiness(&data, "A");
+  pg::NodeId b = AddBusiness(&data, "B");
+  pg::NodeId c = AddBusiness(&data, "C");
+  pg::NodeId d = AddBusiness(&data, "D");
+  AddOwns(&data, a, b, 0.6);
+  AddOwns(&data, a, c, 0.6);
+  AddOwns(&data, b, d, 0.3);
+  AddOwns(&data, c, d, 0.3);
+
+  auto stats = Materialize(schema, finkg::kControlProgram, &data);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->loaded_nodes, 4u);
+  EXPECT_EQ(stats->loaded_edges, 4u);
+  EXPECT_EQ(stats->new_edges, 7u);  // 4 self + a->b, a->c, a->d
+  EXPECT_TRUE(HasEdgeBetween(data, "CONTROLS", a, b));
+  EXPECT_TRUE(HasEdgeBetween(data, "CONTROLS", a, d));
+  EXPECT_FALSE(HasEdgeBetween(data, "CONTROLS", b, d));
+  EXPECT_GT(stats->reason_seconds, 0.0);
+  EXPECT_GT(stats->vadalog_rules, 0u);
+  EXPECT_FALSE(stats->input_views.empty());
+  EXPECT_FALSE(stats->output_views.empty());
+}
+
+TEST(PipelineTest, RematerializationIsIdempotent) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  pg::PropertyGraph data;
+  pg::NodeId a = AddBusiness(&data, "A");
+  pg::NodeId b = AddBusiness(&data, "B");
+  AddOwns(&data, a, b, 0.8);
+  ASSERT_TRUE(Materialize(schema, finkg::kControlProgram, &data).ok());
+  size_t edges = data.num_edges();
+  auto again = Materialize(schema, finkg::kControlProgram, &data);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->new_edges, 0u);
+  EXPECT_EQ(data.num_edges(), edges);
+}
+
+TEST(PipelineTest, DerivedPropertyOnExistingEntity) {
+  // numberOfStakeholders: a property update flowing through
+  // O_SM_PropUpdate back onto the existing Business node.
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  pg::PropertyGraph data;
+  pg::NodeId ada = data.AddNode(
+      std::vector<std::string>{"PhysicalPerson", "Person"},
+      {{"fiscalCode", Value("P1")}, {"surname", Value("rossi")}});
+  pg::NodeId bob = data.AddNode(
+      std::vector<std::string>{"PhysicalPerson", "Person"},
+      {{"fiscalCode", Value("P2")}, {"surname", Value("verdi")}});
+  pg::NodeId acme = AddBusiness(&data, "C1");
+  pg::NodeId s1 = data.AddNode(std::vector<std::string>{"Share"},
+                               {{"shareId", Value("S1")},
+                                {"percentage", Value(0.6)}});
+  pg::NodeId s2 = data.AddNode(std::vector<std::string>{"Share"},
+                               {{"shareId", Value("S2")},
+                                {"percentage", Value(0.4)}});
+  data.AddEdge(ada, s1, "HOLDS",
+               {{"right", Value("ownership")}, {"percentage", Value(0.6)}});
+  data.AddEdge(bob, s2, "HOLDS",
+               {{"right", Value("ownership")}, {"percentage", Value(0.4)}});
+  data.AddEdge(s1, acme, "BELONGS_TO");
+  data.AddEdge(s2, acme, "BELONGS_TO");
+
+  auto stats = Materialize(schema, finkg::kStakeholdersProgram, &data);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->updated_properties, 1u);
+  const Value* n = data.NodeProperty(acme, "numberOfStakeholders");
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(*n, Value(int64_t{2}));
+}
+
+TEST(PipelineTest, DerivedNodesWithAttributesAndEdges) {
+  // Families: new Family nodes (with familyName) plus BELONGS_TO_FAMILY
+  // edges from existing persons to the new nodes.
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  pg::PropertyGraph data;
+  data.AddNode(std::vector<std::string>{"PhysicalPerson", "Person"},
+               {{"fiscalCode", Value("P1")}, {"surname", Value("rossi")}});
+  data.AddNode(std::vector<std::string>{"PhysicalPerson", "Person"},
+               {{"fiscalCode", Value("P2")}, {"surname", Value("rossi")}});
+  data.AddNode(std::vector<std::string>{"PhysicalPerson", "Person"},
+               {{"fiscalCode", Value("P3")}, {"surname", Value("verdi")}});
+
+  auto stats = Materialize(schema, finkg::kFamilyProgram, &data);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->new_nodes, 2u);  // rossi, verdi families
+  auto families = data.NodesWithLabel("Family");
+  ASSERT_EQ(families.size(), 2u);
+  std::set<std::string> names;
+  for (pg::NodeId f : families) {
+    const Value* name = data.NodeProperty(f, "familyName");
+    ASSERT_NE(name, nullptr);
+    names.insert(name->AsString());
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"rossi", "verdi"}));
+  EXPECT_EQ(data.EdgesWithLabel("BELONGS_TO_FAMILY").size(), 3u);
+  // IS_RELATED_TO between the two rossi persons, both directions.
+  EXPECT_EQ(data.EdgesWithLabel("IS_RELATED_TO").size(), 2u);
+}
+
+TEST(PipelineTest, EdgePropertiesFlowThroughOutputViews) {
+  // OWNS derived from HOLDS/BELONGS_TO carries its percentage through
+  // O_SM_Attribute back into the data graph.
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  pg::PropertyGraph data;
+  pg::NodeId ada = data.AddNode(
+      std::vector<std::string>{"PhysicalPerson", "Person"},
+      {{"fiscalCode", Value("P1")}, {"surname", Value("rossi")}});
+  pg::NodeId acme = AddBusiness(&data, "C1");
+  pg::NodeId s1 = data.AddNode(std::vector<std::string>{"Share"},
+                               {{"shareId", Value("S1")},
+                                {"percentage", Value(0.3)}});
+  pg::NodeId s2 = data.AddNode(std::vector<std::string>{"Share"},
+                               {{"shareId", Value("S2")},
+                                {"percentage", Value(0.25)}});
+  data.AddEdge(ada, s1, "HOLDS",
+               {{"right", Value("ownership")}, {"percentage", Value(0.3)}});
+  data.AddEdge(ada, s2, "HOLDS",
+               {{"right", Value("ownership")},
+                {"percentage", Value(0.25)}});
+  data.AddEdge(s1, acme, "BELONGS_TO");
+  data.AddEdge(s2, acme, "BELONGS_TO");
+
+  auto stats = Materialize(schema, finkg::kOwnsProgram, &data);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  auto owns = data.EdgesWithLabel("OWNS");
+  ASSERT_EQ(owns.size(), 1u);
+  EXPECT_EQ(data.edge(owns[0]).from, ada);
+  EXPECT_EQ(data.edge(owns[0]).to, acme);
+  const Value* pct = data.EdgeProperty(owns[0], "percentage");
+  ASSERT_NE(pct, nullptr);
+  EXPECT_NEAR(pct->AsDouble(), 0.55, 1e-9);
+}
+
+TEST(PipelineTest, GeneratedNetworkRoundTrip) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  finkg::GeneratorConfig config;
+  config.num_companies = 60;
+  config.num_persons = 90;
+  config.seed = 11;
+  finkg::ShareholdingNetwork net =
+      finkg::ShareholdingNetwork::Generate(config);
+  pg::PropertyGraph data = net.ToOwnershipGraph();
+  auto stats = Materialize(schema, finkg::kControlProgram, &data);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // At least the self-control edges.
+  EXPECT_GE(data.EdgesWithLabel("CONTROLS").size(), 60u);
+  EXPECT_GE(stats->new_edges, 60u);
+}
+
+}  // namespace
+}  // namespace kgm::instance

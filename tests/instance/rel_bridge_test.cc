@@ -1,0 +1,210 @@
+// Tests of the relational target for Algorithm 2: the same intensional
+// component materializes against a relational database, demonstrating
+// model independence (Section 6).
+
+#include "instance/rel_bridge.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "finkg/company_kg.h"
+#include "finkg/generator.h"
+#include "metalog/runner.h"
+
+namespace kgm::instance {
+namespace {
+
+pg::PropertyGraph SmallInstance() {
+  pg::PropertyGraph g;
+  pg::NodeId ada = g.AddNode(
+      std::vector<std::string>{"PhysicalPerson", "Person"},
+      {{"fiscalCode", Value("P1")},
+       {"name", Value("ada")},
+       {"surname", Value("rossi")},
+       {"gender", Value("female")}});
+  pg::NodeId acme = g.AddNode(
+      std::vector<std::string>{"Business", "LegalPerson", "Person"},
+      {{"fiscalCode", Value("C1")},
+       {"businessName", Value("acme")},
+       {"legalNature", Value("spa")},
+       {"shareholdingCapital", Value(5000.0)}});
+  pg::NodeId emca = g.AddNode(
+      std::vector<std::string>{"Business", "LegalPerson", "Person"},
+      {{"fiscalCode", Value("C2")},
+       {"businessName", Value("emca")},
+       {"legalNature", Value("srl")},
+       {"shareholdingCapital", Value(100.0)}});
+  pg::NodeId s1 = g.AddNode(std::vector<std::string>{"Share"},
+                            {{"shareId", Value("S1")},
+                             {"percentage", Value(0.6)}});
+  g.AddEdge(ada, s1, "HOLDS",
+            {{"right", Value("ownership")}, {"percentage", Value(0.6)}});
+  g.AddEdge(s1, acme, "BELONGS_TO");
+  g.AddEdge(acme, emca, "OWNS", {{"percentage", Value(0.7)}});
+  return g;
+}
+
+TEST(RelBridgeTest, GraphRelationalRoundTrip) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  pg::PropertyGraph original = SmallInstance();
+  auto db = GraphToRelational(schema, original);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // Member relations: the Business entity spans business / legal_person /
+  // person.
+  EXPECT_EQ(db->GetTable("person")->size(), 3u);
+  EXPECT_EQ(db->GetTable("legal_person")->size(), 2u);
+  EXPECT_EQ(db->GetTable("business")->size(), 2u);
+  EXPECT_EQ(db->GetTable("physical_person")->size(), 1u);
+  EXPECT_EQ(db->GetTable("share")->size(), 1u);
+  EXPECT_EQ(db->GetTable("holds")->size(), 1u);
+  EXPECT_EQ(db->GetTable("owns")->size(), 1u);
+  EXPECT_TRUE(db->ValidateForeignKeys().ok());
+
+  auto back = RelationalToGraph(schema, *db);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_nodes(), original.num_nodes());
+  EXPECT_EQ(back->num_edges(), original.num_edges());
+  // Attributes survive, including edge properties.
+  pg::NodeId acme2 = back->FindNode("Business", "fiscalCode", Value("C1"));
+  ASSERT_NE(acme2, pg::kInvalidNode);
+  EXPECT_EQ(*back->NodeProperty(acme2, "businessName"), Value("acme"));
+  EXPECT_EQ(*back->NodeProperty(acme2, "shareholdingCapital"),
+            Value(5000.0));
+  auto holds = back->EdgesWithLabel("HOLDS");
+  ASSERT_EQ(holds.size(), 1u);
+  EXPECT_EQ(*back->EdgeProperty(holds[0], "percentage"), Value(0.6));
+  EXPECT_EQ(*back->EdgeProperty(holds[0], "right"), Value("ownership"));
+}
+
+TEST(RelBridgeTest, FunctionalEdgeBecomesForeignKeyColumn) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  auto db = GraphToRelational(schema, SmallInstance());
+  ASSERT_TRUE(db.ok());
+  const rel::Table* share = db->GetTable("share");
+  ASSERT_NE(share, nullptr);
+  int fk = share->schema().ColumnIndex("belongs_to_fiscal_code");
+  ASSERT_GE(fk, 0);
+  EXPECT_EQ(share->rows()[0][fk], Value("C1"));
+}
+
+TEST(RelBridgeTest, MaterializeControlAgainstRelational) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  pg::PropertyGraph instance;
+  auto biz = [&](const char* code) {
+    return instance.AddNode(
+        std::vector<std::string>{"Business", "LegalPerson", "Person"},
+        {{"fiscalCode", Value(code)},
+         {"businessName", Value(code)},
+         {"legalNature", Value("srl")},
+         {"shareholdingCapital", Value(1.0)}});
+  };
+  pg::NodeId a = biz("A");
+  pg::NodeId b = biz("B");
+  pg::NodeId c = biz("C");
+  pg::NodeId d = biz("D");
+  instance.AddEdge(a, b, "OWNS", {{"percentage", Value(0.6)}});
+  instance.AddEdge(a, c, "OWNS", {{"percentage", Value(0.6)}});
+  instance.AddEdge(b, d, "OWNS", {{"percentage", Value(0.3)}});
+  instance.AddEdge(c, d, "OWNS", {{"percentage", Value(0.3)}});
+  auto db = GraphToRelational(schema, instance);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  auto stats =
+      MaterializeRelational(schema, finkg::kControlProgram, &*db);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const rel::Table* controls = db->GetTable("controls");
+  ASSERT_NE(controls, nullptr);
+  // 4 self + a->b, a->c, a->d.
+  EXPECT_EQ(controls->size(), 7u);
+  std::set<std::pair<std::string, std::string>> pairs;
+  int from = controls->schema().ColumnIndex("person_fiscal_code");
+  int to = controls->schema().ColumnIndex("business_fiscal_code");
+  ASSERT_GE(from, 0);
+  ASSERT_GE(to, 0);
+  for (const auto& row : controls->rows()) {
+    pairs.emplace(row[from].AsString(), row[to].AsString());
+  }
+  EXPECT_TRUE(pairs.count({"A", "D"}) > 0);
+  EXPECT_FALSE(pairs.count({"B", "D"}) > 0);
+  EXPECT_TRUE(db->ValidateForeignKeys().ok());
+}
+
+TEST(RelBridgeTest, RelationalAndGraphTargetsAgree) {
+  // Model independence: identical Sigma, two targets, same results.
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  finkg::GeneratorConfig config;
+  config.num_companies = 40;
+  config.num_persons = 40;
+  config.seed = 5;
+  finkg::ShareholdingNetwork net =
+      finkg::ShareholdingNetwork::Generate(config);
+
+  pg::PropertyGraph graph_target = net.ToOwnershipGraph();
+  auto rel_target = GraphToRelational(schema, net.ToOwnershipGraph());
+  ASSERT_TRUE(rel_target.ok()) << rel_target.status().ToString();
+
+  ASSERT_TRUE(
+      Materialize(schema, finkg::kControlProgram, &graph_target).ok());
+  ASSERT_TRUE(MaterializeRelational(schema, finkg::kControlProgram,
+                                    &*rel_target)
+                  .ok());
+
+  std::set<std::pair<std::string, std::string>> graph_pairs;
+  for (pg::EdgeId e : graph_target.EdgesWithLabel("CONTROLS")) {
+    graph_pairs.emplace(
+        graph_target.NodeProperty(graph_target.edge(e).from, "fiscalCode")
+            ->AsString(),
+        graph_target.NodeProperty(graph_target.edge(e).to, "fiscalCode")
+            ->AsString());
+  }
+  std::set<std::pair<std::string, std::string>> rel_pairs;
+  const rel::Table* controls = rel_target->GetTable("controls");
+  ASSERT_NE(controls, nullptr);
+  int from = controls->schema().ColumnIndex("person_fiscal_code");
+  int to = controls->schema().ColumnIndex("business_fiscal_code");
+  for (const auto& row : controls->rows()) {
+    rel_pairs.emplace(row[from].AsString(), row[to].AsString());
+  }
+  EXPECT_EQ(graph_pairs, rel_pairs);
+}
+
+TEST(RelBridgeTest, FamiliesWithSurrogateKeys) {
+  // Family has no identifying attributes: the relational export keys it by
+  // the surrogate family_oid, and BELONGS_TO_FAMILY junction rows resolve.
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  pg::PropertyGraph instance;
+  auto person = [&](const char* code) {
+    instance.AddNode(std::vector<std::string>{"PhysicalPerson", "Person"},
+                     {{"fiscalCode", Value(code)},
+                      {"name", Value(code)},
+                      {"surname", Value("rossi")},
+                      {"gender", Value("female")}});
+  };
+  person("P1");
+  person("P2");
+  auto db = GraphToRelational(schema, instance);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto stats = MaterializeRelational(schema, finkg::kFamilyProgram, &*db);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(db->GetTable("family")->size(), 1u);
+  EXPECT_EQ(db->GetTable("belongs_to_family")->size(), 2u);
+  // Both directions of IS_RELATED_TO between P1 and P2.
+  EXPECT_EQ(db->GetTable("is_related_to")->size(), 2u);
+  EXPECT_TRUE(db->ValidateForeignKeys().ok());
+}
+
+TEST(RelBridgeTest, DanglingForeignKeyRejectedOnImport) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  auto db = GraphToRelational(schema, SmallInstance());
+  ASSERT_TRUE(db.ok());
+  // Corrupt: point the share's BELONGS_TO FK at a missing business.
+  rel::Table* share = db->GetTable("share");
+  ASSERT_TRUE(
+      share->UpdateValue(0, "belongs_to_fiscal_code", Value("ZZZ")).ok());
+  auto back = RelationalToGraph(schema, *db);
+  EXPECT_FALSE(back.ok());
+}
+
+}  // namespace
+}  // namespace kgm::instance

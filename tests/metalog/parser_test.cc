@@ -1,0 +1,163 @@
+#include "metalog/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace kgm::metalog {
+namespace {
+
+TEST(MetaParserTest, NodeAtomVariants) {
+  auto rule = ParseMetaRule("(x: Business) -> (x: Controlled).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ASSERT_EQ(rule->body_patterns.size(), 1u);
+  const PgAtom& atom = rule->body_patterns[0].nodes[0];
+  EXPECT_FALSE(atom.is_edge);
+  EXPECT_EQ(atom.id_var, "x");
+  EXPECT_EQ(atom.label, "Business");
+}
+
+TEST(MetaParserTest, PropertiesAndConstants) {
+  auto rule = ParseMetaRule(
+      R"((x: PhysicalPerson; name: n, gender: "male") -> (x: Male).)");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  const PgAtom& atom = rule->body_patterns[0].nodes[0];
+  ASSERT_EQ(atom.properties.size(), 2u);
+  EXPECT_EQ(atom.properties[0].name, "name");
+  EXPECT_TRUE(atom.properties[0].value.is_var());
+  EXPECT_EQ(atom.properties[1].value.constant, Value("male"));
+}
+
+TEST(MetaParserTest, EdgePattern) {
+  auto rule = ParseMetaRule(
+      "(x: Business)[o: OWNS; percentage: w](y: Business), w > 0.5"
+      " -> (x)[: MAJORITY](y).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  const GraphPattern& p = rule->body_patterns[0];
+  ASSERT_EQ(p.nodes.size(), 2u);
+  ASSERT_EQ(p.paths.size(), 1u);
+  EXPECT_EQ(p.paths[0]->kind, PathKind::kEdge);
+  EXPECT_EQ(p.paths[0]->edge.label, "OWNS");
+  EXPECT_EQ(p.paths[0]->edge.id_var, "o");
+  EXPECT_EQ(rule->conditions.size(), 1u);
+}
+
+TEST(MetaParserTest, Example41CompanyControl) {
+  auto program = ParseMetaProgram(R"(
+    (x: Business) -> exists c (x)[c: CONTROLS](x).
+    (x: Business)[: CONTROLS](z: Business)
+        [: OWNS; percentage: w](y: Business),
+    v = msum(w, <z>), v > 0.5 -> exists c (x)[c: CONTROLS](y).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->rules.size(), 2u);
+  const MetaRule& r2 = program->rules[1];
+  ASSERT_EQ(r2.body_patterns.size(), 1u);
+  EXPECT_EQ(r2.body_patterns[0].nodes.size(), 3u);
+  EXPECT_EQ(r2.body_patterns[0].paths.size(), 2u);
+  EXPECT_EQ(r2.aggregates.size(), 1u);
+  EXPECT_EQ(r2.existentials.size(), 1u);
+}
+
+TEST(MetaParserTest, Example43StarWithInverseAndConcat) {
+  auto rule = ParseMetaRule(
+      "(x: SM_Node) ([: SM_CHILD]- / [: SM_PARENT])* (y: SM_Node)"
+      " -> exists w (x)[w: DESCFROM](y).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  const GraphPattern& p = rule->body_patterns[0];
+  ASSERT_EQ(p.paths.size(), 1u);
+  const PathPtr& star = p.paths[0];
+  EXPECT_EQ(star->kind, PathKind::kStar);
+  const PathPtr& concat = star->children[0];
+  ASSERT_EQ(concat->kind, PathKind::kConcat);
+  ASSERT_EQ(concat->children.size(), 2u);
+  EXPECT_TRUE(concat->children[0]->inverse);
+  EXPECT_EQ(concat->children[0]->edge.label, "SM_CHILD");
+  EXPECT_FALSE(concat->children[1]->inverse);
+}
+
+TEST(MetaParserTest, Alternation) {
+  auto rule = ParseMetaRule(
+      "(x) ([: OWNS] | [: HOLDS] / [: BELONGS_TO]) (y) -> (x)[: LINKED](y).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  const PathPtr& alt = rule->body_patterns[0].paths[0];
+  ASSERT_EQ(alt->kind, PathKind::kAlt);
+  ASSERT_EQ(alt->children.size(), 2u);
+  EXPECT_EQ(alt->children[0]->kind, PathKind::kEdge);
+  EXPECT_EQ(alt->children[1]->kind, PathKind::kConcat);
+}
+
+TEST(MetaParserTest, PlusOperator) {
+  auto rule = ParseMetaRule("(x) [: OWNS]+ (y) -> (x)[: REACHES](y).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->body_patterns[0].paths[0]->kind, PathKind::kPlus);
+}
+
+TEST(MetaParserTest, InverseOfGroupDistributes) {
+  auto rule = ParseMetaRule(
+      "(x) ([: A] / [: B])- (y) -> (x)[: R](y).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  const PathPtr& p = rule->body_patterns[0].paths[0];
+  // (A/B)- == B- / A-
+  ASSERT_EQ(p->kind, PathKind::kConcat);
+  EXPECT_EQ(p->children[0]->edge.label, "B");
+  EXPECT_TRUE(p->children[0]->inverse);
+  EXPECT_EQ(p->children[1]->edge.label, "A");
+  EXPECT_TRUE(p->children[1]->inverse);
+}
+
+TEST(MetaParserTest, SpreadOperator) {
+  auto rule = ParseMetaRule(
+      "(i: I_SM_Node), p = pack(\"a\", 1) -> exists c (c: Business; *p).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->head_patterns[0].nodes[0].spread_var, "p");
+}
+
+TEST(MetaParserTest, MultiplePatternsAndScalars) {
+  auto rule = ParseMetaRule(
+      "(x: Person), (y: Person; age: a), a > 18, b = a + 1"
+      " -> (x)[: KNOWS_ADULT](y).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->body_patterns.size(), 2u);
+  EXPECT_EQ(rule->conditions.size(), 1u);
+  EXPECT_EQ(rule->assignments.size(), 1u);
+}
+
+TEST(MetaParserTest, AnonymousAtoms) {
+  auto rule = ParseMetaRule("(: Person)[: KNOWS](y: Person) -> (y: Known).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_TRUE(rule->body_patterns[0].nodes[0].id_var.empty());
+  EXPECT_EQ(rule->body_patterns[0].nodes[0].label, "Person");
+}
+
+TEST(MetaParserTest, Errors) {
+  EXPECT_FALSE(ParseMetaRule("(x: Person -> (x: Known).").ok());
+  EXPECT_FALSE(ParseMetaRule("(x: Person) -> .").ok());
+  EXPECT_FALSE(ParseMetaRule("(x: Person) (y: Q) -> (x: R).").ok());
+  EXPECT_FALSE(ParseMetaRule("[x: E] -> (x: R).").ok());
+}
+
+TEST(MetaParserTest, RoundTripToString) {
+  const char* src =
+      "(x: Business)[: CONTROLS](z: Business)"
+      "[: OWNS; percentage: w](y: Business), v = msum(w, <z>), v > 0.5 -> "
+      "exists c (x)[c: CONTROLS](y).";
+  auto rule = ParseMetaRule(src);
+  ASSERT_TRUE(rule.ok());
+  auto again = ParseMetaRule(rule->ToString());
+  ASSERT_TRUE(again.ok()) << rule->ToString() << "\n"
+                          << again.status().ToString();
+  EXPECT_EQ(again->ToString(), rule->ToString());
+}
+
+TEST(MetaParserTest, StarRoundTrip) {
+  const char* src =
+      "(x: SM_Node)([: SM_CHILD]- / [: SM_PARENT])*(y: SM_Node) -> "
+      "exists w (x)[w: DESCFROM](y).";
+  auto rule = ParseMetaRule(src);
+  ASSERT_TRUE(rule.ok());
+  auto again = ParseMetaRule(rule->ToString());
+  ASSERT_TRUE(again.ok()) << rule->ToString();
+  EXPECT_EQ(again->ToString(), rule->ToString());
+}
+
+}  // namespace
+}  // namespace kgm::metalog

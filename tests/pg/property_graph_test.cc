@@ -1,0 +1,127 @@
+#include "pg/property_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace kgm::pg {
+namespace {
+
+TEST(PropertyGraphTest, AddNodesAndEdges) {
+  PropertyGraph g;
+  NodeId a = g.AddNode("Person", {{"name", Value("ada")}});
+  NodeId b = g.AddNode("Person", {{"name", Value("bob")}});
+  EdgeId e = g.AddEdge(a, b, "KNOWS", {{"since", Value(int64_t{1999})}});
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge(e).from, a);
+  EXPECT_EQ(g.edge(e).to, b);
+  EXPECT_EQ(g.edge(e).label, "KNOWS");
+  ASSERT_NE(g.NodeProperty(a, "name"), nullptr);
+  EXPECT_EQ(*g.NodeProperty(a, "name"), Value("ada"));
+  ASSERT_NE(g.EdgeProperty(e, "since"), nullptr);
+  EXPECT_EQ(g.NodeProperty(a, "missing"), nullptr);
+}
+
+TEST(PropertyGraphTest, LabelIndexes) {
+  PropertyGraph g;
+  NodeId a = g.AddNode("Person");
+  g.AddNode("Company");
+  NodeId c = g.AddNode("Person");
+  EXPECT_EQ(g.NodesWithLabel("Person"), (std::vector<NodeId>{a, c}));
+  EXPECT_TRUE(g.NodesWithLabel("Nothing").empty());
+  EXPECT_EQ(g.NodeLabels(), (std::vector<std::string>{"Company", "Person"}));
+}
+
+TEST(PropertyGraphTest, MultiLabelNodes) {
+  PropertyGraph g;
+  NodeId a = g.AddNode(std::vector<std::string>{"LegalPerson", "Business"});
+  g.AddLabel(a, "PublicListedCompany");
+  g.AddLabel(a, "Business");  // duplicate: no-op
+  EXPECT_EQ(g.node(a).labels.size(), 3u);
+  EXPECT_TRUE(g.node(a).HasLabel("Business"));
+  EXPECT_EQ(g.NodesWithLabel("PublicListedCompany"),
+            (std::vector<NodeId>{a}));
+}
+
+TEST(PropertyGraphTest, Adjacency) {
+  PropertyGraph g;
+  NodeId a = g.AddNode("N");
+  NodeId b = g.AddNode("N");
+  NodeId c = g.AddNode("N");
+  EdgeId ab = g.AddEdge(a, b, "E");
+  EdgeId ac = g.AddEdge(a, c, "E");
+  EdgeId ca = g.AddEdge(c, a, "E");
+  EXPECT_EQ(g.OutEdges(a), (std::vector<EdgeId>{ab, ac}));
+  EXPECT_EQ(g.InEdges(a), (std::vector<EdgeId>{ca}));
+  EXPECT_EQ(g.InEdges(b), (std::vector<EdgeId>{ab}));
+}
+
+TEST(PropertyGraphTest, DeleteNodeCascadesToEdges) {
+  PropertyGraph g;
+  NodeId a = g.AddNode("N");
+  NodeId b = g.AddNode("N");
+  EdgeId e = g.AddEdge(a, b, "E");
+  g.DeleteNode(b);
+  EXPECT_FALSE(g.HasNode(b));
+  EXPECT_FALSE(g.HasEdge(e));
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.NodesWithLabel("N").size() == 1 &&
+              g.NodesWithLabel("N")[0] == a);
+}
+
+TEST(PropertyGraphTest, FindNodeByProperty) {
+  PropertyGraph g;
+  g.AddNode("Person", {{"fiscalCode", Value("AAA")}});
+  NodeId b = g.AddNode("Person", {{"fiscalCode", Value("BBB")}});
+  EXPECT_EQ(g.FindNode("Person", "fiscalCode", Value("BBB")), b);
+  EXPECT_EQ(g.FindNode("Person", "fiscalCode", Value("ZZZ")), kInvalidNode);
+  EXPECT_EQ(g.FindNode("Company", "fiscalCode", Value("AAA")), kInvalidNode);
+}
+
+TEST(PropertyGraphTest, SetPropertiesAfterCreation) {
+  PropertyGraph g;
+  NodeId a = g.AddNode("N");
+  EdgeId e = g.AddEdge(a, a, "SELF");
+  g.SetNodeProperty(a, "k", Value(int64_t{1}));
+  g.SetEdgeProperty(e, "w", Value(0.5));
+  EXPECT_EQ(*g.NodeProperty(a, "k"), Value(int64_t{1}));
+  EXPECT_EQ(*g.EdgeProperty(e, "w"), Value(0.5));
+  g.SetNodeProperty(a, "k", Value(int64_t{2}));  // overwrite
+  EXPECT_EQ(*g.NodeProperty(a, "k"), Value(int64_t{2}));
+}
+
+TEST(PropertyGraphTest, CloneIsIndependent) {
+  PropertyGraph g;
+  NodeId a = g.AddNode("N", {{"x", Value(int64_t{1})}});
+  PropertyGraph copy = g.Clone();
+  copy.SetNodeProperty(a, "x", Value(int64_t{9}));
+  copy.AddNode("N");
+  EXPECT_EQ(*g.NodeProperty(a, "x"), Value(int64_t{1}));
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(copy.num_nodes(), 2u);
+}
+
+TEST(PropertyGraphTest, EdgeLabelQueries) {
+  PropertyGraph g;
+  NodeId a = g.AddNode("N");
+  NodeId b = g.AddNode("N");
+  EdgeId e1 = g.AddEdge(a, b, "OWNS");
+  g.AddEdge(b, a, "CONTROLS");
+  EdgeId e3 = g.AddEdge(a, b, "OWNS");
+  EXPECT_EQ(g.EdgesWithLabel("OWNS"), (std::vector<EdgeId>{e1, e3}));
+  EXPECT_EQ(g.EdgeLabels(), (std::vector<std::string>{"CONTROLS", "OWNS"}));
+}
+
+TEST(PropertyGraphTest, DebugStringContainsStructure) {
+  PropertyGraph g;
+  NodeId a = g.AddNode("Person", {{"name", Value("ada")}});
+  NodeId b = g.AddNode("Person");
+  g.AddEdge(a, b, "KNOWS");
+  std::string s = g.DebugString();
+  EXPECT_NE(s.find(":Person"), std::string::npos);
+  EXPECT_NE(s.find("KNOWS"), std::string::npos);
+  EXPECT_NE(s.find("\"ada\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kgm::pg

@@ -1,0 +1,139 @@
+#include "rel/relational.h"
+
+#include <gtest/gtest.h>
+
+namespace kgm::rel {
+namespace {
+
+TableSchema PersonSchema() {
+  TableSchema s;
+  s.name = "person";
+  s.columns = {{"fiscal_code", ColumnType::kString, false},
+               {"name", ColumnType::kString, true},
+               {"age", ColumnType::kInt, true}};
+  s.primary_key = {"fiscal_code"};
+  return s;
+}
+
+TEST(TableTest, InsertAndLookup) {
+  Table t(PersonSchema());
+  ASSERT_TRUE(t.Insert({Value("A"), Value("ada"), Value(int64_t{36})}).ok());
+  ASSERT_TRUE(t.Insert({Value("B"), Value("bob"), Value()}).ok());
+  EXPECT_EQ(t.size(), 2u);
+  auto rows = t.Lookup("name", Value("ada"));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ((*rows[0])[0], Value("A"));
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t(PersonSchema());
+  Status s = t.Insert({Value("A")});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, TypeMismatchRejected) {
+  Table t(PersonSchema());
+  Status s = t.Insert({Value("A"), Value("x"), Value("not-an-int")});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, NotNullEnforced) {
+  Table t(PersonSchema());
+  Status s = t.Insert({Value(), Value("x"), Value(int64_t{1})});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, PrimaryKeyEnforced) {
+  Table t(PersonSchema());
+  ASSERT_TRUE(t.Insert({Value("A"), Value("a"), Value()}).ok());
+  Status s = t.Insert({Value("A"), Value("other"), Value()});
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  const Tuple* found = t.FindByPrimaryKey({Value("A")});
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ((*found)[1], Value("a"));
+}
+
+TEST(TableTest, UniqueConstraintEnforced) {
+  TableSchema s = PersonSchema();
+  s.unique_keys = {{"name"}};
+  Table t(s);
+  ASSERT_TRUE(t.Insert({Value("A"), Value("ada"), Value()}).ok());
+  Status dup = t.Insert({Value("B"), Value("ada"), Value()});
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, SkolemValuesAdmissibleInStringColumns) {
+  Table t(PersonSchema());
+  Value oid = SkolemTable::Global().Intern("skP", {Value("seed")});
+  EXPECT_TRUE(t.Insert({oid, Value("x"), Value()}).ok());
+}
+
+TEST(DatabaseTest, CreateAndFetchTables) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(PersonSchema()).ok());
+  EXPECT_TRUE(db.HasTable("person"));
+  EXPECT_FALSE(db.HasTable("nope"));
+  EXPECT_EQ(db.CreateTable(PersonSchema()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"person"}));
+}
+
+TEST(DatabaseTest, ForeignKeyValidation) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(PersonSchema()).ok());
+  TableSchema holds;
+  holds.name = "holds";
+  holds.columns = {{"person_fc", ColumnType::kString, false},
+                   {"share_id", ColumnType::kInt, false}};
+  holds.foreign_keys = {{"fk_holder", {"person_fc"}, "person",
+                         {"fiscal_code"}}};
+  ASSERT_TRUE(db.CreateTable(holds).ok());
+
+  ASSERT_TRUE(db.GetTable("person")
+                  ->Insert({Value("A"), Value("ada"), Value()})
+                  .ok());
+  ASSERT_TRUE(
+      db.GetTable("holds")->Insert({Value("A"), Value(int64_t{1})}).ok());
+  EXPECT_TRUE(db.ValidateForeignKeys().ok());
+
+  ASSERT_TRUE(
+      db.GetTable("holds")->Insert({Value("Z"), Value(int64_t{2})}).ok());
+  EXPECT_EQ(db.ValidateForeignKeys().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DatabaseTest, NullForeignKeyIsNotChecked) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(PersonSchema()).ok());
+  TableSchema ref;
+  ref.name = "ref";
+  ref.columns = {{"person_fc", ColumnType::kString, true}};
+  ref.foreign_keys = {{"", {"person_fc"}, "person", {"fiscal_code"}}};
+  ASSERT_TRUE(db.CreateTable(ref).ok());
+  ASSERT_TRUE(db.GetTable("ref")->Insert({Value()}).ok());
+  EXPECT_TRUE(db.ValidateForeignKeys().ok());
+}
+
+TEST(DdlTest, RendersConstraints) {
+  TableSchema person = PersonSchema();
+  TableSchema holds;
+  holds.name = "holds";
+  holds.columns = {{"person_fc", ColumnType::kString, false},
+                   {"pct", ColumnType::kDouble, true}};
+  holds.unique_keys = {{"person_fc", "pct"}};
+  holds.foreign_keys = {{"fk_holder", {"person_fc"}, "person",
+                         {"fiscal_code"}}};
+  std::string ddl = RenderSqlDdl({person, holds});
+  EXPECT_NE(ddl.find("CREATE TABLE person"), std::string::npos);
+  EXPECT_NE(ddl.find("fiscal_code VARCHAR(255) NOT NULL"),
+            std::string::npos);
+  EXPECT_NE(ddl.find("PRIMARY KEY (fiscal_code)"), std::string::npos);
+  EXPECT_NE(ddl.find("UNIQUE (person_fc, pct)"), std::string::npos);
+  EXPECT_NE(ddl.find(
+                "CONSTRAINT fk_holder FOREIGN KEY (person_fc) REFERENCES "
+                "person (fiscal_code)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace kgm::rel

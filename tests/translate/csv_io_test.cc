@@ -1,0 +1,129 @@
+#include "translate/csv_io.h"
+
+#include <gtest/gtest.h>
+
+#include "finkg/company_kg.h"
+#include "finkg/generator.h"
+
+namespace kgm::translate {
+namespace {
+
+TEST(CsvEscapeTest, QuotingRules) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvSplitTest, RoundTripsEscapedFields) {
+  auto fields = CsvSplitLine("plain,\"a,b\",\"say \"\"hi\"\"\",last");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"plain", "a,b",
+                                               "say \"hi\"", "last"}));
+  EXPECT_FALSE(CsvSplitLine("\"unterminated").ok());
+  auto empty = CsvSplitLine(",,");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->size(), 3u);
+}
+
+pg::PropertyGraph SmallInstance() {
+  pg::PropertyGraph g;
+  pg::NodeId ada = g.AddNode(
+      std::vector<std::string>{"PhysicalPerson", "Person"},
+      {{"fiscalCode", Value("P1")},
+       {"name", Value("ada, the first")},  // embedded comma
+       {"surname", Value("rossi")},
+       {"gender", Value("female")}});
+  pg::NodeId acme = g.AddNode(
+      std::vector<std::string>{"Business", "LegalPerson", "Person"},
+      {{"fiscalCode", Value("C1")},
+       {"businessName", Value("acme")},
+       {"legalNature", Value("spa")},
+       {"shareholdingCapital", Value(1234.5)}});
+  pg::NodeId share = g.AddNode(std::vector<std::string>{"Share"},
+                               {{"shareId", Value("S1")},
+                                {"percentage", Value(0.6)}});
+  g.AddEdge(ada, share, "HOLDS",
+            {{"right", Value("ownership")}, {"percentage", Value(0.6)}});
+  g.AddEdge(share, acme, "BELONGS_TO");
+  return g;
+}
+
+TEST(CsvIoTest, ExportProducesHeadersAndRows) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  auto files = ExportCsv(schema, SmallInstance());
+  ASSERT_TRUE(files.ok()) << files.status().ToString();
+  const std::string& person = files->at("physical_person.csv");
+  EXPECT_EQ(person.substr(0, person.find('\n')),
+            "fiscal_code,name,surname,gender,birth_date");
+  EXPECT_NE(person.find("\"ada, the first\""), std::string::npos);
+  const std::string& holds = files->at("holds.csv");
+  EXPECT_NE(holds.find("P1,S1,ownership"), std::string::npos);
+  // Every node and edge type has a file.
+  EXPECT_EQ(files->size(),
+            schema.nodes().size() + schema.edges().size());
+}
+
+TEST(CsvIoTest, RoundTripPreservesInstance) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  pg::PropertyGraph original = SmallInstance();
+  auto files = ExportCsv(schema, original);
+  ASSERT_TRUE(files.ok());
+  auto back = ImportCsv(schema, *files);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_nodes(), original.num_nodes());
+  EXPECT_EQ(back->num_edges(), original.num_edges());
+  pg::NodeId ada = back->FindNode("PhysicalPerson", "fiscalCode",
+                                  Value("P1"));
+  ASSERT_NE(ada, pg::kInvalidNode);
+  EXPECT_EQ(*back->NodeProperty(ada, "name"), Value("ada, the first"));
+  EXPECT_TRUE(back->node(ada).HasLabel("Person"));
+  pg::NodeId acme = back->FindNode("Business", "fiscalCode", Value("C1"));
+  ASSERT_NE(acme, pg::kInvalidNode);
+  EXPECT_EQ(*back->NodeProperty(acme, "shareholdingCapital"),
+            Value(1234.5));
+  auto holds = back->EdgesWithLabel("HOLDS");
+  ASSERT_EQ(holds.size(), 1u);
+  EXPECT_EQ(*back->EdgeProperty(holds[0], "percentage"), Value(0.6));
+}
+
+TEST(CsvIoTest, GeneratedNetworkRoundTrip) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  finkg::GeneratorConfig config;
+  config.num_companies = 30;
+  config.num_persons = 50;
+  pg::PropertyGraph original =
+      finkg::ShareholdingNetwork::Generate(config).ToInstanceGraph();
+  auto files = ExportCsv(schema, original);
+  ASSERT_TRUE(files.ok());
+  auto back = ImportCsv(schema, *files);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_nodes(), original.num_nodes());
+  EXPECT_EQ(back->num_edges(), original.num_edges());
+  EXPECT_EQ(back->NodesWithLabel("Business").size(), 30u);
+  EXPECT_EQ(back->EdgesWithLabel("HOLDS").size(),
+            original.EdgesWithLabel("HOLDS").size());
+}
+
+TEST(CsvIoTest, DanglingEdgeReferenceRejected) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  auto files = ExportCsv(schema, SmallInstance());
+  ASSERT_TRUE(files.ok());
+  (*files)["holds.csv"] =
+      "from_fiscal_code,to_share_id,right,percentage\nZZ,S9,ownership,"
+      "0.5\n";
+  EXPECT_FALSE(ImportCsv(schema, *files).ok());
+}
+
+TEST(CsvIoTest, DuplicateKeyRejected) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  auto files = ExportCsv(schema, SmallInstance());
+  ASSERT_TRUE(files.ok());
+  (*files)["share.csv"] =
+      "share_id,number_of_stocks,percentage\nS1,,0.5\nS1,,0.6\n";
+  EXPECT_FALSE(ImportCsv(schema, *files).ok());
+}
+
+}  // namespace
+}  // namespace kgm::translate

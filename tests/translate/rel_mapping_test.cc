@@ -1,0 +1,168 @@
+// Tests of the declarative relational Eliminate phase (Section 5.3): the
+// MetaLog program rewrites the Company KG super-schema S (schemaOID 1)
+// into S- (schemaOID 2) inside the dictionary, replacing many-to-many
+// edges by junction nodes with FK edges and generalizations by IS_A
+// foreign-key edges.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/dictionary.h"
+#include "finkg/company_kg.h"
+#include "metalog/runner.h"
+#include "translate/pg_mapping.h"
+
+namespace kgm::translate {
+namespace {
+
+struct Eliminated {
+  pg::PropertyGraph dict;
+
+  bool InS2(pg::NodeId id) const {
+    const Value* oid = dict.NodeProperty(id, "schemaOID");
+    return oid != nullptr && oid->is_int() && oid->AsInt() == 2;
+  }
+  std::string TypeName(pg::NodeId id, const char* link) const {
+    for (pg::EdgeId e : dict.OutEdges(id)) {
+      if (!dict.HasEdge(e) || dict.edge(e).label != link) continue;
+      const Value* name = dict.NodeProperty(dict.edge(e).to, "name");
+      if (name != nullptr) return name->AsString();
+    }
+    return "";
+  }
+  // S- edges as (typeName, fromType, toType, isFun1).
+  std::set<std::tuple<std::string, std::string, std::string, bool>>
+  S2Edges() const {
+    std::set<std::tuple<std::string, std::string, std::string, bool>> out;
+    for (pg::NodeId id : dict.NodesWithLabel(core::kSmEdge)) {
+      if (!InS2(id)) continue;
+      std::string from;
+      std::string to;
+      for (pg::EdgeId e : dict.OutEdges(id)) {
+        if (!dict.HasEdge(e)) continue;
+        if (dict.edge(e).label == core::kSmFrom) {
+          from = TypeName(dict.edge(e).to, core::kSmHasNodeType);
+        } else if (dict.edge(e).label == core::kSmTo) {
+          to = TypeName(dict.edge(e).to, core::kSmHasNodeType);
+        }
+      }
+      const Value* fun1 = dict.NodeProperty(id, "isFun1");
+      out.emplace(TypeName(id, core::kSmHasEdgeType), from, to,
+                  fun1 != nullptr && fun1->is_bool() && fun1->AsBool());
+    }
+    return out;
+  }
+};
+
+Eliminated RunEliminate() {
+  Eliminated out;
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  schema.set_schema_oid(kSrcOid);
+  EXPECT_TRUE(core::StoreSuperSchema(schema, &out.dict).ok());
+  const Mapping* mapping = FindMapping("relational", "relation_per_member");
+  EXPECT_NE(mapping, nullptr);
+  auto run = metalog::RunMetaLogSource(mapping->eliminate, &out.dict);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  return out;
+}
+
+TEST(RelEliminateTest, MappingIsInRepository) {
+  const Mapping* mapping = FindMapping("relational", "relation_per_member");
+  ASSERT_NE(mapping, nullptr);
+  EXPECT_FALSE(mapping->eliminate.empty());
+  // The Copy phase runs natively (DESIGN.md §5).
+  EXPECT_TRUE(mapping->copy.empty());
+}
+
+TEST(RelEliminateTest, NoGeneralizationsSurviveInS2) {
+  Eliminated r = RunEliminate();
+  for (pg::NodeId id : r.dict.NodesWithLabel(core::kSmGeneralization)) {
+    EXPECT_FALSE(r.InS2(id));
+  }
+}
+
+TEST(RelEliminateTest, GeneralizationsBecomeIsAEdges) {
+  Eliminated r = RunEliminate();
+  auto edges = r.S2Edges();
+  // One IS_A per (child, parent) pair, functional (FK) and mandatory.
+  std::set<std::pair<std::string, std::string>> is_a;
+  for (const auto& [type, from, to, fun1] : edges) {
+    if (type != "IS_A") continue;
+    EXPECT_TRUE(fun1);
+    is_a.emplace(from, to);
+  }
+  EXPECT_EQ(is_a, (std::set<std::pair<std::string, std::string>>{
+                      {"PhysicalPerson", "Person"},
+                      {"LegalPerson", "Person"},
+                      {"Business", "LegalPerson"},
+                      {"NonBusiness", "LegalPerson"},
+                      {"PublicListedCompany", "Business"},
+                      {"StockShare", "Share"}}));
+}
+
+TEST(RelEliminateTest, ManyToManyEdgesBecomeJunctions) {
+  Eliminated r = RunEliminate();
+  auto edges = r.S2Edges();
+  // HOLDS is many-to-many: a junction node typed HOLDS with FK_FROM to
+  // Person and FK_TO to Share, both functional.
+  EXPECT_TRUE(edges.count({"FK_FROM", "HOLDS", "Person", true}) > 0);
+  EXPECT_TRUE(edges.count({"FK_TO", "HOLDS", "Share", true}) > 0);
+  // No many-to-many SM_Edge survives in S-.
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  for (const auto& [type, from, to, fun1] : edges) {
+    if (type == "IS_A" || type == "FK_FROM" || type == "FK_TO") continue;
+    const core::EdgeDef* def = schema.FindEdge(type);
+    ASSERT_NE(def, nullptr) << type;
+    EXPECT_FALSE(def->many_to_many()) << type;
+  }
+}
+
+TEST(RelEliminateTest, OneToManyEdgesCopied) {
+  Eliminated r = RunEliminate();
+  auto edges = r.S2Edges();
+  // BELONGS_TO (share (1,1) -> business) survives as a functional edge.
+  EXPECT_TRUE(edges.count({"BELONGS_TO", "Share", "Business", true}) > 0);
+  // RESIDES (person (0,1) -> place) survives too.
+  EXPECT_TRUE(edges.count({"RESIDES", "Person", "Place", true}) > 0);
+}
+
+TEST(RelEliminateTest, JunctionCarriesEdgeAttributes) {
+  Eliminated r = RunEliminate();
+  // The HOLDS junction node carries right and percentage attributes.
+  bool found = false;
+  for (pg::NodeId id : r.dict.NodesWithLabel(core::kSmNode)) {
+    if (!r.InS2(id)) continue;
+    if (r.TypeName(id, core::kSmHasNodeType) != "HOLDS") continue;
+    found = true;
+    std::set<std::string> attrs;
+    for (pg::EdgeId e : r.dict.OutEdges(id)) {
+      if (!r.dict.HasEdge(e) ||
+          r.dict.edge(e).label != core::kSmHasNodeProperty) {
+        continue;
+      }
+      const Value* name = r.dict.NodeProperty(r.dict.edge(e).to, "name");
+      if (name != nullptr) attrs.insert(name->AsString());
+    }
+    EXPECT_EQ(attrs, (std::set<std::string>{"right", "percentage"}));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RelEliminateTest, EveryNodeKeepsItsSingleType) {
+  Eliminated r = RunEliminate();
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  size_t junctions = 0;
+  for (const auto& e : schema.edges()) {
+    if (e.many_to_many()) ++junctions;
+  }
+  size_t s2_nodes = 0;
+  for (pg::NodeId id : r.dict.NodesWithLabel(core::kSmNode)) {
+    if (r.InS2(id)) ++s2_nodes;
+  }
+  EXPECT_EQ(s2_nodes, schema.nodes().size() + junctions);
+}
+
+}  // namespace
+}  // namespace kgm::translate

@@ -1,0 +1,223 @@
+#include "translate/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "finkg/company_kg.h"
+#include "finkg/generator.h"
+#include "translate/native.h"
+
+namespace kgm::translate {
+namespace {
+
+struct Fixture {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  core::PgSchema pg_schema;
+  Fixture() { pg_schema = TranslateToPgNative(schema).value(); }
+};
+
+pg::NodeId AddPerson(pg::PropertyGraph* g, const std::string& code) {
+  return g->AddNode(std::vector<std::string>{"PhysicalPerson", "Person"},
+                    {{"fiscalCode", Value(code)},
+                     {"name", Value("n")},
+                     {"surname", Value("s")},
+                     {"gender", Value("female")}});
+}
+
+pg::NodeId AddBusiness(pg::PropertyGraph* g, const std::string& code) {
+  return g->AddNode(
+      std::vector<std::string>{"Business", "LegalPerson", "Person"},
+      {{"fiscalCode", Value(code)},
+       {"businessName", Value("b")},
+       {"legalNature", Value("srl")},
+       {"shareholdingCapital", Value(1000.0)}});
+}
+
+pg::NodeId AddShare(pg::PropertyGraph* g, const std::string& id,
+                    pg::NodeId holder, pg::NodeId business) {
+  pg::NodeId s = g->AddNode(std::vector<std::string>{"Share"},
+                            {{"shareId", Value(id)},
+                             {"percentage", Value(0.5)}});
+  g->AddEdge(holder, s, "HOLDS",
+             {{"right", Value("ownership")}, {"percentage", Value(0.5)}});
+  g->AddEdge(s, business, "BELONGS_TO");
+  return s;
+}
+
+TEST(ValidateTest, ConformantInstancePasses) {
+  Fixture f;
+  pg::PropertyGraph g;
+  pg::NodeId ada = AddPerson(&g, "P1");
+  pg::NodeId acme = AddBusiness(&g, "C1");
+  AddShare(&g, "S1", ada, acme);
+  ValidationReport report = ValidateInstance(f.schema, f.pg_schema, g);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.checked_nodes, 3u);
+  EXPECT_EQ(report.checked_edges, 2u);
+}
+
+TEST(ValidateTest, GeneratedInstanceConforms) {
+  Fixture f;
+  finkg::GeneratorConfig config;
+  config.num_companies = 60;
+  config.num_persons = 90;
+  pg::PropertyGraph g =
+      finkg::ShareholdingNetwork::Generate(config).ToInstanceGraph();
+  ValidationReport report = ValidateInstance(f.schema, f.pg_schema, g);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(ValidateTest, MissingRequiredProperty) {
+  Fixture f;
+  pg::PropertyGraph g;
+  g.AddNode(std::vector<std::string>{"PhysicalPerson", "Person"},
+            {{"fiscalCode", Value("P1")},
+             {"name", Value("n")},
+             {"surname", Value("s")}});  // gender missing
+  ValidationReport report = ValidateInstance(f.schema, f.pg_schema, g);
+  EXPECT_EQ(report.Count(Violation::Kind::kMissingRequired), 1u);
+}
+
+TEST(ValidateTest, IntensionalPropertyMayBeAbsent) {
+  // numberOfStakeholders is intensional: absence is fine before
+  // materialization.
+  Fixture f;
+  pg::PropertyGraph g;
+  AddBusiness(&g, "C1");
+  ValidationReport report = ValidateInstance(f.schema, f.pg_schema, g);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(ValidateTest, WrongTypeDetected) {
+  Fixture f;
+  pg::PropertyGraph g;
+  pg::NodeId ada = AddPerson(&g, "P1");
+  g.SetNodeProperty(ada, "name", Value(int64_t{7}));  // string expected
+  ValidationReport report = ValidateInstance(f.schema, f.pg_schema, g);
+  EXPECT_EQ(report.Count(Violation::Kind::kWrongType), 1u);
+}
+
+TEST(ValidateTest, MissingAccumulatedLabel) {
+  Fixture f;
+  pg::PropertyGraph g;
+  g.AddNode(std::vector<std::string>{"Business", "LegalPerson"},  // Person
+            {{"fiscalCode", Value("C1")},
+             {"businessName", Value("b")},
+             {"legalNature", Value("srl")},
+             {"shareholdingCapital", Value(1.0)}});
+  ValidationReport report = ValidateInstance(f.schema, f.pg_schema, g);
+  EXPECT_EQ(report.Count(Violation::Kind::kMissingLabel), 1u);
+}
+
+TEST(ValidateTest, UnknownLabelAndProperty) {
+  Fixture f;
+  pg::PropertyGraph g;
+  g.AddNode("Martian");
+  pg::NodeId ada = AddPerson(&g, "P1");
+  g.SetNodeProperty(ada, "shoeSize", Value(int64_t{42}));
+  ValidationReport report = ValidateInstance(f.schema, f.pg_schema, g);
+  EXPECT_EQ(report.Count(Violation::Kind::kUnknownLabel), 1u);
+  EXPECT_EQ(report.Count(Violation::Kind::kUndeclaredProperty), 1u);
+}
+
+TEST(ValidateTest, UniqueFiscalCodeAcrossTheHierarchy) {
+  // fiscalCode is unique within Person: a PhysicalPerson and a Business
+  // sharing one violates it (they are both Persons).
+  Fixture f;
+  pg::PropertyGraph g;
+  AddPerson(&g, "X1");
+  AddBusiness(&g, "X1");
+  ValidationReport report = ValidateInstance(f.schema, f.pg_schema, g);
+  EXPECT_EQ(report.Count(Violation::Kind::kUniqueViolated), 1u);
+}
+
+TEST(ValidateTest, EndpointLabelsChecked) {
+  Fixture f;
+  pg::PropertyGraph g;
+  pg::NodeId ada = AddPerson(&g, "P1");
+  pg::NodeId bob = AddPerson(&g, "P2");
+  // HOLDS must end at a Share.
+  g.AddEdge(ada, bob, "HOLDS",
+            {{"right", Value("ownership")}, {"percentage", Value(0.1)}});
+  ValidationReport report = ValidateInstance(f.schema, f.pg_schema, g);
+  EXPECT_GE(report.Count(Violation::Kind::kBadEndpoint), 1u);
+}
+
+TEST(ValidateTest, CardinalityBounds) {
+  Fixture f;
+  pg::PropertyGraph g;
+  pg::NodeId ada = AddPerson(&g, "P1");
+  pg::NodeId acme = AddBusiness(&g, "C1");
+  pg::NodeId emca = AddBusiness(&g, "C2");
+  // A Share must BELONGS_TO exactly one Business: zero and two both fail.
+  pg::NodeId orphan = g.AddNode(std::vector<std::string>{"Share"},
+                                {{"shareId", Value("S0")},
+                                 {"percentage", Value(0.1)}});
+  g.AddEdge(ada, orphan, "HOLDS",
+            {{"right", Value("ownership")}, {"percentage", Value(0.1)}});
+  pg::NodeId twice = AddShare(&g, "S1", ada, acme);
+  g.AddEdge(twice, emca, "BELONGS_TO");
+  ValidationReport report = ValidateInstance(f.schema, f.pg_schema, g);
+  // orphan: no outgoing BELONGS_TO (min 1); twice: two outgoing (max 1).
+  EXPECT_GE(report.Count(Violation::Kind::kCardinality), 2u);
+  // A Share must also be HELD by at least one person (target (1,N) of
+  // HOLDS is satisfied here for both shares).
+}
+
+TEST(ValidateTest, UnknownRelationship) {
+  Fixture f;
+  pg::PropertyGraph g;
+  pg::NodeId ada = AddPerson(&g, "P1");
+  pg::NodeId bob = AddPerson(&g, "P2");
+  g.AddEdge(ada, bob, "TELEPORTS_TO");
+  ValidationReport report = ValidateInstance(f.schema, f.pg_schema, g);
+  EXPECT_EQ(report.Count(Violation::Kind::kUnknownRelationship), 1u);
+}
+
+TEST(ValidateTest, EnumAndRangeModifiersEnforced) {
+  core::SuperSchema schema("Mods");
+  core::AttributeDef kind = core::Attr("legalKind");
+  kind.modifiers.push_back(
+      core::AttributeModifier::Enum({Value("spa"), Value("srl")}));
+  core::AttributeDef pct = core::Attr("quota", core::AttrType::kDouble);
+  pct.modifiers.push_back(core::AttributeModifier::Range(0.0, 1.0));
+  schema.AddNode("Firm", {core::IdAttr("code"), kind, pct});
+  core::PgSchema pg_schema = TranslateToPgNative(schema).value();
+
+  pg::PropertyGraph good;
+  good.AddNode("Firm", {{"code", Value("F1")},
+                        {"legalKind", Value("spa")},
+                        {"quota", Value(0.4)}});
+  EXPECT_TRUE(ValidateInstance(schema, pg_schema, good).ok());
+
+  pg::PropertyGraph bad;
+  bad.AddNode("Firm", {{"code", Value("F2")},
+                       {"legalKind", Value("gmbh")},  // not enumerated
+                       {"quota", Value(1.7)}});       // out of range
+  ValidationReport report = ValidateInstance(schema, pg_schema, bad);
+  EXPECT_EQ(report.Count(Violation::Kind::kEnumViolated), 1u);
+  EXPECT_EQ(report.Count(Violation::Kind::kRangeViolated), 1u);
+}
+
+TEST(ValidateTest, ViolationCapRespected) {
+  Fixture f;
+  pg::PropertyGraph g;
+  for (int i = 0; i < 50; ++i) g.AddNode("Martian");
+  ValidateOptions options;
+  options.max_violations = 10;
+  ValidationReport report =
+      ValidateInstance(f.schema, f.pg_schema, g, options);
+  EXPECT_EQ(report.violations.size(), 10u);
+}
+
+TEST(ValidateTest, ReportRendering) {
+  Fixture f;
+  pg::PropertyGraph g;
+  g.AddNode("Martian");
+  ValidationReport report = ValidateInstance(f.schema, f.pg_schema, g);
+  std::string s = report.ToString();
+  EXPECT_NE(s.find("unknown_label"), std::string::npos);
+  EXPECT_NE(s.find("violation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kgm::translate

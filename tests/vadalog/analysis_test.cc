@@ -1,0 +1,213 @@
+#include "vadalog/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "vadalog/parser.h"
+
+namespace kgm::vadalog {
+namespace {
+
+Program P(const std::string& src) {
+  auto program = ParseProgram(src);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+TEST(StratifyTest, LinearChain) {
+  Program p = P(R"(
+    a(x) -> b(x).
+    b(x) -> c(x).
+  )");
+  auto s = Stratify(p);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_LT(s->SccOf("a"), s->SccOf("b"));
+  EXPECT_LT(s->SccOf("b"), s->SccOf("c"));
+  EXPECT_FALSE(s->rule_recursive[0]);
+  EXPECT_FALSE(s->rule_recursive[1]);
+}
+
+TEST(StratifyTest, RecursionDetected) {
+  Program p = P(R"(
+    edge(x, y) -> path(x, y).
+    path(x, y), edge(y, z) -> path(x, z).
+  )");
+  auto s = Stratify(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(s->rule_recursive[0]);
+  EXPECT_TRUE(s->rule_recursive[1]);
+  EXPECT_LT(s->SccOf("edge"), s->SccOf("path"));
+}
+
+TEST(StratifyTest, MutualRecursionSameScc) {
+  Program p = P(R"(
+    base(x) -> even(x).
+    even(x), succ(x, y) -> odd(y).
+    odd(x), succ(x, y) -> even(y).
+  )");
+  auto s = Stratify(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->SccOf("even"), s->SccOf("odd"));
+}
+
+TEST(StratifyTest, NegationAcrossStrataAllowed) {
+  Program p = P(R"(
+    node(x), not visited(x) -> unvisited(x).
+    start(x) -> visited(x).
+  )");
+  EXPECT_TRUE(Stratify(p).ok());
+}
+
+TEST(StratifyTest, NegationInCycleRejected) {
+  Program p = P(R"(
+    p(x), not q(x) -> r(x).
+    r(x) -> q(x).
+  )");
+  auto s = Stratify(p);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StratifyTest, MultiHeadForcesSameScc) {
+  Program p = P(R"(
+    a(x) -> b(x), c(x).
+    c(x) -> d(x).
+  )");
+  auto s = Stratify(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->SccOf("b"), s->SccOf("c"));
+}
+
+TEST(StratifyTest, PackInsideRecursionAllowedMonotonically) {
+  // pack() under recursion runs in monotonic mode (records grow as
+  // contributions arrive); stratification accepts it.
+  Program p = P(R"(
+    p(x, n, v), r = pack(n, v) -> p(x, n, r).
+  )");
+  EXPECT_TRUE(Stratify(p).ok());
+}
+
+TEST(SafetyTest, UnboundHeadVariable) {
+  Program p = P("p(x) -> q(x, y).");
+  EXPECT_FALSE(ValidateSafety(p).ok());
+}
+
+TEST(SafetyTest, ExistentialMakesHeadVariableSafe) {
+  Program p = P("p(x) -> exists y q(x, y).");
+  EXPECT_TRUE(ValidateSafety(p).ok());
+}
+
+TEST(SafetyTest, NegationOnlyVariableUnsafe) {
+  Program p = P("p(x), not q(x, y) -> r(x).");
+  EXPECT_FALSE(ValidateSafety(p).ok());
+}
+
+TEST(SafetyTest, AnonymousInNegationIsFine) {
+  Program p = P("p(x), not q(x, _) -> r(x).");
+  EXPECT_TRUE(ValidateSafety(p).ok());
+}
+
+TEST(SafetyTest, ConditionVariableMustBeBound) {
+  Program p = P("p(x), y > 1 -> q(x).");
+  EXPECT_FALSE(ValidateSafety(p).ok());
+}
+
+TEST(SafetyTest, AssignmentBindsVariable) {
+  Program p = P("p(x), y = x + 1, y > 1 -> q(y).");
+  EXPECT_TRUE(ValidateSafety(p).ok());
+}
+
+TEST(SafetyTest, ExistentialMayNotAppearInBody) {
+  Program p = P("p(x) -> exists x q(x).");
+  EXPECT_FALSE(ValidateSafety(p).ok());
+}
+
+TEST(SafetyTest, UnusedExistentialRejected) {
+  Program p = P("p(x) -> exists y q(x).");
+  EXPECT_FALSE(ValidateSafety(p).ok());
+}
+
+TEST(SafetyTest, SkolemArgsMustBeBound) {
+  Program p = P("p(x) -> exists y = sk(z) q(x, y).");
+  EXPECT_FALSE(ValidateSafety(p).ok());
+}
+
+TEST(SafetyTest, AnonymousVariableInHeadRejected) {
+  Program p = P("p(x) -> q(x, _).");
+  EXPECT_FALSE(ValidateSafety(p).ok());
+}
+
+TEST(WardednessTest, DatalogProgramIsWarded) {
+  Program p = P(R"(
+    edge(x, y) -> path(x, y).
+    path(x, y), edge(y, z) -> path(x, z).
+  )");
+  auto report = CheckWardedness(p);
+  EXPECT_TRUE(report.warded);
+  EXPECT_TRUE(report.affected.empty());
+}
+
+TEST(WardednessTest, AffectedPositionsComputed) {
+  Program p = P(R"(
+    person(x) -> exists y father(x, y).
+    father(x, y) -> person(y).
+  )");
+  auto report = CheckWardedness(p);
+  EXPECT_TRUE(report.warded);
+  // father[1] hosts the existential; person[0] receives it via rule 2, and
+  // from there the null flows back into father[0] through rule 1.
+  EXPECT_TRUE(report.affected.count({"father", 1}) > 0);
+  EXPECT_TRUE(report.affected.count({"person", 0}) > 0);
+  EXPECT_TRUE(report.affected.count({"father", 0}) > 0);
+}
+
+TEST(WardednessTest, HarmlessJoinVariableKeepsProgramWarded) {
+  // y also occurs at the non-affected position q[0], so it is harmless and
+  // the join is allowed.
+  Program p = P(R"(
+    start(x) -> exists y p(x, y).
+    p(x, y), q(y, z) -> p(y, z).
+    p(x, y) -> q(x, y).
+  )");
+  auto report = CheckWardedness(p);
+  EXPECT_TRUE(report.warded);
+  EXPECT_TRUE(report.affected.count({"p", 1}) > 0);
+  EXPECT_TRUE(report.affected.count({"q", 1}) > 0);
+}
+
+TEST(WardednessTest, JoinOnHarmfulVariableBreaksWardedness) {
+  // y occurs only at affected positions (p[1] and q[1]) and reaches the
+  // head, so it is dangerous; every candidate ward shares it with another
+  // atom -> no ward exists.
+  Program p = P(R"(
+    start(x) -> exists y p(x, y).
+    p(x, y) -> q(x, y).
+    p(x, y), q(x2, y) -> r(y).
+  )");
+  auto report = CheckWardedness(p);
+  EXPECT_FALSE(report.warded);
+  EXPECT_FALSE(report.violations.empty());
+}
+
+TEST(PiecewiseLinearTest, LinearRecursionIsPwl) {
+  Program p = P(R"(
+    edge(x, y) -> path(x, y).
+    path(x, y), edge(y, z) -> path(x, z).
+  )");
+  EXPECT_TRUE(IsPiecewiseLinear(p));
+}
+
+TEST(PiecewiseLinearTest, NonLinearRecursionIsNotPwl) {
+  Program p = P(R"(
+    edge(x, y) -> path(x, y).
+    path(x, y), path(y, z) -> path(x, z).
+  )");
+  EXPECT_FALSE(IsPiecewiseLinear(p));
+}
+
+TEST(IsRecursiveTest, Basics) {
+  EXPECT_FALSE(IsRecursive(P("a(x) -> b(x).")));
+  EXPECT_TRUE(IsRecursive(P("a(x, y), a(y, z) -> a(x, z).")));
+}
+
+}  // namespace
+}  // namespace kgm::vadalog

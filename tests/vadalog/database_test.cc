@@ -1,0 +1,94 @@
+#include "vadalog/database.h"
+
+#include <gtest/gtest.h>
+
+namespace kgm::vadalog {
+namespace {
+
+Tuple T(std::initializer_list<int64_t> values) {
+  Tuple t;
+  for (int64_t v : values) t.push_back(Value(v));
+  return t;
+}
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation rel(2);
+  EXPECT_TRUE(rel.Insert(T({1, 2})));
+  EXPECT_FALSE(rel.Insert(T({1, 2})));
+  EXPECT_TRUE(rel.Insert(T({2, 1})));
+  EXPECT_EQ(rel.size(), 2u);
+}
+
+TEST(RelationTest, Contains) {
+  Relation rel(2);
+  rel.Insert(T({1, 2}));
+  EXPECT_TRUE(rel.Contains(T({1, 2})));
+  EXPECT_FALSE(rel.Contains(T({2, 2})));
+}
+
+TEST(RelationTest, MaskedLookup) {
+  Relation rel(3);
+  rel.Insert(T({1, 10, 100}));
+  rel.Insert(T({1, 20, 200}));
+  rel.Insert(T({2, 10, 300}));
+  // Lookup on first position.
+  Tuple probe = T({1, 0, 0});
+  const auto& rows = rel.Lookup(0b001, probe);
+  size_t matches = 0;
+  for (uint32_t r : rows) {
+    if (rel.MatchesMasked(r, 0b001, probe)) ++matches;
+  }
+  EXPECT_EQ(matches, 2u);
+}
+
+TEST(RelationTest, IndexMaintainedAcrossInserts) {
+  Relation rel(2);
+  rel.Insert(T({1, 10}));
+  Tuple probe = T({1, 0});
+  EXPECT_EQ(rel.Lookup(0b01, probe).size(), 1u);
+  // Insert after the index is built: index must pick it up.
+  rel.Insert(T({1, 20}));
+  EXPECT_EQ(rel.Lookup(0b01, probe).size(), 2u);
+}
+
+TEST(RelationTest, MultiPositionMask) {
+  Relation rel(3);
+  rel.Insert(T({1, 10, 100}));
+  rel.Insert(T({1, 10, 200}));
+  rel.Insert(T({1, 20, 300}));
+  Tuple probe = T({1, 10, 0});
+  const auto& rows = rel.Lookup(0b011, probe);
+  size_t matches = 0;
+  for (uint32_t r : rows) {
+    if (rel.MatchesMasked(r, 0b011, probe)) ++matches;
+  }
+  EXPECT_EQ(matches, 2u);
+}
+
+TEST(FactDbTest, GetOrCreateAndAdd) {
+  FactDb db;
+  EXPECT_EQ(db.Get("p"), nullptr);
+  EXPECT_TRUE(db.Add("p", T({1, 2})));
+  EXPECT_FALSE(db.Add("p", T({1, 2})));
+  ASSERT_NE(db.Get("p"), nullptr);
+  EXPECT_EQ(db.Get("p")->size(), 1u);
+  EXPECT_EQ(db.TotalFacts(), 1u);
+  EXPECT_EQ(db.Predicates(), (std::vector<std::string>{"p"}));
+}
+
+TEST(FactDbTest, DebugStringListsFacts) {
+  FactDb db;
+  db.Add("edge", {Value("a"), Value("b")});
+  std::string s = db.DebugString();
+  EXPECT_EQ(s, "edge(\"a\",\"b\")\n");
+}
+
+TEST(TupleHashTest, MaskedHashIgnoresUnmaskedPositions) {
+  Tuple a = T({1, 999});
+  Tuple b = T({1, 123});
+  EXPECT_EQ(HashTupleMasked(a, 0b01), HashTupleMasked(b, 0b01));
+  EXPECT_NE(HashTuple(a), HashTuple(b));
+}
+
+}  // namespace
+}  // namespace kgm::vadalog

@@ -1,0 +1,141 @@
+// Unit tests of the scalar expression evaluator (conditions, assignments,
+// builtins) used throughout rule bodies.
+
+#include <gtest/gtest.h>
+
+#include "vadalog/ast.h"
+#include "vadalog/lexer.h"
+#include "vadalog/parser.h"
+
+namespace kgm::vadalog {
+namespace {
+
+Result<Value> Eval(const std::string& source, Bindings env = {}) {
+  auto tokens = Tokenize(source);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  TokenStream ts(std::move(tokens).value());
+  auto expr = ParseExpression(ts);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  return EvalExpr(**expr, env);
+}
+
+Value V(int64_t i) { return Value(i); }
+
+TEST(ExprTest, IntegerArithmetic) {
+  EXPECT_EQ(Eval("1 + 2 * 3").value(), V(7));
+  EXPECT_EQ(Eval("(1 + 2) * 3").value(), V(9));
+  EXPECT_EQ(Eval("7 / 2").value(), V(3));    // integer division
+  EXPECT_EQ(Eval("-5 + 2").value(), V(-3));
+  EXPECT_EQ(Eval("mod(7, 3)").value(), V(1));
+}
+
+TEST(ExprTest, DoubleArithmeticAndMixing) {
+  EXPECT_EQ(Eval("0.5 + 0.25").value(), Value(0.75));
+  EXPECT_EQ(Eval("1 + 0.5").value(), Value(1.5));  // int widens to double
+  EXPECT_EQ(Eval("7.0 / 2").value(), Value(3.5));
+}
+
+TEST(ExprTest, DivisionByZero) {
+  EXPECT_FALSE(Eval("1 / 0").ok());
+  EXPECT_FALSE(Eval("mod(1, 0)").ok());
+  // IEEE semantics for doubles.
+  EXPECT_TRUE(Eval("1.0 / 0.0").ok());
+}
+
+TEST(ExprTest, Comparisons) {
+  EXPECT_EQ(Eval("1 < 2").value(), Value(true));
+  EXPECT_EQ(Eval("2 <= 2").value(), Value(true));
+  EXPECT_EQ(Eval("3 > 4").value(), Value(false));
+  EXPECT_EQ(Eval("1 == 1.0").value(), Value(true));  // numeric coercion
+  EXPECT_EQ(Eval("\"a\" < \"b\"").value(), Value(true));
+  EXPECT_EQ(Eval("\"a\" == \"a\"").value(), Value(true));
+}
+
+TEST(ExprTest, CrossKindComparisons) {
+  EXPECT_EQ(Eval("\"a\" == 1").value(), Value(false));
+  EXPECT_EQ(Eval("\"a\" != 1").value(), Value(true));
+  // Ordering across kinds is false (SQL-null-style), not an error.
+  EXPECT_EQ(Eval("\"a\" < 1").value(), Value(false));
+}
+
+TEST(ExprTest, BooleanConnectivesShortCircuit) {
+  EXPECT_EQ(Eval("true && false").value(), Value(false));
+  EXPECT_EQ(Eval("true || false").value(), Value(true));
+  EXPECT_EQ(Eval("!true").value(), Value(false));
+  // Short circuit: the RHS (a type error) is never evaluated.
+  EXPECT_EQ(Eval("false && (1 + \"x\" == 0)").value(), Value(false));
+  EXPECT_EQ(Eval("true || (1 + \"x\" == 0)").value(), Value(true));
+}
+
+TEST(ExprTest, StringBuiltins) {
+  EXPECT_EQ(Eval("concat(\"a\", \"b\", 1)").value(), Value("ab1"));
+  EXPECT_EQ(Eval("\"a\" + \"b\"").value(), Value("ab"));
+  EXPECT_EQ(Eval("substr(\"hello\", 1, 3)").value(), Value("ell"));
+  EXPECT_FALSE(Eval("substr(\"hello\", 9, 3)").ok());
+  EXPECT_EQ(Eval("strlen(\"hello\")").value(), V(5));
+  EXPECT_EQ(Eval("to_string(42)").value(), Value("42"));
+}
+
+TEST(ExprTest, NumericBuiltins) {
+  EXPECT_EQ(Eval("abs(-3)").value(), V(3));
+  EXPECT_EQ(Eval("abs(-3.5)").value(), Value(3.5));
+  EXPECT_EQ(Eval("min(2, 5)").value(), V(2));
+  EXPECT_EQ(Eval("max(2, 5)").value(), V(5));
+  EXPECT_EQ(Eval("to_int(3.9)").value(), V(3));
+  EXPECT_EQ(Eval("to_int(\"17\")").value(), V(17));
+  EXPECT_EQ(Eval("to_double(3)").value(), Value(3.0));
+  EXPECT_EQ(Eval("to_double(\"0.5\")").value(), Value(0.5));
+}
+
+TEST(ExprTest, NullAndRecordBuiltins) {
+  Bindings env;
+  env["n"] = Value();
+  env["r"] = MakeRecord({{"a", V(1)}, {"b", Value("x")}});
+  EXPECT_EQ(Eval("is_null(n)", env).value(), Value(true));
+  EXPECT_EQ(Eval("is_null(r)", env).value(), Value(false));
+  EXPECT_EQ(Eval("get(r, \"a\")", env).value(), V(1));
+  EXPECT_EQ(Eval("get(r, \"b\")", env).value(), Value("x"));
+  EXPECT_EQ(Eval("get(r, \"missing\")", env).value(), Value());
+  EXPECT_FALSE(Eval("get(n, \"a\")", env).ok());
+}
+
+TEST(ExprTest, VariablesAndUnbound) {
+  Bindings env;
+  env["x"] = V(10);
+  EXPECT_EQ(Eval("x * x + 1", env).value(), V(101));
+  auto unbound = Eval("y + 1", env);
+  ASSERT_FALSE(unbound.ok());
+  EXPECT_NE(unbound.status().message().find("unbound"), std::string::npos);
+}
+
+TEST(ExprTest, TypeErrors) {
+  EXPECT_FALSE(Eval("1 - \"x\"").ok());
+  EXPECT_FALSE(Eval("!5").ok());
+  EXPECT_FALSE(Eval("-\"x\"").ok());
+  EXPECT_FALSE(Eval("true && 1").ok());
+  EXPECT_FALSE(Eval("nosuchfn(1)").ok());
+  EXPECT_FALSE(Eval("abs(1, 2)").ok());
+}
+
+TEST(ExprTest, CollectVars) {
+  auto tokens = Tokenize("x + f(y, z * x)").value();
+  TokenStream ts(std::move(tokens));
+  ExprPtr e = ParseExpression(ts).value();
+  std::vector<std::string> vars;
+  e->CollectVars(&vars);
+  EXPECT_EQ(vars, (std::vector<std::string>{"x", "y", "z", "x"}));
+}
+
+TEST(ExprTest, ToStringRoundTrips) {
+  auto tokens = Tokenize("(x + 1) * max(y, 2) > 0.5 && !done").value();
+  TokenStream ts(std::move(tokens));
+  ExprPtr e = ParseExpression(ts).value();
+  std::string printed = e->ToString();
+  auto tokens2 = Tokenize(printed).value();
+  TokenStream ts2(std::move(tokens2));
+  ExprPtr e2 = ParseExpression(ts2).value();
+  EXPECT_EQ(e2->ToString(), printed);
+}
+
+}  // namespace
+}  // namespace kgm::vadalog

@@ -1,0 +1,110 @@
+#include "vadalog/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace kgm::vadalog {
+namespace {
+
+std::vector<TokKind> Kinds(const std::string& src) {
+  auto tokens = Tokenize(src);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokKind> out;
+  for (const Token& t : tokens.value()) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, Identifiers) {
+  auto toks = Tokenize("abc _x B2b").value();
+  ASSERT_EQ(toks.size(), 4u);  // includes end
+  EXPECT_EQ(toks[0].text, "abc");
+  EXPECT_EQ(toks[1].text, "_x");
+  EXPECT_EQ(toks[2].text, "B2b");
+}
+
+TEST(LexerTest, Numbers) {
+  auto toks = Tokenize("42 0.5 1e3 2.5e-2").value();
+  EXPECT_EQ(toks[0].kind, TokKind::kInt);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].kind, TokKind::kDouble);
+  EXPECT_DOUBLE_EQ(toks[1].double_value, 0.5);
+  EXPECT_EQ(toks[2].kind, TokKind::kDouble);
+  EXPECT_DOUBLE_EQ(toks[2].double_value, 1000.0);
+  EXPECT_EQ(toks[3].kind, TokKind::kDouble);
+  EXPECT_DOUBLE_EQ(toks[3].double_value, 0.025);
+}
+
+TEST(LexerTest, NumberFollowedByRuleDot) {
+  auto toks = Tokenize("v > 0.5.").value();
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[2].kind, TokKind::kDouble);
+  EXPECT_EQ(toks[3].kind, TokKind::kDot);
+}
+
+TEST(LexerTest, Strings) {
+  auto toks = Tokenize(R"("hello" "a\"b" "x\n")").value();
+  EXPECT_EQ(toks[0].text, "hello");
+  EXPECT_EQ(toks[1].text, "a\"b");
+  EXPECT_EQ(toks[2].text, "x\n");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("\"abc").ok());
+  EXPECT_FALSE(Tokenize("\"abc\ndef\"").ok());
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  EXPECT_EQ(Kinds(":- -> == != <= >= && ||"),
+            (std::vector<TokKind>{TokKind::kColonDash, TokKind::kArrow,
+                                  TokKind::kEq, TokKind::kNe, TokKind::kLe,
+                                  TokKind::kGe, TokKind::kAnd, TokKind::kOr,
+                                  TokKind::kEnd}));
+}
+
+TEST(LexerTest, SingleCharOperators) {
+  EXPECT_EQ(Kinds("( ) [ ] < > , . ; : = + - * / ! @ |"),
+            (std::vector<TokKind>{
+                TokKind::kLParen, TokKind::kRParen, TokKind::kLBracket,
+                TokKind::kRBracket, TokKind::kLt, TokKind::kGt,
+                TokKind::kComma, TokKind::kDot, TokKind::kSemicolon,
+                TokKind::kColon, TokKind::kAssign, TokKind::kPlus,
+                TokKind::kMinus, TokKind::kStar, TokKind::kSlash,
+                TokKind::kBang, TokKind::kAt, TokKind::kPipe,
+                TokKind::kEnd}));
+}
+
+TEST(LexerTest, CommentsIgnored) {
+  auto toks = Tokenize("a % this is a comment\nb").value();
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto toks = Tokenize("a\n  b").value();
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].column, 3);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  auto r = Tokenize("a $ b");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unexpected character"),
+            std::string::npos);
+}
+
+TEST(TokenStreamTest, MatchAndExpect) {
+  TokenStream ts(Tokenize("a ( b").value());
+  EXPECT_TRUE(ts.CheckIdent("a"));
+  EXPECT_TRUE(ts.MatchIdent("a"));
+  EXPECT_TRUE(ts.Match(TokKind::kLParen));
+  EXPECT_FALSE(ts.Match(TokKind::kRParen));
+  EXPECT_TRUE(ts.Expect(TokKind::kIdent, "identifier").ok());
+  EXPECT_TRUE(ts.AtEnd());
+  // Advancing past the end stays at the end token.
+  ts.Advance();
+  EXPECT_TRUE(ts.AtEnd());
+}
+
+}  // namespace
+}  // namespace kgm::vadalog

@@ -1,0 +1,181 @@
+#include "vadalog/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace kgm::vadalog {
+namespace {
+
+TEST(ParserTest, PaperFormRule) {
+  auto rule = ParseRule("company(x) -> controls(x, x).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ASSERT_EQ(rule->body.size(), 1u);
+  EXPECT_EQ(rule->body[0].atom.predicate, "company");
+  ASSERT_EQ(rule->head.size(), 1u);
+  EXPECT_EQ(rule->head[0].predicate, "controls");
+  ASSERT_EQ(rule->head[0].args.size(), 2u);
+  EXPECT_EQ(rule->head[0].args[0].var, "x");
+  EXPECT_EQ(rule->head[0].args[1].var, "x");
+}
+
+TEST(ParserTest, DatalogFormRule) {
+  auto rule = ParseRule("controls(x, x) :- company(x).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ASSERT_EQ(rule->body.size(), 1u);
+  EXPECT_EQ(rule->body[0].atom.predicate, "company");
+  EXPECT_EQ(rule->head[0].predicate, "controls");
+}
+
+TEST(ParserTest, Example42CompanyControl) {
+  // The paper's Example 4.2, rule (2).
+  auto rule = ParseRule(
+      "controls(x,z), own(z,y,w), v = sum(w, <z>), v > 0.5"
+      " -> controls(x,y).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->body.size(), 2u);
+  ASSERT_EQ(rule->aggregates.size(), 1u);
+  EXPECT_EQ(rule->aggregates[0].func, "sum");
+  EXPECT_EQ(rule->aggregates[0].result_var, "v");
+  EXPECT_EQ(rule->aggregates[0].contributors,
+            (std::vector<std::string>{"z"}));
+  ASSERT_EQ(rule->conditions.size(), 1u);
+}
+
+TEST(ParserTest, NegatedLiteral) {
+  auto rule = ParseRule("p(x), not q(x) -> r(x).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ASSERT_EQ(rule->body.size(), 2u);
+  EXPECT_FALSE(rule->body[0].negated);
+  EXPECT_TRUE(rule->body[1].negated);
+}
+
+TEST(ParserTest, ExistentialPlain) {
+  auto rule = ParseRule("business(x) -> exists c controlsEdge(c, x, x).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ASSERT_EQ(rule->existentials.size(), 1u);
+  EXPECT_EQ(rule->existentials[0].var, "c");
+  EXPECT_TRUE(rule->existentials[0].skolem_functor.empty());
+}
+
+TEST(ParserTest, ExistentialWithSkolemFunctor) {
+  auto rule = ParseRule(
+      "node(n, s) -> exists x = skN(n), exists h = skH(n, s) "
+      "copied(x, h).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ASSERT_EQ(rule->existentials.size(), 2u);
+  EXPECT_EQ(rule->existentials[0].skolem_functor, "skN");
+  EXPECT_EQ(rule->existentials[0].skolem_args,
+            (std::vector<std::string>{"n"}));
+  EXPECT_EQ(rule->existentials[1].skolem_args,
+            (std::vector<std::string>{"n", "s"}));
+}
+
+TEST(ParserTest, ConstantsInAtoms) {
+  auto rule = ParseRule(
+      R"(p(x, "label", 3, -2, 0.5, true, false, _) -> q(x).)");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  const auto& args = rule->body[0].atom.args;
+  ASSERT_EQ(args.size(), 8u);
+  EXPECT_TRUE(args[0].is_var());
+  EXPECT_EQ(args[1].constant, Value("label"));
+  EXPECT_EQ(args[2].constant, Value(int64_t{3}));
+  EXPECT_EQ(args[3].constant, Value(int64_t{-2}));
+  EXPECT_EQ(args[4].constant, Value(0.5));
+  EXPECT_EQ(args[5].constant, Value(true));
+  EXPECT_EQ(args[6].constant, Value(false));
+  EXPECT_TRUE(args[7].is_anonymous());
+}
+
+TEST(ParserTest, AssignmentVsCondition) {
+  auto rule = ParseRule("p(x, y), s = x + y, s > 10, x != y -> q(s).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->assignments.size(), 1u);
+  EXPECT_EQ(rule->conditions.size(), 2u);
+}
+
+TEST(ParserTest, MultiAtomHead) {
+  auto rule = ParseRule("p(x) -> q(x), r(x, x).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->head.size(), 2u);
+}
+
+TEST(ParserTest, ProgramWithAnnotationsAndFacts) {
+  auto program = ParseProgram(R"(
+    @input("own").
+    @fact own("a", "b", 0.6).
+    @fact company("a").
+    company(x) -> controls(x, x).
+    @output("controls").
+  )");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->inputs, (std::vector<std::string>{"own"}));
+  EXPECT_EQ(program->outputs, (std::vector<std::string>{"controls"}));
+  ASSERT_EQ(program->facts.size(), 2u);
+  EXPECT_EQ(program->facts[0].values[2], Value(0.6));
+  EXPECT_EQ(program->rules.size(), 1u);
+}
+
+TEST(ParserTest, BareGroundAtomBecomesFactRule) {
+  auto program = ParseProgram(R"(p("a", 1).)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->rules.size(), 1u);
+  EXPECT_TRUE(program->rules[0].body.empty());
+  ASSERT_EQ(program->rules[0].head.size(), 1u);
+}
+
+TEST(ParserTest, CommentsInsideProgram) {
+  auto program = ParseProgram(R"(
+    % company control, Example 4.2
+    company(x) -> controls(x, x).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->rules.size(), 1u);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto rule = ParseRule("p(x, y), v = x + y * 2 - 1 -> q(v).");
+  ASSERT_TRUE(rule.ok());
+  // (x + (y*2)) - 1
+  EXPECT_EQ(rule->assignments[0].expr->ToString(),
+            "((x + (y * 2)) - 1)");
+}
+
+TEST(ParserTest, BooleanConditions) {
+  auto rule = ParseRule("p(x, y), x > 1 && y < 2 || x == y -> q(x).");
+  ASSERT_TRUE(rule.ok());
+  ASSERT_EQ(rule->conditions.size(), 1u);
+  EXPECT_EQ(rule->conditions[0].expr->ToString(),
+            "(((x > 1) && (y < 2)) || (x == y))");
+}
+
+TEST(ParserTest, AggregateVariants) {
+  EXPECT_TRUE(ParseRule("p(x, w), c = count(<x>) -> q(c).").ok());
+  EXPECT_TRUE(ParseRule("p(x, w), c = count() -> q(x, c).").ok());
+  EXPECT_TRUE(ParseRule("p(x, w), m = msum(w, <x>) -> q(m).").ok());
+  EXPECT_TRUE(ParseRule("p(x, w), m = prod(w, <x>) -> q(m).").ok());
+  EXPECT_TRUE(
+      ParseRule("p(n, v), r = pack(n, v) -> q(r).").ok());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseRule("p(x) -> .").ok());
+  EXPECT_FALSE(ParseRule("p(x) q(x).").ok());
+  EXPECT_FALSE(ParseRule("p(x -> q(x).").ok());
+  EXPECT_FALSE(ParseRule("p(x) -> q(x)").ok());  // missing dot
+  EXPECT_FALSE(ParseProgram("@unknown(\"x\").").ok());
+  EXPECT_FALSE(ParseRule("p(x), not q(x) :- r(x).").ok());
+}
+
+TEST(ParserTest, RoundTripToString) {
+  auto rule = ParseRule(
+      "controls(x,z), own(z,y,w), v = sum(w, <z>), v > 0.5 -> "
+      "exists c ctrl(c, x, y).");
+  ASSERT_TRUE(rule.ok());
+  std::string printed = rule->ToString();
+  // The printed form must itself parse to the same shape.
+  auto again = ParseRule(printed);
+  ASSERT_TRUE(again.ok()) << printed << "\n" << again.status().ToString();
+  EXPECT_EQ(again->ToString(), printed);
+}
+
+}  // namespace
+}  // namespace kgm::vadalog
