@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/base")
+subdirs("src/pg")
+subdirs("src/rel")
+subdirs("src/vadalog")
+subdirs("src/metalog")
+subdirs("src/core")
+subdirs("src/translate")
+subdirs("src/instance")
+subdirs("src/analytics")
+subdirs("src/finkg")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

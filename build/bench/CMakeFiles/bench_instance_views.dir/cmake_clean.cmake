@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_instance_views.dir/bench_instance_views.cc.o"
+  "CMakeFiles/bench_instance_views.dir/bench_instance_views.cc.o.d"
+  "bench_instance_views"
+  "bench_instance_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_instance_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

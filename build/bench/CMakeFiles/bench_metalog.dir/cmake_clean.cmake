@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_metalog.dir/bench_metalog.cc.o"
+  "CMakeFiles/bench_metalog.dir/bench_metalog.cc.o.d"
+  "bench_metalog"
+  "bench_metalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reasoner.dir/bench_reasoner.cc.o"
+  "CMakeFiles/bench_reasoner.dir/bench_reasoner.cc.o.d"
+  "bench_reasoner"
+  "bench_reasoner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reasoner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_pipeline_report.dir/control_pipeline_report.cc.o"
+  "CMakeFiles/control_pipeline_report.dir/control_pipeline_report.cc.o.d"
+  "control_pipeline_report"
+  "control_pipeline_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_pipeline_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_stats_report.dir/graph_stats_report.cc.o"
+  "CMakeFiles/graph_stats_report.dir/graph_stats_report.cc.o.d"
+  "graph_stats_report"
+  "graph_stats_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_stats_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

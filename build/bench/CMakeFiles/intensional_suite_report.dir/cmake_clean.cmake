@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intensional_suite_report.dir/intensional_suite_report.cc.o"
+  "CMakeFiles/intensional_suite_report.dir/intensional_suite_report.cc.o.d"
+  "intensional_suite_report"
+  "intensional_suite_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intensional_suite_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

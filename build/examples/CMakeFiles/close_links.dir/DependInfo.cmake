@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/close_links.cpp" "examples/CMakeFiles/close_links.dir/close_links.cpp.o" "gcc" "examples/CMakeFiles/close_links.dir/close_links.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/finkg/CMakeFiles/kgm_finkg.dir/DependInfo.cmake"
+  "/root/repo/build/src/instance/CMakeFiles/kgm_instance.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/kgm_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/kgm_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kgm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metalog/CMakeFiles/kgm_metalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/pg/CMakeFiles/kgm_pg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vadalog/CMakeFiles/kgm_vadalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/kgm_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/kgm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

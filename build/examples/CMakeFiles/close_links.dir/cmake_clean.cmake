@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/close_links.dir/close_links.cpp.o"
+  "CMakeFiles/close_links.dir/close_links.cpp.o.d"
+  "close_links"
+  "close_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/close_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

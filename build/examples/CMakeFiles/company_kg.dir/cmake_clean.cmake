@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/company_kg.dir/company_kg.cpp.o"
+  "CMakeFiles/company_kg.dir/company_kg.cpp.o.d"
+  "company_kg"
+  "company_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/company_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgmctl.dir/kgmctl.cpp.o"
+  "CMakeFiles/kgmctl.dir/kgmctl.cpp.o.d"
+  "kgmctl"
+  "kgmctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgmctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metalog_tour.dir/metalog_tour.cpp.o"
+  "CMakeFiles/metalog_tour.dir/metalog_tour.cpp.o.d"
+  "metalog_tour"
+  "metalog_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metalog_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

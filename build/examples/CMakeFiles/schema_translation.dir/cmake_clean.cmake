@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_translation.dir/schema_translation.cpp.o"
+  "CMakeFiles/schema_translation.dir/schema_translation.cpp.o.d"
+  "schema_translation"
+  "schema_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

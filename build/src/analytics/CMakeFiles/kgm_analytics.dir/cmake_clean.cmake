@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgm_analytics.dir/graph_stats.cc.o"
+  "CMakeFiles/kgm_analytics.dir/graph_stats.cc.o.d"
+  "libkgm_analytics.a"
+  "libkgm_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgm_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

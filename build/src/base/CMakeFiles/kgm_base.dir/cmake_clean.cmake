@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgm_base.dir/status.cc.o"
+  "CMakeFiles/kgm_base.dir/status.cc.o.d"
+  "CMakeFiles/kgm_base.dir/strings.cc.o"
+  "CMakeFiles/kgm_base.dir/strings.cc.o.d"
+  "CMakeFiles/kgm_base.dir/value.cc.o"
+  "CMakeFiles/kgm_base.dir/value.cc.o.d"
+  "libkgm_base.a"
+  "libkgm_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgm_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

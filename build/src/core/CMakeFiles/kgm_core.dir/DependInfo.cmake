@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dictionary.cc" "src/core/CMakeFiles/kgm_core.dir/dictionary.cc.o" "gcc" "src/core/CMakeFiles/kgm_core.dir/dictionary.cc.o.d"
+  "/root/repo/src/core/gsl.cc" "src/core/CMakeFiles/kgm_core.dir/gsl.cc.o" "gcc" "src/core/CMakeFiles/kgm_core.dir/gsl.cc.o.d"
+  "/root/repo/src/core/metamodel.cc" "src/core/CMakeFiles/kgm_core.dir/metamodel.cc.o" "gcc" "src/core/CMakeFiles/kgm_core.dir/metamodel.cc.o.d"
+  "/root/repo/src/core/models.cc" "src/core/CMakeFiles/kgm_core.dir/models.cc.o" "gcc" "src/core/CMakeFiles/kgm_core.dir/models.cc.o.d"
+  "/root/repo/src/core/superschema.cc" "src/core/CMakeFiles/kgm_core.dir/superschema.cc.o" "gcc" "src/core/CMakeFiles/kgm_core.dir/superschema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/kgm_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/pg/CMakeFiles/kgm_pg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

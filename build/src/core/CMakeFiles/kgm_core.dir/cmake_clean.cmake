@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgm_core.dir/dictionary.cc.o"
+  "CMakeFiles/kgm_core.dir/dictionary.cc.o.d"
+  "CMakeFiles/kgm_core.dir/gsl.cc.o"
+  "CMakeFiles/kgm_core.dir/gsl.cc.o.d"
+  "CMakeFiles/kgm_core.dir/metamodel.cc.o"
+  "CMakeFiles/kgm_core.dir/metamodel.cc.o.d"
+  "CMakeFiles/kgm_core.dir/models.cc.o"
+  "CMakeFiles/kgm_core.dir/models.cc.o.d"
+  "CMakeFiles/kgm_core.dir/superschema.cc.o"
+  "CMakeFiles/kgm_core.dir/superschema.cc.o.d"
+  "libkgm_core.a"
+  "libkgm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgm_finkg.dir/company_kg.cc.o"
+  "CMakeFiles/kgm_finkg.dir/company_kg.cc.o.d"
+  "CMakeFiles/kgm_finkg.dir/generator.cc.o"
+  "CMakeFiles/kgm_finkg.dir/generator.cc.o.d"
+  "libkgm_finkg.a"
+  "libkgm_finkg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgm_finkg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgm_instance.dir/loader.cc.o"
+  "CMakeFiles/kgm_instance.dir/loader.cc.o.d"
+  "CMakeFiles/kgm_instance.dir/pipeline.cc.o"
+  "CMakeFiles/kgm_instance.dir/pipeline.cc.o.d"
+  "CMakeFiles/kgm_instance.dir/rel_bridge.cc.o"
+  "CMakeFiles/kgm_instance.dir/rel_bridge.cc.o.d"
+  "CMakeFiles/kgm_instance.dir/views.cc.o"
+  "CMakeFiles/kgm_instance.dir/views.cc.o.d"
+  "libkgm_instance.a"
+  "libkgm_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgm_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkgm_instance.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metalog/ast.cc" "src/metalog/CMakeFiles/kgm_metalog.dir/ast.cc.o" "gcc" "src/metalog/CMakeFiles/kgm_metalog.dir/ast.cc.o.d"
+  "/root/repo/src/metalog/catalog.cc" "src/metalog/CMakeFiles/kgm_metalog.dir/catalog.cc.o" "gcc" "src/metalog/CMakeFiles/kgm_metalog.dir/catalog.cc.o.d"
+  "/root/repo/src/metalog/mtv.cc" "src/metalog/CMakeFiles/kgm_metalog.dir/mtv.cc.o" "gcc" "src/metalog/CMakeFiles/kgm_metalog.dir/mtv.cc.o.d"
+  "/root/repo/src/metalog/parser.cc" "src/metalog/CMakeFiles/kgm_metalog.dir/parser.cc.o" "gcc" "src/metalog/CMakeFiles/kgm_metalog.dir/parser.cc.o.d"
+  "/root/repo/src/metalog/runner.cc" "src/metalog/CMakeFiles/kgm_metalog.dir/runner.cc.o" "gcc" "src/metalog/CMakeFiles/kgm_metalog.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/kgm_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/pg/CMakeFiles/kgm_pg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vadalog/CMakeFiles/kgm_vadalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

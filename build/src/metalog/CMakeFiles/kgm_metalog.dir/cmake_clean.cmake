@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgm_metalog.dir/ast.cc.o"
+  "CMakeFiles/kgm_metalog.dir/ast.cc.o.d"
+  "CMakeFiles/kgm_metalog.dir/catalog.cc.o"
+  "CMakeFiles/kgm_metalog.dir/catalog.cc.o.d"
+  "CMakeFiles/kgm_metalog.dir/mtv.cc.o"
+  "CMakeFiles/kgm_metalog.dir/mtv.cc.o.d"
+  "CMakeFiles/kgm_metalog.dir/parser.cc.o"
+  "CMakeFiles/kgm_metalog.dir/parser.cc.o.d"
+  "CMakeFiles/kgm_metalog.dir/runner.cc.o"
+  "CMakeFiles/kgm_metalog.dir/runner.cc.o.d"
+  "libkgm_metalog.a"
+  "libkgm_metalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgm_metalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

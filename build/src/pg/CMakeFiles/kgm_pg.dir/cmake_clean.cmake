@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgm_pg.dir/property_graph.cc.o"
+  "CMakeFiles/kgm_pg.dir/property_graph.cc.o.d"
+  "libkgm_pg.a"
+  "libkgm_pg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgm_pg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

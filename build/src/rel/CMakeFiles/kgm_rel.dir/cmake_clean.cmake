@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgm_rel.dir/relational.cc.o"
+  "CMakeFiles/kgm_rel.dir/relational.cc.o.d"
+  "libkgm_rel.a"
+  "libkgm_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgm_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

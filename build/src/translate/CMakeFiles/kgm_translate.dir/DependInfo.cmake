@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/translate/csv_io.cc" "src/translate/CMakeFiles/kgm_translate.dir/csv_io.cc.o" "gcc" "src/translate/CMakeFiles/kgm_translate.dir/csv_io.cc.o.d"
+  "/root/repo/src/translate/enforce.cc" "src/translate/CMakeFiles/kgm_translate.dir/enforce.cc.o" "gcc" "src/translate/CMakeFiles/kgm_translate.dir/enforce.cc.o.d"
+  "/root/repo/src/translate/native.cc" "src/translate/CMakeFiles/kgm_translate.dir/native.cc.o" "gcc" "src/translate/CMakeFiles/kgm_translate.dir/native.cc.o.d"
+  "/root/repo/src/translate/pg_mapping.cc" "src/translate/CMakeFiles/kgm_translate.dir/pg_mapping.cc.o" "gcc" "src/translate/CMakeFiles/kgm_translate.dir/pg_mapping.cc.o.d"
+  "/root/repo/src/translate/ssst.cc" "src/translate/CMakeFiles/kgm_translate.dir/ssst.cc.o" "gcc" "src/translate/CMakeFiles/kgm_translate.dir/ssst.cc.o.d"
+  "/root/repo/src/translate/validate.cc" "src/translate/CMakeFiles/kgm_translate.dir/validate.cc.o" "gcc" "src/translate/CMakeFiles/kgm_translate.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/kgm_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kgm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metalog/CMakeFiles/kgm_metalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/kgm_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pg/CMakeFiles/kgm_pg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vadalog/CMakeFiles/kgm_vadalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

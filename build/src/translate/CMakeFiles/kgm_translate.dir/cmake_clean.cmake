@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgm_translate.dir/csv_io.cc.o"
+  "CMakeFiles/kgm_translate.dir/csv_io.cc.o.d"
+  "CMakeFiles/kgm_translate.dir/enforce.cc.o"
+  "CMakeFiles/kgm_translate.dir/enforce.cc.o.d"
+  "CMakeFiles/kgm_translate.dir/native.cc.o"
+  "CMakeFiles/kgm_translate.dir/native.cc.o.d"
+  "CMakeFiles/kgm_translate.dir/pg_mapping.cc.o"
+  "CMakeFiles/kgm_translate.dir/pg_mapping.cc.o.d"
+  "CMakeFiles/kgm_translate.dir/ssst.cc.o"
+  "CMakeFiles/kgm_translate.dir/ssst.cc.o.d"
+  "CMakeFiles/kgm_translate.dir/validate.cc.o"
+  "CMakeFiles/kgm_translate.dir/validate.cc.o.d"
+  "libkgm_translate.a"
+  "libkgm_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgm_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vadalog/analysis.cc" "src/vadalog/CMakeFiles/kgm_vadalog.dir/analysis.cc.o" "gcc" "src/vadalog/CMakeFiles/kgm_vadalog.dir/analysis.cc.o.d"
+  "/root/repo/src/vadalog/ast.cc" "src/vadalog/CMakeFiles/kgm_vadalog.dir/ast.cc.o" "gcc" "src/vadalog/CMakeFiles/kgm_vadalog.dir/ast.cc.o.d"
+  "/root/repo/src/vadalog/database.cc" "src/vadalog/CMakeFiles/kgm_vadalog.dir/database.cc.o" "gcc" "src/vadalog/CMakeFiles/kgm_vadalog.dir/database.cc.o.d"
+  "/root/repo/src/vadalog/engine.cc" "src/vadalog/CMakeFiles/kgm_vadalog.dir/engine.cc.o" "gcc" "src/vadalog/CMakeFiles/kgm_vadalog.dir/engine.cc.o.d"
+  "/root/repo/src/vadalog/lexer.cc" "src/vadalog/CMakeFiles/kgm_vadalog.dir/lexer.cc.o" "gcc" "src/vadalog/CMakeFiles/kgm_vadalog.dir/lexer.cc.o.d"
+  "/root/repo/src/vadalog/parser.cc" "src/vadalog/CMakeFiles/kgm_vadalog.dir/parser.cc.o" "gcc" "src/vadalog/CMakeFiles/kgm_vadalog.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/kgm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgm_vadalog.dir/analysis.cc.o"
+  "CMakeFiles/kgm_vadalog.dir/analysis.cc.o.d"
+  "CMakeFiles/kgm_vadalog.dir/ast.cc.o"
+  "CMakeFiles/kgm_vadalog.dir/ast.cc.o.d"
+  "CMakeFiles/kgm_vadalog.dir/database.cc.o"
+  "CMakeFiles/kgm_vadalog.dir/database.cc.o.d"
+  "CMakeFiles/kgm_vadalog.dir/engine.cc.o"
+  "CMakeFiles/kgm_vadalog.dir/engine.cc.o.d"
+  "CMakeFiles/kgm_vadalog.dir/lexer.cc.o"
+  "CMakeFiles/kgm_vadalog.dir/lexer.cc.o.d"
+  "CMakeFiles/kgm_vadalog.dir/parser.cc.o"
+  "CMakeFiles/kgm_vadalog.dir/parser.cc.o.d"
+  "libkgm_vadalog.a"
+  "libkgm_vadalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgm_vadalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kgm_vadalog.
+# This may be replaced when dependencies are built.

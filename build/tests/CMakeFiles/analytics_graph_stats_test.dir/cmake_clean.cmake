@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_graph_stats_test.dir/analytics/graph_stats_test.cc.o"
+  "CMakeFiles/analytics_graph_stats_test.dir/analytics/graph_stats_test.cc.o.d"
+  "analytics_graph_stats_test"
+  "analytics_graph_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_graph_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

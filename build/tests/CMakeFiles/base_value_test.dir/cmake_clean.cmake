@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_value_test.dir/base/value_test.cc.o"
+  "CMakeFiles/base_value_test.dir/base/value_test.cc.o.d"
+  "base_value_test"
+  "base_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

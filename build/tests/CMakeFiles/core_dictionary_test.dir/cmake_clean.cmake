@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dictionary_test.dir/core/dictionary_test.cc.o"
+  "CMakeFiles/core_dictionary_test.dir/core/dictionary_test.cc.o.d"
+  "core_dictionary_test"
+  "core_dictionary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dictionary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_superschema_test.dir/core/superschema_test.cc.o"
+  "CMakeFiles/core_superschema_test.dir/core/superschema_test.cc.o.d"
+  "core_superschema_test"
+  "core_superschema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_superschema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

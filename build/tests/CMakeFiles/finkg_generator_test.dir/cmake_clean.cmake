@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finkg_generator_test.dir/finkg/generator_test.cc.o"
+  "CMakeFiles/finkg_generator_test.dir/finkg/generator_test.cc.o.d"
+  "finkg_generator_test"
+  "finkg_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finkg_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

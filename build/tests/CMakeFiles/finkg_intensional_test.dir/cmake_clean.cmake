@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finkg_intensional_test.dir/finkg/intensional_test.cc.o"
+  "CMakeFiles/finkg_intensional_test.dir/finkg/intensional_test.cc.o.d"
+  "finkg_intensional_test"
+  "finkg_intensional_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finkg_intensional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finkg_programs_test.dir/finkg/programs_test.cc.o"
+  "CMakeFiles/finkg_programs_test.dir/finkg/programs_test.cc.o.d"
+  "finkg_programs_test"
+  "finkg_programs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finkg_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

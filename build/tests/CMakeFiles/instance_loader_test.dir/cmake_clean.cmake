@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_loader_test.dir/instance/loader_test.cc.o"
+  "CMakeFiles/instance_loader_test.dir/instance/loader_test.cc.o.d"
+  "instance_loader_test"
+  "instance_loader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_pipeline_test.dir/instance/pipeline_test.cc.o"
+  "CMakeFiles/instance_pipeline_test.dir/instance/pipeline_test.cc.o.d"
+  "instance_pipeline_test"
+  "instance_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

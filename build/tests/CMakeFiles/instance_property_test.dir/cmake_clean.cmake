@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_property_test.dir/instance/property_test.cc.o"
+  "CMakeFiles/instance_property_test.dir/instance/property_test.cc.o.d"
+  "instance_property_test"
+  "instance_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

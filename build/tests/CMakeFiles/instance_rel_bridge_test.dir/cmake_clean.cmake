@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_rel_bridge_test.dir/instance/rel_bridge_test.cc.o"
+  "CMakeFiles/instance_rel_bridge_test.dir/instance/rel_bridge_test.cc.o.d"
+  "instance_rel_bridge_test"
+  "instance_rel_bridge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_rel_bridge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metalog_catalog_test.dir/metalog/catalog_test.cc.o"
+  "CMakeFiles/metalog_catalog_test.dir/metalog/catalog_test.cc.o.d"
+  "metalog_catalog_test"
+  "metalog_catalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metalog_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metalog_mtv_test.dir/metalog/mtv_test.cc.o"
+  "CMakeFiles/metalog_mtv_test.dir/metalog/mtv_test.cc.o.d"
+  "metalog_mtv_test"
+  "metalog_mtv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metalog_mtv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

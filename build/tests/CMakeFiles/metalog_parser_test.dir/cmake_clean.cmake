@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metalog_parser_test.dir/metalog/parser_test.cc.o"
+  "CMakeFiles/metalog_parser_test.dir/metalog/parser_test.cc.o.d"
+  "metalog_parser_test"
+  "metalog_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metalog_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metalog_property_test.dir/metalog/property_test.cc.o"
+  "CMakeFiles/metalog_property_test.dir/metalog/property_test.cc.o.d"
+  "metalog_property_test"
+  "metalog_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metalog_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

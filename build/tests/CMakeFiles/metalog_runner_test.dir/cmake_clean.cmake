@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metalog_runner_test.dir/metalog/runner_test.cc.o"
+  "CMakeFiles/metalog_runner_test.dir/metalog/runner_test.cc.o.d"
+  "metalog_runner_test"
+  "metalog_runner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metalog_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_property_graph_test.dir/pg/property_graph_test.cc.o"
+  "CMakeFiles/pg_property_graph_test.dir/pg/property_graph_test.cc.o.d"
+  "pg_property_graph_test"
+  "pg_property_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_property_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

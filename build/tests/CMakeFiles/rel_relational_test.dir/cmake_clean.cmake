@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_relational_test.dir/rel/relational_test.cc.o"
+  "CMakeFiles/rel_relational_test.dir/rel/relational_test.cc.o.d"
+  "rel_relational_test"
+  "rel_relational_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_relational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_csv_io_test.dir/translate/csv_io_test.cc.o"
+  "CMakeFiles/translate_csv_io_test.dir/translate/csv_io_test.cc.o.d"
+  "translate_csv_io_test"
+  "translate_csv_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_csv_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_pg_translation_test.dir/translate/pg_translation_test.cc.o"
+  "CMakeFiles/translate_pg_translation_test.dir/translate/pg_translation_test.cc.o.d"
+  "translate_pg_translation_test"
+  "translate_pg_translation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_pg_translation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_rel_mapping_test.dir/translate/rel_mapping_test.cc.o"
+  "CMakeFiles/translate_rel_mapping_test.dir/translate/rel_mapping_test.cc.o.d"
+  "translate_rel_mapping_test"
+  "translate_rel_mapping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_rel_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_relational_translation_test.dir/translate/relational_translation_test.cc.o"
+  "CMakeFiles/translate_relational_translation_test.dir/translate/relational_translation_test.cc.o.d"
+  "translate_relational_translation_test"
+  "translate_relational_translation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_relational_translation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for translate_relational_translation_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_validate_test.dir/translate/validate_test.cc.o"
+  "CMakeFiles/translate_validate_test.dir/translate/validate_test.cc.o.d"
+  "translate_validate_test"
+  "translate_validate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_validate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

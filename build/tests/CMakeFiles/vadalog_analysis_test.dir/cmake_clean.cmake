@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vadalog_analysis_test.dir/vadalog/analysis_test.cc.o"
+  "CMakeFiles/vadalog_analysis_test.dir/vadalog/analysis_test.cc.o.d"
+  "vadalog_analysis_test"
+  "vadalog_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vadalog_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

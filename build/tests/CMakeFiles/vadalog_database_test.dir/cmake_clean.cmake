@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vadalog_database_test.dir/vadalog/database_test.cc.o"
+  "CMakeFiles/vadalog_database_test.dir/vadalog/database_test.cc.o.d"
+  "vadalog_database_test"
+  "vadalog_database_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vadalog_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

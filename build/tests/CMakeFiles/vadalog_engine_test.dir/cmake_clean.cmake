@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vadalog_engine_test.dir/vadalog/engine_test.cc.o"
+  "CMakeFiles/vadalog_engine_test.dir/vadalog/engine_test.cc.o.d"
+  "vadalog_engine_test"
+  "vadalog_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vadalog_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

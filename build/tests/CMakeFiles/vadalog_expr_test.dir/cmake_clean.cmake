@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vadalog_expr_test.dir/vadalog/expr_test.cc.o"
+  "CMakeFiles/vadalog_expr_test.dir/vadalog/expr_test.cc.o.d"
+  "vadalog_expr_test"
+  "vadalog_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vadalog_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vadalog_lexer_test.dir/vadalog/lexer_test.cc.o"
+  "CMakeFiles/vadalog_lexer_test.dir/vadalog/lexer_test.cc.o.d"
+  "vadalog_lexer_test"
+  "vadalog_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vadalog_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

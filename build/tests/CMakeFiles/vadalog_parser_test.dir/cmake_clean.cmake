@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vadalog_parser_test.dir/vadalog/parser_test.cc.o"
+  "CMakeFiles/vadalog_parser_test.dir/vadalog/parser_test.cc.o.d"
+  "vadalog_parser_test"
+  "vadalog_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vadalog_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vadalog_property_test.dir/vadalog/property_test.cc.o"
+  "CMakeFiles/vadalog_property_test.dir/vadalog/property_test.cc.o.d"
+  "vadalog_property_test"
+  "vadalog_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vadalog_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
