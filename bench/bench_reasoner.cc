@@ -41,6 +41,34 @@ void BM_TransitiveClosureChain(benchmark::State& state) {
 BENCHMARK(BM_TransitiveClosureChain)->Arg(64)->Arg(256)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
 
+// Parallel fixpoint scaling: same non-linear closure, second argument is
+// the worker count (1 = sequential legacy path).
+void BM_TransitiveClosureParallel(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  vadalog::EngineOptions options;
+  options.num_threads = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    FactDb db;
+    Rng rng(7);
+    for (int64_t i = 0; i < 2 * n; ++i) {
+      db.Add("edge", {Value(static_cast<int64_t>(rng.NextBelow(n))),
+                      Value(static_cast<int64_t>(rng.NextBelow(n)))});
+    }
+    state.ResumeTiming();
+    Status s = vadalog::RunProgram(R"(
+      edge(x, y) -> path(x, y).
+      path(x, y), edge(y, z) -> path(x, z).
+    )", &db, options);
+    KGM_CHECK(s.ok());
+    benchmark::DoNotOptimize(db.TotalFacts());
+  }
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+}
+BENCHMARK(BM_TransitiveClosureParallel)
+    ->Args({300, 1})->Args({300, 2})->Args({300, 4})->Args({300, 8})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_TransitiveClosureRandom(benchmark::State& state) {
   const int64_t n = state.range(0);
   for (auto _ : state) {
@@ -63,8 +91,11 @@ BENCHMARK(BM_TransitiveClosureRandom)->Arg(100)->Arg(300)
     ->Unit(benchmark::kMillisecond);
 
 // The Example 4.2 control program over the synthetic ownership network.
+// Second argument is the engine worker count.
 void BM_CompanyControl(benchmark::State& state) {
   const size_t companies = state.range(0);
+  vadalog::EngineOptions options;
+  options.num_threads = static_cast<size_t>(state.range(1));
   finkg::GeneratorConfig config;
   config.num_companies = companies;
   config.num_persons = companies;
@@ -89,13 +120,16 @@ void BM_CompanyControl(benchmark::State& state) {
       company(x) -> controls(x, x).
       controls(x, z), own(z, y, w), v = msum(w, <z>), v > 0.5
         -> controls(x, y).
-    )", &db);
+    )", &db, options);
     KGM_CHECK(s.ok());
     controls = db.Get("controls")->size();
   }
   state.counters["controls"] = static_cast<double>(controls);
+  state.counters["threads"] = static_cast<double>(options.num_threads);
 }
-BENCHMARK(BM_CompanyControl)->Arg(500)->Arg(2000)->Arg(8000)
+BENCHMARK(BM_CompanyControl)
+    ->Args({500, 1})->Args({2000, 1})->Args({8000, 1})
+    ->Args({2000, 2})->Args({2000, 4})->Args({2000, 8})
     ->Unit(benchmark::kMillisecond);
 
 void BM_ExistentialSkolemChase(benchmark::State& state) {

@@ -4,14 +4,24 @@
 // each materialized through Algorithm 2 with per-phase timing.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "finkg/company_kg.h"
 #include "finkg/generator.h"
 #include "instance/pipeline.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kgm;
   core::SuperSchema schema = finkg::CompanyKgSchema();
+
+  // Optional worker count: `intensional_suite_report [num_threads]`
+  // (0 = hardware concurrency, 1 = sequential legacy evaluation).
+  instance::MaterializeOptions options;
+  options.engine.num_threads = 1;
+  if (argc > 1) {
+    options.engine.num_threads =
+        static_cast<size_t>(std::strtoul(argv[1], nullptr, 10));
+  }
 
   finkg::GeneratorConfig config;
   config.num_companies = 400;
@@ -24,8 +34,8 @@ int main() {
   std::printf(
       "E11: intensional component suite on %zu entities / %zu holdings\n\n",
       net.num_entities(), net.holdings().size());
-  std::printf("%-24s %9s %9s %9s %10s %9s %9s\n", "component", "load(s)",
-              "reason(s)", "flush(s)", "vlog-rules", "new-edges",
+  std::printf("%-24s %7s %9s %9s %9s %10s %9s %9s\n", "component", "threads",
+              "load(s)", "reason(s)", "flush(s)", "vlog-rules", "new-edges",
               "new-nodes");
 
   struct Step {
@@ -40,16 +50,23 @@ int main() {
       {"close links", finkg::kCloseLinksProgram},
   };
   for (const Step& step : steps) {
-    auto stats = instance::Materialize(schema, step.program, &data);
+    auto stats = instance::Materialize(schema, step.program, &data, options);
     if (!stats.ok()) {
       std::printf("%s FAILED: %s\n", step.name,
                   stats.status().ToString().c_str());
       return 1;
     }
-    std::printf("%-24s %9.3f %9.3f %9.3f %10zu %9zu %9zu\n", step.name,
-                stats->load_seconds, stats->reason_seconds,
-                stats->flush_seconds, stats->vadalog_rules,
-                stats->new_edges, stats->new_nodes);
+    std::printf("%-24s %7zu %9.3f %9.3f %9.3f %10zu %9zu %9zu\n", step.name,
+                stats->engine_stats.threads_used, stats->load_seconds,
+                stats->reason_seconds, stats->flush_seconds,
+                stats->vadalog_rules, stats->new_edges, stats->new_nodes);
+    std::printf("%-24s strata:", "");
+    for (double s : stats->engine_stats.stratum_seconds) {
+      std::printf(" %.3fs", s);
+    }
+    std::printf("  probes: %zu  firings: %zu\n",
+                stats->engine_stats.join_probes,
+                stats->engine_stats.rule_firings);
   }
 
   std::printf("\nderived totals:\n");

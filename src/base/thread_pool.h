@@ -1,0 +1,65 @@
+// A small reusable worker pool.
+//
+// Tasks are plain std::function<void()> closures pushed with Submit();
+// WaitIdle() blocks the caller until every submitted task has finished,
+// making the pool usable as a fork/join barrier:
+//
+//   ThreadPool pool(4);
+//   for (WorkItem& w : items) pool.Submit([&w] { w.Run(); });
+//   pool.WaitIdle();   // all items done, results visible to this thread
+//
+// WaitIdle() establishes a happens-before edge between every completed
+// task and the waiting thread, so task outputs can be read without
+// further synchronization.  The pool is intentionally minimal: no
+// futures, no task priorities, no work stealing.  Destruction drains the
+// queue and joins the workers.
+
+#ifndef KGM_BASE_THREAD_POOL_H_
+#define KGM_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kgm {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Finishes all pending tasks, then joins the workers.
+  ~ThreadPool();
+
+  size_t size() const { return workers_.size(); }
+
+  // Enqueues a task.  Must not be called concurrently with destruction.
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and no task is running.
+  void WaitIdle();
+
+  // The default parallelism: hardware_concurrency, or 1 when unknown.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task or shutdown
+  std::condition_variable idle_cv_;   // signals WaitIdle: all work done
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;                 // tasks currently executing
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kgm
+
+#endif  // KGM_BASE_THREAD_POOL_H_

@@ -191,6 +191,7 @@ SkolemTable& SkolemTable::Global() {
 Value SkolemTable::Intern(const std::string& functor,
                           const std::vector<Value>& args) {
   SkolemKey key{functor, args};
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_->map.find(key);
   if (it != index_->map.end()) return Value(SkolemRef{it->second});
   uint64_t id = terms_.size();
@@ -200,13 +201,20 @@ Value SkolemTable::Intern(const std::string& functor,
 }
 
 const std::string& SkolemTable::FunctorOf(SkolemRef ref) const {
+  std::lock_guard<std::mutex> lock(mu_);
   KGM_CHECK(ref.id < terms_.size());
   return terms_[ref.id].functor;
 }
 
 const std::vector<Value>& SkolemTable::ArgsOf(SkolemRef ref) const {
+  std::lock_guard<std::mutex> lock(mu_);
   KGM_CHECK(ref.id < terms_.size());
   return terms_[ref.id].args;
+}
+
+size_t SkolemTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return terms_.size();
 }
 
 }  // namespace kgm

@@ -12,7 +12,9 @@
 #define KGM_BASE_VALUE_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <variant>
@@ -122,13 +124,17 @@ Value MakeRecord(Record fields);
 
 // --- Skolem table -----------------------------------------------------------
 
-// Interns Skolem terms.  A process-wide table; the engine is single-threaded.
+// Interns Skolem terms.  A process-wide table, safe for concurrent use:
+// Intern() is content-addressed (same (functor, args) always yields the
+// same ref) and the accessors return references to immutable interned
+// terms whose addresses are stable for the lifetime of the process.
 class SkolemTable {
  public:
   // Returns the process-wide table.
   static SkolemTable& Global();
 
   // Interns sk_functor(args) and returns its Value (kind kSkolem).
+  // Thread-safe; idempotent per (functor, args).
   Value Intern(const std::string& functor, const std::vector<Value>& args);
 
   // Returns the functor of an interned term.
@@ -136,7 +142,7 @@ class SkolemTable {
   // Returns the arguments of an interned term.
   const std::vector<Value>& ArgsOf(SkolemRef ref) const;
 
-  size_t size() const { return terms_.size(); }
+  size_t size() const;
 
  private:
   struct Term {
@@ -148,7 +154,10 @@ class SkolemTable {
         const;
   };
 
-  std::vector<Term> terms_;
+  mutable std::mutex mu_;
+  // deque: element addresses survive growth, so FunctorOf/ArgsOf can hand
+  // out references without holding mu_.
+  std::deque<Term> terms_;
   // Maps (functor, args) to index in terms_.  Kept as a parallel structure
   // to avoid storing keys twice; see value.cc.
   struct Index;

@@ -100,6 +100,7 @@ Result<MaterializeStats> Materialize(const core::SuperSchema& schema,
   stats.reason_seconds = Seconds(t1, t2);
   stats.vadalog_rules = reason.vadalog_rule_count;
   stats.facts_derived = reason.engine_stats.facts_derived;
+  stats.engine_stats = reason.engine_stats;
 
   // --- flush ------------------------------------------------------------------
   const pg::PropertyGraph& dict = loaded.dict;

@@ -44,6 +44,9 @@ struct MaterializeStats {
   size_t updated_properties = 0;
   size_t vadalog_rules = 0;
   size_t facts_derived = 0;
+  // Full engine counters of the reasoning phase (threads used, per-rule
+  // firings and probes, per-stratum wall times).
+  vadalog::EngineStats engine_stats;
   // The generated views, for inspection.
   std::string input_views;
   std::string output_views;

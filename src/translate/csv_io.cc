@@ -1,5 +1,6 @@
 #include "translate/csv_io.h"
 
+#include <charconv>
 #include <cstdio>
 #include <map>
 
@@ -37,14 +38,34 @@ std::string CsvValue(const Value& v) {
 
 Result<Value> ParseCsvValue(const std::string& field, AttrType type) {
   if (field.empty()) return Value();
+  const char* first = field.data();
+  const char* last = field.data() + field.size();
   switch (type) {
     case AttrType::kString:
     case AttrType::kDate:
       return Value(field);
-    case AttrType::kInt:
-      return Value(static_cast<int64_t>(std::stoll(field)));
-    case AttrType::kDouble:
-      return Value(std::stod(field));
+    case AttrType::kInt: {
+      int64_t v = 0;
+      auto [ptr, ec] = std::from_chars(first, last, v);
+      if (ec == std::errc::result_out_of_range) {
+        return InvalidArgument("integer out of range: " + field);
+      }
+      if (ec != std::errc() || ptr != last) {
+        return InvalidArgument("bad integer: " + field);
+      }
+      return Value(v);
+    }
+    case AttrType::kDouble: {
+      double v = 0;
+      auto [ptr, ec] = std::from_chars(first, last, v);
+      if (ec == std::errc::result_out_of_range) {
+        return InvalidArgument("double out of range: " + field);
+      }
+      if (ec != std::errc() || ptr != last) {
+        return InvalidArgument("bad double: " + field);
+      }
+      return Value(v);
+    }
     case AttrType::kBool:
       if (field == "true") return Value(true);
       if (field == "false") return Value(false);
@@ -151,6 +172,44 @@ Result<std::vector<std::string>> CsvSplitLine(const std::string& line) {
   return out;
 }
 
+Result<std::vector<std::string>> CsvSplitRecords(const std::string& doc) {
+  std::vector<std::string> out;
+  std::string record;
+  bool quoted = false;
+  for (size_t i = 0; i < doc.size(); ++i) {
+    char c = doc[i];
+    if (quoted) {
+      // Inside quotes only a '"' changes state; "" stays inside (the
+      // escape is resolved by CsvSplitLine, which re-scans the record).
+      if (c == '"' && !(i + 1 < doc.size() && doc[i + 1] == '"')) {
+        quoted = false;
+      } else if (c == '"') {
+        record += c;
+        ++i;
+      }
+      record += c;
+      continue;
+    }
+    if (c == '"') {
+      quoted = true;
+      record += c;
+    } else if (c == '\n') {
+      if (!record.empty() && record.back() == '\r') record.pop_back();
+      out.push_back(std::move(record));
+      record.clear();
+    } else {
+      record += c;
+    }
+  }
+  if (quoted) return InvalidArgument("unterminated quote in CSV document");
+  if (!record.empty()) {
+    if (record.back() == '\r') record.pop_back();
+    out.push_back(std::move(record));
+  }
+  while (!out.empty() && out.back().empty()) out.pop_back();
+  return out;
+}
+
 Result<std::map<std::string, std::string>> ExportCsv(
     const SuperSchema& schema, const pg::PropertyGraph& data) {
   KGM_RETURN_IF_ERROR(schema.Validate());
@@ -235,18 +294,12 @@ Result<pg::PropertyGraph> ImportCsv(
     return out;
   };
 
-  auto parse_lines =
-      [](const std::string& doc) -> std::vector<std::string> {
-    std::vector<std::string> lines = Split(doc, '\n');
-    while (!lines.empty() && lines.back().empty()) lines.pop_back();
-    return lines;
-  };
-
   // Nodes.
   for (const core::NodeDef& node : schema.nodes()) {
     auto it = files.find(ToSnakeCase(node.name) + ".csv");
     if (it == files.end()) continue;
-    std::vector<std::string> lines = parse_lines(it->second);
+    KGM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                         CsvSplitRecords(it->second));
     if (lines.empty()) continue;
     KGM_ASSIGN_OR_RETURN(std::vector<std::string> header,
                          CsvSplitLine(lines[0]));
@@ -299,7 +352,8 @@ Result<pg::PropertyGraph> ImportCsv(
   for (const core::EdgeDef& edge : schema.edges()) {
     auto it = files.find(ToSnakeCase(edge.name) + ".csv");
     if (it == files.end()) continue;
-    std::vector<std::string> lines = parse_lines(it->second);
+    KGM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                         CsvSplitRecords(it->second));
     if (lines.empty()) continue;
     auto from_ids = schema.EffectiveIdAttributes(edge.from);
     auto to_ids = schema.EffectiveIdAttributes(edge.to);

@@ -25,6 +25,11 @@ std::string CsvEscape(const std::string& field);
 // Splits one CSV line honoring quotes.
 Result<std::vector<std::string>> CsvSplitLine(const std::string& line);
 
+// Splits a CSV document into records, honoring quotes: a newline inside a
+// quoted field belongs to the field, not the record separator.  CRLF line
+// endings are accepted; trailing empty records are dropped.
+Result<std::vector<std::string>> CsvSplitRecords(const std::string& doc);
+
 // file name -> document (header line + one line per node/edge).
 Result<std::map<std::string, std::string>> ExportCsv(
     const core::SuperSchema& schema, const pg::PropertyGraph& data);

@@ -52,18 +52,27 @@ bool Relation::Contains(const Tuple& t) const {
   return FindRow(t) != static_cast<size_t>(-1);
 }
 
+void Relation::EnsureIndex(uint64_t mask) {
+  KGM_CHECK(mask != 0);
+  if (indexes_.count(mask) > 0) return;
+  HashIndex index;
+  for (size_t row = 0; row < tuples_.size(); ++row) {
+    index[HashTupleMasked(tuples_[row], mask)].rows.push_back(
+        static_cast<uint32_t>(row));
+  }
+  indexes_.emplace(mask, std::move(index));
+}
+
 const std::vector<uint32_t>& Relation::Lookup(uint64_t mask,
                                               const Tuple& probe) {
-  KGM_CHECK(mask != 0);
+  EnsureIndex(mask);
+  return LookupBuilt(mask, probe);
+}
+
+const std::vector<uint32_t>& Relation::LookupBuilt(uint64_t mask,
+                                                   const Tuple& probe) const {
   auto it = indexes_.find(mask);
-  if (it == indexes_.end()) {
-    HashIndex index;
-    for (size_t row = 0; row < tuples_.size(); ++row) {
-      index[HashTupleMasked(tuples_[row], mask)].rows.push_back(
-          static_cast<uint32_t>(row));
-    }
-    it = indexes_.emplace(mask, std::move(index)).first;
-  }
+  KGM_CHECK(it != indexes_.end());
   auto bucket = it->second.find(HashTupleMasked(probe, mask));
   if (bucket == it->second.end()) return kEmptyRows;
   return bucket->second.rows;

@@ -39,10 +39,24 @@ class Relation {
 
   bool Contains(const Tuple& t) const;
 
+  // Row index of `t`, or kNoRow if absent.
+  static constexpr size_t kNoRow = static_cast<size_t>(-1);
+  size_t RowOf(const Tuple& t) const { return FindRow(t); }
+
   // Row indices whose masked positions equal the corresponding positions of
   // `probe`.  Builds (and afterwards maintains) a hash index for `mask` on
   // first use.  mask must have at least one bit set and fit the arity.
   const std::vector<uint32_t>& Lookup(uint64_t mask, const Tuple& probe);
+
+  // Pre-builds the hash index for `mask` (no-op if already built).  Once
+  // built, indexes are maintained incrementally by Insert, so the engine
+  // calls this before a parallel join phase and probes with LookupBuilt.
+  void EnsureIndex(uint64_t mask);
+
+  // Read-only probe: like Lookup, but requires EnsureIndex(mask) to have
+  // been called.  Safe to call concurrently with other const methods.
+  const std::vector<uint32_t>& LookupBuilt(uint64_t mask,
+                                           const Tuple& probe) const;
 
   // True if row `i`'s masked positions equal those of `probe`.
   bool MatchesMasked(size_t i, uint64_t mask, const Tuple& probe) const;

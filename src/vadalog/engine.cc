@@ -1,6 +1,8 @@
 #include "vadalog/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <deque>
 #include <functional>
 #include <map>
 #include <set>
@@ -8,6 +10,7 @@
 #include <unordered_set>
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 #include "vadalog/parser.h"
 
 namespace kgm::vadalog {
@@ -30,6 +33,10 @@ struct CompiledLiteral {
   std::string pred;
   std::vector<ArgSlot> args;
   bool recursive = false;  // predicate in the rule's own SCC
+  // Index mask the join will probe for this literal: constants plus
+  // variables bound by earlier body literals.  Statically known because
+  // literals are joined in textual order.
+  uint64_t static_mask = 0;
 };
 
 struct CompiledAgg {
@@ -90,8 +97,21 @@ Result<Value> FoldNumeric(const std::string& func, const Value& acc,
   if (acc.is_int() && v.is_int()) {
     int64_t a = acc.AsInt();
     int64_t b = v.AsInt();
-    if (func == "sum") return Value(a + b);
-    if (func == "prod") return Value(a * b);
+    int64_t r = 0;
+    if (func == "sum") {
+      if (__builtin_add_overflow(a, b, &r)) {
+        return InvalidArgument("integer overflow in sum aggregate: " +
+                               std::to_string(a) + " + " + std::to_string(b));
+      }
+      return Value(r);
+    }
+    if (func == "prod") {
+      if (__builtin_mul_overflow(a, b, &r)) {
+        return InvalidArgument("integer overflow in prod aggregate: " +
+                               std::to_string(a) + " * " + std::to_string(b));
+      }
+      return Value(r);
+    }
     if (func == "min") return Value(std::min(a, b));
     if (func == "max") return Value(std::max(a, b));
   }
@@ -103,6 +123,66 @@ Result<Value> FoldNumeric(const std::string& func, const Value& acc,
   if (func == "max") return Value(std::max(a, b));
   return Internal("unknown numeric aggregate " + func);
 }
+
+// All aggregates of a rule share one mode (mixing is rejected at
+// construction time).
+bool AllMonotonic(const CompiledRule& cr) {
+  for (const CompiledAgg& a : cr.aggregates) {
+    if (!a.monotonic) return false;
+  }
+  return true;
+}
+
+bool FullyBoundMask(uint64_t mask, size_t n) {
+  return n > 0 && n < 64 && mask == (1ULL << n) - 1;
+}
+
+// One recorded firing of a rule with monotonic aggregates, produced by a
+// parallel join worker and folded into the rule's group state by the
+// driver in deterministic work-item order.
+struct PendingContribution {
+  Tuple group_key;
+  // Per aggregate: contributor slot values followed by evaluated argument
+  // values (the same encoding ProcessAggregates uses for `seen`).
+  std::vector<Tuple> per_agg;
+};
+
+// Per-evaluation binding and output state.  Sequential evaluation uses a
+// single driver context writing straight into the FactDb; parallel work
+// items each own a context that buffers derived facts (and aggregate
+// contributions) for the merge at the iteration barrier.
+struct EvalContext {
+  CompiledRule* rule = nullptr;
+  std::vector<Value> slots;
+  std::vector<char> bound;
+
+  // Buffered mode: facts go to `out` instead of the shared FactDb.
+  bool buffered = false;
+  std::vector<std::pair<const std::string*, Tuple>> out;
+
+  // Deferred aggregation (parallel Phase B): the join records
+  // contributions instead of folding them into shared group state.
+  bool defer_aggregates = false;
+  std::vector<PendingContribution> contributions;
+
+  // Joins must not mutate relations: probe pre-built indexes only.
+  bool frozen_db = false;
+
+  // Restricts enumeration of the delta literal to [delta_begin, delta_end).
+  size_t delta_begin = 0;
+  size_t delta_end = static_cast<size_t>(-1);
+
+  // Fact-budget baseline for buffered inserts (db size at freeze time).
+  size_t budget_base = 0;
+
+  // Stratified (non-monotonic) aggregation state of this evaluation.
+  std::unordered_map<Tuple, GroupState, TupleHashFn> eval_groups;
+  std::vector<Tuple> eval_group_order;
+
+  // Counters, flushed into EngineStats by the driver.
+  size_t firings = 0;
+  size_t probes = 0;
+};
 
 }  // namespace
 
@@ -118,18 +198,14 @@ struct Engine::Impl {
   std::map<std::string, size_t> arity;
   NullFactory nulls;
 
+  // Worker pool; null = sequential legacy evaluation.
+  std::unique_ptr<ThreadPool> pool;
+  size_t num_workers = 1;
+
   // Per-stratum evaluation state.
   const std::set<std::string>* recursive_preds = nullptr;
   std::map<std::string, Relation>* next_delta = nullptr;
   std::map<std::string, Relation>* cur_delta = nullptr;
-
-  // Per-rule-evaluation binding state.
-  std::vector<Value> slots;
-  std::vector<char> bound;
-
-  // Stratified (non-monotonic) aggregation state of the current evaluation.
-  std::unordered_map<Tuple, GroupState, TupleHashFn> eval_groups;
-  std::vector<Tuple> eval_group_order;
 
   explicit Impl(Engine* e) : engine(e), options(e->options_),
                              stats(&e->stats_) {}
@@ -138,29 +214,52 @@ struct Engine::Impl {
   Status CompileRule(const Rule& rule, int index);
   Status Run(FactDb* target);
   Status EvalStratum(int stratum, const std::vector<CompiledRule*>& rules);
-  Status EvalRule(CompiledRule& cr, int delta_literal);
-  Status Join(CompiledRule& cr, size_t literal_index, int delta_literal);
-  Status FinishBinding(CompiledRule& cr);
-  Status ProcessAggregates(CompiledRule& cr);
-  Status EmitWithAggregates(CompiledRule& cr, const Tuple& group_key,
-                            GroupState& state);
-  Status FinalizeStratifiedAggregates(CompiledRule& cr);
-  Status EmitHeadWithPostConditions(CompiledRule& cr);
-  Status EmitHead(CompiledRule& cr);
-  bool HeadSatisfied(CompiledRule& cr);
-  Status InsertFact(const std::string& pred, Tuple t);
+  Status EvalStratumSequential(int stratum,
+                               const std::vector<CompiledRule*>& rules);
+  Status EvalStratumParallel(int stratum,
+                             const std::vector<CompiledRule*>& rules);
+  Status EvalRule(EvalContext& ctx, CompiledRule& cr, int delta_literal);
+  Status Join(EvalContext& ctx, CompiledRule& cr, size_t literal_index,
+              int delta_literal);
+  Status FinishBinding(EvalContext& ctx, CompiledRule& cr);
+  Status ProcessAggregates(EvalContext& ctx, CompiledRule& cr);
+  Status ApplyContribution(CompiledRule& cr, const CompiledAgg& agg,
+                           GroupState& state, size_t ai,
+                           const Tuple& contribution, bool* any_update);
+  Status EmitWithAggregates(EvalContext& ctx, CompiledRule& cr,
+                            const Tuple& group_key, GroupState& state);
+  Status FinalizeStratifiedAggregates(EvalContext& ctx, CompiledRule& cr);
+  Status EmitHeadWithPostConditions(EvalContext& ctx, CompiledRule& cr);
+  Status EmitHead(EvalContext& ctx, CompiledRule& cr);
+  bool HeadSatisfied(EvalContext& ctx, CompiledRule& cr);
+  Status InsertFact(EvalContext& ctx, const std::string& pred, Tuple t);
+  Status InsertShared(const std::string& pred, Tuple t);
 
-  Result<Value> Eval(const ExprPtr& e) {
-    return EvalExpr(*e, [this](const std::string& name) -> const Value* {
-      // The varmap of the rule being evaluated is tracked via current_rule_.
-      auto it = current_rule_->varmap.find(name);
-      if (it == current_rule_->varmap.end()) return nullptr;
-      if (!bound[it->second]) return nullptr;
-      return &slots[it->second];
+  // --- parallel driver ---
+  struct WorkItem {
+    CompiledRule* rule = nullptr;
+    int delta_literal = -1;
+    EvalContext ctx;
+    Status status;
+  };
+  std::vector<std::vector<CompiledRule*>> IndependentBatches(
+      const std::vector<CompiledRule*>& rules) const;
+  void PrepareJoinIndexes(const CompiledRule& cr);
+  size_t PartitionCount(size_t rows) const;
+  Status RunItems(std::deque<WorkItem>& items);
+  Status MergeItem(WorkItem& item);
+  Status FoldPending(CompiledRule& cr, EvalContext& scratch,
+                     const PendingContribution& pc);
+  void FlushCtxStats(EvalContext& ctx, const CompiledRule& cr);
+
+  Result<Value> Eval(EvalContext& ctx, const ExprPtr& e) {
+    return EvalExpr(*e, [&ctx](const std::string& name) -> const Value* {
+      auto it = ctx.rule->varmap.find(name);
+      if (it == ctx.rule->varmap.end()) return nullptr;
+      if (!ctx.bound[it->second]) return nullptr;
+      return &ctx.slots[it->second];
     });
   }
-
-  CompiledRule* current_rule_ = nullptr;
 };
 
 Status Engine::Impl::CompileAll() {
@@ -191,6 +290,8 @@ Status Engine::Impl::CompileAll() {
   for (size_t i = 0; i < program.rules.size(); ++i) {
     KGM_RETURN_IF_ERROR(CompileRule(program.rules[i], static_cast<int>(i)));
   }
+  stats->rule_firings_by_rule.assign(compiled.size(), 0);
+  stats->rule_probes_by_rule.assign(compiled.size(), 0);
   return OkStatus();
 }
 
@@ -241,6 +342,36 @@ Status Engine::Impl::CompileRule(const Rule& rule, int index) {
       cr.positives.push_back(std::move(cl));
     }
   }
+
+  // Static probe masks: the bound set at literal i is exactly the
+  // variables of literals 0..i-1 (assignments run after all positives);
+  // negated literals are checked after the full positive join, so every
+  // named argument is bound.
+  {
+    std::set<int> seen_slots;
+    for (CompiledLiteral& cl : cr.positives) {
+      uint64_t m = 0;
+      for (size_t i = 0; i < cl.args.size(); ++i) {
+        const ArgSlot& a = cl.args[i];
+        if (a.is_const || (a.slot >= 0 && seen_slots.count(a.slot) > 0)) {
+          m |= 1ULL << i;
+        }
+      }
+      cl.static_mask = m;
+      for (const ArgSlot& a : cl.args) {
+        if (a.slot >= 0) seen_slots.insert(a.slot);
+      }
+    }
+    for (CompiledLiteral& cl : cr.negatives) {
+      uint64_t m = 0;
+      for (size_t i = 0; i < cl.args.size(); ++i) {
+        const ArgSlot& a = cl.args[i];
+        if (a.is_const || a.slot >= 0) m |= 1ULL << i;
+      }
+      cl.static_mask = m;
+    }
+  }
+
   std::unordered_set<std::string> result_names;
   for (const Aggregate& a : rule.aggregates) {
     result_names.insert(a.result_var);
@@ -397,7 +528,7 @@ Status Engine::Impl::CompileRule(const Rule& rule, int index) {
   return OkStatus();
 }
 
-Status Engine::Impl::InsertFact(const std::string& pred, Tuple t) {
+Status Engine::Impl::InsertShared(const std::string& pred, Tuple t) {
   Relation& rel = db->GetOrCreate(pred, t.size());
   if (rel.Insert(t)) {
     ++stats->facts_derived;
@@ -415,6 +546,22 @@ Status Engine::Impl::InsertFact(const std::string& pred, Tuple t) {
       it->second.Insert(std::move(t));
     }
   }
+  return OkStatus();
+}
+
+Status Engine::Impl::InsertFact(EvalContext& ctx, const std::string& pred,
+                                Tuple t) {
+  if (!ctx.buffered) return InsertShared(pred, std::move(t));
+  // Skip facts already in the (frozen) database; duplicates across
+  // concurrent work items are dropped by the merge.
+  const Relation* rel = db->Get(pred);
+  if (rel != nullptr && rel->Contains(t)) return OkStatus();
+  if (ctx.budget_base + ctx.out.size() > options.max_facts) {
+    return ResourceExhausted(
+        "fact budget exceeded (" + std::to_string(options.max_facts) +
+        "); the chase may not terminate on this program");
+  }
+  ctx.out.emplace_back(&pred, std::move(t));
   return OkStatus();
 }
 
@@ -436,6 +583,24 @@ Status Engine::Impl::Run(FactDb* target) {
     db->GetOrCreate(pred, n);
   }
 
+  // Decide the evaluation mode.  Restricted-chase programs with
+  // existentials are order-dependent (head-satisfaction checks and fresh
+  // nulls), so they stay on the sequential path regardless of num_threads.
+  bool has_existentials = false;
+  for (const CompiledRule& cr : compiled) {
+    if (!cr.existentials.empty()) has_existentials = true;
+  }
+  bool parallel_ok =
+      options.chase_mode == ChaseMode::kSkolem || !has_existentials;
+  num_workers = options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                         : options.num_threads;
+  if (num_workers > 1 && parallel_ok) {
+    pool = std::make_unique<ThreadPool>(num_workers);
+  } else {
+    num_workers = 1;
+  }
+  stats->threads_used = num_workers;
+
   // Group rules by stratum.
   std::map<int, std::vector<CompiledRule*>> by_stratum;
   for (CompiledRule& cr : compiled) {
@@ -443,13 +608,24 @@ Status Engine::Impl::Run(FactDb* target) {
   }
   stats->strata = static_cast<int>(by_stratum.size());
   for (auto& [stratum, rules] : by_stratum) {
-    KGM_RETURN_IF_ERROR(EvalStratum(stratum, rules));
+    auto t0 = std::chrono::steady_clock::now();
+    Status status = EvalStratum(stratum, rules);
+    stats->stratum_seconds.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    KGM_RETURN_IF_ERROR(status);
   }
   return OkStatus();
 }
 
 Status Engine::Impl::EvalStratum(int stratum,
                                  const std::vector<CompiledRule*>& rules) {
+  return pool != nullptr ? EvalStratumParallel(stratum, rules)
+                         : EvalStratumSequential(stratum, rules);
+}
+
+Status Engine::Impl::EvalStratumSequential(
+    int stratum, const std::vector<CompiledRule*>& rules) {
   // Predicates recursive in this stratum.
   std::set<std::string> rec_preds;
   for (CompiledRule* cr : rules) {
@@ -462,9 +638,13 @@ Status Engine::Impl::EvalStratum(int stratum,
   next_delta = &delta_a;
   cur_delta = nullptr;
 
+  EvalContext ctx;
+
   // Phase A: every rule once, full mode.
   for (CompiledRule* cr : rules) {
-    KGM_RETURN_IF_ERROR(EvalRule(*cr, /*delta_literal=*/-1));
+    Status status = EvalRule(ctx, *cr, /*delta_literal=*/-1);
+    FlushCtxStats(ctx, *cr);
+    KGM_RETURN_IF_ERROR(status);
   }
 
   // Phase B: semi-naive fixpoint over recursive rules.
@@ -490,7 +670,9 @@ Status Engine::Impl::EvalStratum(int stratum,
     for (CompiledRule* cr : rec_rules) {
       for (size_t li = 0; li < cr->positives.size(); ++li) {
         if (!cr->positives[li].recursive) continue;
-        KGM_RETURN_IF_ERROR(EvalRule(*cr, static_cast<int>(li)));
+        Status status = EvalRule(ctx, *cr, static_cast<int>(li));
+        FlushCtxStats(ctx, *cr);
+        KGM_RETURN_IF_ERROR(status);
       }
     }
     cur_delta = nullptr;
@@ -500,38 +682,249 @@ Status Engine::Impl::EvalStratum(int stratum,
   return OkStatus();
 }
 
-// All aggregates of a rule share one mode (mixing is rejected at
-// construction time).
-static bool AllMonotonic(const CompiledRule& cr) {
-  for (const CompiledAgg& a : cr.aggregates) {
-    if (!a.monotonic) return false;
-  }
-  return true;
+// --- parallel driver ---------------------------------------------------------
+
+void Engine::Impl::FlushCtxStats(EvalContext& ctx, const CompiledRule& cr) {
+  stats->rule_firings += ctx.firings;
+  stats->join_probes += ctx.probes;
+  stats->rule_firings_by_rule[cr.index] += ctx.firings;
+  stats->rule_probes_by_rule[cr.index] += ctx.probes;
+  ctx.firings = 0;
+  ctx.probes = 0;
 }
 
-Status Engine::Impl::EvalRule(CompiledRule& cr, int delta_literal) {
-  current_rule_ = &cr;
-  slots.assign(cr.slot_names.size(), Value());
-  bound.assign(cr.slot_names.size(), 0);
-  if (!cr.aggregates.empty() && !AllMonotonic(cr)) {
-    eval_groups.clear();
-    eval_group_order.clear();
+// Greedy batching in program order: a rule joins the current batch unless
+// it reads a predicate some batch member writes.  Within a batch no rule
+// observes another's output — exactly the sequential semantics, since
+// earlier rules never see later rules' facts and buffered evaluation hides
+// same-batch outputs.
+std::vector<std::vector<CompiledRule*>> Engine::Impl::IndependentBatches(
+    const std::vector<CompiledRule*>& rules) const {
+  std::vector<std::vector<CompiledRule*>> out;
+  std::vector<CompiledRule*> current;
+  std::set<std::string> current_writes;
+  for (CompiledRule* cr : rules) {
+    bool conflict = false;
+    for (const CompiledLiteral& l : cr->positives) {
+      if (current_writes.count(l.pred) > 0) conflict = true;
+    }
+    for (const CompiledLiteral& l : cr->negatives) {
+      if (current_writes.count(l.pred) > 0) conflict = true;
+    }
+    if (conflict && !current.empty()) {
+      out.push_back(std::move(current));
+      current.clear();
+      current_writes.clear();
+    }
+    current.push_back(cr);
+    for (const CompiledLiteral& h : cr->head) {
+      current_writes.insert(h.pred);
+    }
   }
-  KGM_RETURN_IF_ERROR(Join(cr, 0, delta_literal));
-  if (!cr.aggregates.empty() && !AllMonotonic(cr)) {
-    KGM_RETURN_IF_ERROR(FinalizeStratifiedAggregates(cr));
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+void Engine::Impl::PrepareJoinIndexes(const CompiledRule& cr) {
+  auto prepare = [this](const CompiledLiteral& lit) {
+    size_t n = lit.args.size();
+    if (lit.static_mask == 0 || FullyBoundMask(lit.static_mask, n)) return;
+    Relation* rel = db->GetMutable(lit.pred);
+    if (rel != nullptr) rel->EnsureIndex(lit.static_mask);
+  };
+  for (const CompiledLiteral& lit : cr.positives) prepare(lit);
+  for (const CompiledLiteral& lit : cr.negatives) prepare(lit);
+}
+
+size_t Engine::Impl::PartitionCount(size_t rows) const {
+  // Small deltas are not worth splitting; large ones are over-partitioned
+  // a little so a slow chunk cannot straggle the whole iteration.
+  constexpr size_t kMinChunkRows = 64;
+  if (rows == 0) return 1;
+  size_t parts = std::min(num_workers * 2,
+                          (rows + kMinChunkRows - 1) / kMinChunkRows);
+  return std::max<size_t>(parts, 1);
+}
+
+Status Engine::Impl::RunItems(std::deque<WorkItem>& items) {
+  size_t budget_base = db->TotalFacts();
+  for (WorkItem& item : items) {
+    item.ctx.buffered = true;
+    item.ctx.frozen_db = true;
+    item.ctx.budget_base = budget_base;
+    pool->Submit([this, &item] {
+      item.status = EvalRule(item.ctx, *item.rule, item.delta_literal);
+    });
+  }
+  pool->WaitIdle();
+  // Merge in work-item order: deterministic regardless of worker count.
+  for (WorkItem& item : items) {
+    KGM_RETURN_IF_ERROR(item.status);
+    KGM_RETURN_IF_ERROR(MergeItem(item));
   }
   return OkStatus();
 }
 
-Status Engine::Impl::Join(CompiledRule& cr, size_t literal_index,
-                          int delta_literal) {
+Status Engine::Impl::MergeItem(WorkItem& item) {
+  EvalContext& ctx = item.ctx;
+  FlushCtxStats(ctx, *item.rule);
+  for (auto& [pred, t] : ctx.out) {
+    KGM_RETURN_IF_ERROR(InsertShared(*pred, std::move(t)));
+  }
+  ctx.out.clear();
+  if (!ctx.contributions.empty()) {
+    CompiledRule& cr = *item.rule;
+    EvalContext scratch;
+    scratch.rule = &cr;
+    scratch.slots.assign(cr.slot_names.size(), Value());
+    scratch.bound.assign(cr.slot_names.size(), 0);
+    for (const PendingContribution& pc : ctx.contributions) {
+      KGM_RETURN_IF_ERROR(FoldPending(cr, scratch, pc));
+    }
+    ctx.contributions.clear();
+  }
+  return OkStatus();
+}
+
+// Folds one recorded firing into the rule's monotonic group state and
+// re-emits the head when an accumulator improves — the deferred twin of
+// ProcessAggregates' monotonic path.
+Status Engine::Impl::FoldPending(CompiledRule& cr, EvalContext& scratch,
+                                 const PendingContribution& pc) {
+  auto [it, inserted] = cr.mono_groups.try_emplace(pc.group_key);
+  GroupState& state = it->second;
+  if (inserted) {
+    state.acc.resize(cr.aggregates.size());
+    state.has_value.resize(cr.aggregates.size(), false);
+    state.packed.resize(cr.aggregates.size());
+    state.seen.resize(cr.aggregates.size());
+  }
+  bool any_update = false;
+  for (size_t ai = 0; ai < cr.aggregates.size(); ++ai) {
+    KGM_RETURN_IF_ERROR(ApplyContribution(cr, cr.aggregates[ai], state, ai,
+                                          pc.per_agg[ai], &any_update));
+  }
+  if (!any_update && !inserted) return OkStatus();
+  scratch.bound.assign(cr.slot_names.size(), 0);
+  return EmitWithAggregates(scratch, cr, pc.group_key, state);
+}
+
+Status Engine::Impl::EvalStratumParallel(
+    int stratum, const std::vector<CompiledRule*>& rules) {
+  std::set<std::string> rec_preds;
+  for (CompiledRule* cr : rules) {
+    for (const CompiledLiteral& l : cr->positives) {
+      if (l.recursive) rec_preds.insert(l.pred);
+    }
+  }
+  std::map<std::string, Relation> delta_a, delta_b;
+  recursive_preds = &rec_preds;
+  next_delta = &delta_a;
+  cur_delta = nullptr;
+
+  // Phase A: independent-rule batches, each rule a buffered work item.
+  for (std::vector<CompiledRule*>& batch : IndependentBatches(rules)) {
+    for (CompiledRule* cr : batch) PrepareJoinIndexes(*cr);
+    std::deque<WorkItem> items;
+    for (CompiledRule* cr : batch) {
+      WorkItem& item = items.emplace_back();
+      item.rule = cr;
+      item.delta_literal = -1;
+    }
+    KGM_RETURN_IF_ERROR(RunItems(items));
+  }
+
+  // Phase B: semi-naive fixpoint; work items are (rule x recursive
+  // literal x delta partition), all joining against the frozen database
+  // and the current delta, merged at the iteration barrier.
+  std::vector<std::pair<CompiledRule*, int>> rec_slots;
+  for (CompiledRule* cr : rules) {
+    for (size_t li = 0; li < cr->positives.size(); ++li) {
+      if (cr->positives[li].recursive) {
+        rec_slots.emplace_back(cr, static_cast<int>(li));
+      }
+    }
+  }
+  size_t iterations = 0;
+  while (!next_delta->empty()) {
+    if (++iterations > options.max_iterations) {
+      recursive_preds = nullptr;
+      next_delta = nullptr;
+      return ResourceExhausted("iteration budget exceeded in stratum " +
+                               std::to_string(stratum));
+    }
+    ++stats->iterations;
+    cur_delta = next_delta;
+    next_delta = (cur_delta == &delta_a) ? &delta_b : &delta_a;
+    next_delta->clear();
+
+    std::deque<WorkItem> items;
+    for (auto& [cr, li] : rec_slots) {
+      const CompiledLiteral& lit = cr->positives[li];
+      auto dit = cur_delta->find(lit.pred);
+      if (dit == cur_delta->end()) continue;
+      // Indexes on the database relations this rule probes (no-ops after
+      // the first iteration: Insert maintains built indexes), and on the
+      // fresh delta relation when the delta literal itself is probed.
+      PrepareJoinIndexes(*cr);
+      size_t n = lit.args.size();
+      if (lit.static_mask != 0 && !FullyBoundMask(lit.static_mask, n)) {
+        dit->second.EnsureIndex(lit.static_mask);
+      }
+      size_t rows = dit->second.size();
+      size_t parts = PartitionCount(rows);
+      size_t chunk = (rows + parts - 1) / parts;
+      for (size_t p = 0; p < parts; ++p) {
+        size_t begin = p * chunk;
+        if (begin >= rows) break;
+        WorkItem& item = items.emplace_back();
+        item.rule = cr;
+        item.delta_literal = li;
+        item.ctx.delta_begin = begin;
+        item.ctx.delta_end = std::min(rows, begin + chunk);
+        item.ctx.defer_aggregates = !cr->aggregates.empty();
+      }
+    }
+    Status status = RunItems(items);
+    cur_delta = nullptr;
+    if (!status.ok()) {
+      recursive_preds = nullptr;
+      next_delta = nullptr;
+      return status;
+    }
+  }
+  recursive_preds = nullptr;
+  next_delta = nullptr;
+  return OkStatus();
+}
+
+// --- rule evaluation ---------------------------------------------------------
+
+Status Engine::Impl::EvalRule(EvalContext& ctx, CompiledRule& cr,
+                              int delta_literal) {
+  ctx.rule = &cr;
+  ctx.slots.assign(cr.slot_names.size(), Value());
+  ctx.bound.assign(cr.slot_names.size(), 0);
+  if (!cr.aggregates.empty() && !AllMonotonic(cr)) {
+    ctx.eval_groups.clear();
+    ctx.eval_group_order.clear();
+  }
+  KGM_RETURN_IF_ERROR(Join(ctx, cr, 0, delta_literal));
+  if (!cr.aggregates.empty() && !AllMonotonic(cr)) {
+    KGM_RETURN_IF_ERROR(FinalizeStratifiedAggregates(ctx, cr));
+  }
+  return OkStatus();
+}
+
+Status Engine::Impl::Join(EvalContext& ctx, CompiledRule& cr,
+                          size_t literal_index, int delta_literal) {
   if (literal_index == cr.positives.size()) {
-    return FinishBinding(cr);
+    return FinishBinding(ctx, cr);
   }
   const CompiledLiteral& lit = cr.positives[literal_index];
+  bool is_delta = static_cast<int>(literal_index) == delta_literal;
   Relation* source = nullptr;
-  if (static_cast<int>(literal_index) == delta_literal) {
+  if (is_delta) {
     KGM_CHECK(cur_delta != nullptr);
     auto it = cur_delta->find(lit.pred);
     if (it == cur_delta->end()) return OkStatus();
@@ -549,11 +942,15 @@ Status Engine::Impl::Join(CompiledRule& cr, size_t literal_index,
     if (a.is_const) {
       mask |= 1ULL << i;
       probe[i] = a.constant;
-    } else if (a.slot >= 0 && bound[a.slot]) {
+    } else if (a.slot >= 0 && ctx.bound[a.slot]) {
       mask |= 1ULL << i;
-      probe[i] = slots[a.slot];
+      probe[i] = ctx.slots[a.slot];
     }
   }
+
+  // Partition filter: only the delta literal is range-restricted.
+  size_t range_begin = is_delta ? ctx.delta_begin : 0;
+  size_t range_end = is_delta ? ctx.delta_end : static_cast<size_t>(-1);
 
   // Takes the row by value: head emission may insert into `source` itself,
   // reallocating its tuple storage under us.
@@ -567,46 +964,56 @@ Status Engine::Impl::Join(CompiledRule& cr, size_t literal_index,
         if (!(row[i] == a.constant)) ok = false;
       } else if (a.slot < 0) {
         // anonymous: matches anything
-      } else if (bound[a.slot]) {
-        if (!(row[i] == slots[a.slot])) ok = false;
+      } else if (ctx.bound[a.slot]) {
+        if (!(row[i] == ctx.slots[a.slot])) ok = false;
       } else {
-        slots[a.slot] = row[i];
-        bound[a.slot] = 1;
+        ctx.slots[a.slot] = row[i];
+        ctx.bound[a.slot] = 1;
         bound_here.push_back(a.slot);
       }
     }
     Status status = OkStatus();
-    if (ok) status = Join(cr, literal_index + 1, delta_literal);
-    for (int s : bound_here) bound[s] = 0;
+    if (ok) status = Join(ctx, cr, literal_index + 1, delta_literal);
+    for (int s : bound_here) ctx.bound[s] = 0;
     return status;
   };
 
-  if (mask == ((n >= 64 ? 0 : (1ULL << n)) - 1) && n > 0 && n < 64) {
-    // Fully bound: containment test.
-    if (source->Contains(probe)) {
-      return Join(cr, literal_index + 1, delta_literal);
+  if (FullyBoundMask(mask, n)) {
+    // Fully bound: containment test (by row so the partition filter
+    // applies — a fully bound delta literal must match in exactly one
+    // partition, not every one).
+    ++ctx.probes;
+    size_t row = source->RowOf(probe);
+    if (row != Relation::kNoRow && row >= range_begin && row < range_end) {
+      return Join(ctx, cr, literal_index + 1, delta_literal);
     }
     return OkStatus();
   }
   if (mask != 0) {
-    const std::vector<uint32_t>& rows = source->Lookup(mask, probe);
+    const std::vector<uint32_t>& rows = ctx.frozen_db
+                                            ? source->LookupBuilt(mask, probe)
+                                            : source->Lookup(mask, probe);
     // Lookup results can grow while we iterate if the same relation receives
     // inserts from head emission; index by position defensively.
     for (size_t k = 0; k < rows.size(); ++k) {
       uint32_t rowi = rows[k];
+      if (rowi < range_begin || rowi >= range_end) continue;
+      ++ctx.probes;
       if (!source->MatchesMasked(rowi, mask, probe)) continue;
       KGM_RETURN_IF_ERROR(try_row(source->tuple(rowi)));
     }
     return OkStatus();
   }
-  for (size_t k = 0; k < source->size(); ++k) {
+  size_t scan_end = std::min(source->size(), range_end);
+  for (size_t k = range_begin; k < scan_end; ++k) {
+    ++ctx.probes;
     KGM_RETURN_IF_ERROR(try_row(source->tuple(k)));
   }
   return OkStatus();
 }
 
-Status Engine::Impl::FinishBinding(CompiledRule& cr) {
-  ++stats->rule_firings;
+Status Engine::Impl::FinishBinding(EvalContext& ctx, CompiledRule& cr) {
+  ++ctx.firings;
   // Negated literals: named arguments are bound (safety-validated);
   // anonymous positions act as wildcards, so the check is a masked
   // existence test.
@@ -620,8 +1027,8 @@ Status Engine::Impl::FinishBinding(CompiledRule& cr) {
         probe[i] = a.constant;
         mask |= 1ULL << i;
       } else if (a.slot >= 0) {
-        KGM_CHECK(bound[a.slot]);
-        probe[i] = slots[a.slot];
+        KGM_CHECK(ctx.bound[a.slot]);
+        probe[i] = ctx.slots[a.slot];
         mask |= 1ULL << i;
       }
     }
@@ -633,7 +1040,10 @@ Status Engine::Impl::FinishBinding(CompiledRule& cr) {
       if (rel->size() > 0) return OkStatus();
     } else {
       bool found = false;
-      for (uint32_t row : rel->Lookup(mask, probe)) {
+      const std::vector<uint32_t>& rows = ctx.frozen_db
+                                              ? rel->LookupBuilt(mask, probe)
+                                              : rel->Lookup(mask, probe);
+      for (uint32_t row : rows) {
         if (rel->MatchesMasked(row, mask, probe)) {
           found = true;
           break;
@@ -645,26 +1055,26 @@ Status Engine::Impl::FinishBinding(CompiledRule& cr) {
   // Assignments, in order.
   std::vector<int> bound_here;
   auto cleanup = [&]() {
-    for (int s : bound_here) bound[s] = 0;
+    for (int s : bound_here) ctx.bound[s] = 0;
   };
   for (const auto& [slot, expr] : cr.assignments) {
-    Result<Value> v = Eval(expr);
+    Result<Value> v = Eval(ctx, expr);
     if (!v.ok()) {
       cleanup();
       return v.status();
     }
-    if (!bound[slot]) {
-      slots[slot] = std::move(v).value();
-      bound[slot] = 1;
+    if (!ctx.bound[slot]) {
+      ctx.slots[slot] = std::move(v).value();
+      ctx.bound[slot] = 1;
       bound_here.push_back(slot);
-    } else if (!(slots[slot] == v.value())) {
+    } else if (!(ctx.slots[slot] == v.value())) {
       cleanup();
       return OkStatus();  // equality constraint failed
     }
   }
   // Pre-aggregation conditions.
   for (const ExprPtr& c : cr.pre_conditions) {
-    Result<Value> v = Eval(c);
+    Result<Value> v = Eval(ctx, c);
     if (!v.ok()) {
       cleanup();
       return v.status();
@@ -679,22 +1089,99 @@ Status Engine::Impl::FinishBinding(CompiledRule& cr) {
     }
   }
 
-  Status status = cr.aggregates.empty() ? EmitHeadWithPostConditions(cr)
-                                        : ProcessAggregates(cr);
+  Status status = cr.aggregates.empty() ? EmitHeadWithPostConditions(ctx, cr)
+                                        : ProcessAggregates(ctx, cr);
   cleanup();
   return status;
 }
 
-Status Engine::Impl::ProcessAggregates(CompiledRule& cr) {
+// Dedups `contribution` against the group's seen-set and folds it into
+// accumulator `ai`.  Shared by the inline (sequential / Phase A) and
+// deferred (parallel Phase B) aggregation paths.
+Status Engine::Impl::ApplyContribution(CompiledRule& cr,
+                                       const CompiledAgg& agg,
+                                       GroupState& state, size_t ai,
+                                       const Tuple& contribution,
+                                       bool* any_update) {
+  (void)cr;
+  if (!state.seen[ai].insert(contribution).second) {
+    return OkStatus();  // duplicate
+  }
+  *any_update = true;
+  size_t nc = agg.contributor_slots.size();
+  if (agg.base_func == "count") {
+    state.acc[ai] =
+        Value(state.has_value[ai] ? state.acc[ai].AsInt() + 1 : int64_t{1});
+    state.has_value[ai] = true;
+  } else if (agg.base_func == "pack") {
+    const Value& name = contribution[nc];
+    state.packed[ai].emplace_back(
+        name.is_string() ? name.AsString() : name.ToString(),
+        contribution[nc + 1]);
+    state.has_value[ai] = true;
+  } else {
+    const Value& v = contribution[nc];
+    if (!state.has_value[ai]) {
+      if (!v.is_numeric()) {
+        return InvalidArgument("aggregate " + agg.base_func +
+                               " over non-numeric value " + v.ToString());
+      }
+      state.acc[ai] = v;
+      state.has_value[ai] = true;
+    } else {
+      KGM_ASSIGN_OR_RETURN(state.acc[ai],
+                           FoldNumeric(agg.base_func, state.acc[ai], v));
+    }
+  }
+  return OkStatus();
+}
+
+Status Engine::Impl::ProcessAggregates(EvalContext& ctx, CompiledRule& cr) {
   // Group key.
   Tuple group_key;
   group_key.reserve(cr.group_slots.size());
   for (int s : cr.group_slots) {
-    KGM_CHECK(bound[s]);
-    group_key.push_back(slots[s]);
+    KGM_CHECK(ctx.bound[s]);
+    group_key.push_back(ctx.slots[s]);
   }
   bool monotonic = AllMonotonic(cr);
-  auto& groups = monotonic ? cr.mono_groups : eval_groups;
+
+  if (ctx.defer_aggregates) {
+    // Parallel Phase B: record the contribution; the driver folds it into
+    // the shared group state at the merge.  Recursive aggregates are
+    // always monotonic, so this path never sees eval_groups.
+    KGM_CHECK(monotonic);
+    PendingContribution pc;
+    pc.per_agg.reserve(cr.aggregates.size());
+    for (size_t ai = 0; ai < cr.aggregates.size(); ++ai) {
+      CompiledAgg& agg = cr.aggregates[ai];
+      Tuple contribution;
+      for (int s : agg.contributor_slots) {
+        KGM_CHECK(ctx.bound[s]);
+        contribution.push_back(ctx.slots[s]);
+      }
+      for (const ExprPtr& a : agg.args) {
+        KGM_ASSIGN_OR_RETURN(Value v, Eval(ctx, a));
+        contribution.push_back(std::move(v));
+      }
+      pc.per_agg.push_back(std::move(contribution));
+    }
+    // Skip contributions the (frozen) group state has already folded in a
+    // previous iteration; the merge dedups same-iteration duplicates.
+    auto git = cr.mono_groups.find(group_key);
+    if (git != cr.mono_groups.end()) {
+      bool all_seen = true;
+      for (size_t ai = 0; ai < cr.aggregates.size(); ++ai) {
+        if (git->second.seen[ai].count(pc.per_agg[ai]) == 0) all_seen = false;
+      }
+      if (all_seen) return OkStatus();
+    }
+    pc.group_key = std::move(group_key);
+    ctx.contributions.push_back(std::move(pc));
+    return OkStatus();
+  }
+
+  auto& groups = monotonic ? cr.mono_groups : ctx.eval_groups;
   auto [it, inserted] = groups.try_emplace(group_key);
   GroupState& state = it->second;
   if (inserted) {
@@ -702,7 +1189,7 @@ Status Engine::Impl::ProcessAggregates(CompiledRule& cr) {
     state.has_value.resize(cr.aggregates.size(), false);
     state.packed.resize(cr.aggregates.size());
     state.seen.resize(cr.aggregates.size());
-    if (!monotonic) eval_group_order.push_back(group_key);
+    if (!monotonic) ctx.eval_group_order.push_back(group_key);
   }
 
   bool any_update = false;
@@ -711,123 +1198,102 @@ Status Engine::Impl::ProcessAggregates(CompiledRule& cr) {
     // Contribution identity: contributor values plus argument values.
     Tuple contribution;
     for (int s : agg.contributor_slots) {
-      KGM_CHECK(bound[s]);
-      contribution.push_back(slots[s]);
+      KGM_CHECK(ctx.bound[s]);
+      contribution.push_back(ctx.slots[s]);
     }
-    std::vector<Value> arg_values;
     for (const ExprPtr& a : agg.args) {
-      KGM_ASSIGN_OR_RETURN(Value v, Eval(a));
-      contribution.push_back(v);
-      arg_values.push_back(std::move(v));
+      KGM_ASSIGN_OR_RETURN(Value v, Eval(ctx, a));
+      contribution.push_back(std::move(v));
     }
-    if (!state.seen[ai].insert(contribution).second) continue;  // duplicate
-    any_update = true;
-    if (agg.base_func == "count") {
-      state.acc[ai] =
-          Value(state.has_value[ai] ? state.acc[ai].AsInt() + 1 : int64_t{1});
-      state.has_value[ai] = true;
-    } else if (agg.base_func == "pack") {
-      const Value& name = arg_values[0];
-      state.packed[ai].emplace_back(
-          name.is_string() ? name.AsString() : name.ToString(),
-          arg_values[1]);
-      state.has_value[ai] = true;
-    } else {
-      const Value& v = arg_values[0];
-      if (!state.has_value[ai]) {
-        if (!v.is_numeric()) {
-          return InvalidArgument("aggregate " + agg.base_func +
-                                 " over non-numeric value " + v.ToString());
-        }
-        state.acc[ai] = v;
-        state.has_value[ai] = true;
-      } else {
-        KGM_ASSIGN_OR_RETURN(state.acc[ai],
-                             FoldNumeric(agg.base_func, state.acc[ai], v));
-      }
-    }
+    KGM_RETURN_IF_ERROR(
+        ApplyContribution(cr, agg, state, ai, contribution, &any_update));
   }
 
   if (!monotonic) return OkStatus();  // finalized later
   if (!any_update && !inserted) return OkStatus();
-  return EmitWithAggregates(cr, group_key, state);
+  return EmitWithAggregates(ctx, cr, group_key, state);
 }
 
-Status Engine::Impl::EmitWithAggregates(CompiledRule& cr,
+Status Engine::Impl::EmitWithAggregates(EvalContext& ctx, CompiledRule& cr,
                                         const Tuple& group_key,
                                         GroupState& state) {
   // Rebind the binding from the group key (the caller's binding may already
   // match, but in the finalize path slots are stale).
   std::vector<int> bound_here;
   auto cleanup = [&]() {
-    for (int s : bound_here) bound[s] = 0;
+    for (int s : bound_here) ctx.bound[s] = 0;
   };
   for (size_t i = 0; i < cr.group_slots.size(); ++i) {
     int s = cr.group_slots[i];
-    if (!bound[s]) {
-      bound[s] = 1;
+    if (!ctx.bound[s]) {
+      ctx.bound[s] = 1;
       bound_here.push_back(s);
     }
-    slots[s] = group_key[i];
+    ctx.slots[s] = group_key[i];
   }
   for (size_t ai = 0; ai < cr.aggregates.size(); ++ai) {
     const CompiledAgg& agg = cr.aggregates[ai];
     int s = agg.result_slot;
-    if (!bound[s]) {
-      bound[s] = 1;
+    if (!ctx.bound[s]) {
+      ctx.bound[s] = 1;
       bound_here.push_back(s);
     }
     if (agg.base_func == "pack") {
-      slots[s] = MakeRecord(state.packed[ai]);
+      ctx.slots[s] = MakeRecord(state.packed[ai]);
     } else if (agg.base_func == "count" && !state.has_value[ai]) {
-      slots[s] = Value(int64_t{0});
+      ctx.slots[s] = Value(int64_t{0});
     } else {
-      slots[s] = state.acc[ai];
+      ctx.slots[s] = state.acc[ai];
     }
   }
   // Post-aggregation assignments (e.g. record-spread get() calls).
   for (const auto& [slot, expr] : cr.post_assignments) {
-    Result<Value> v = Eval(expr);
+    Result<Value> v = Eval(ctx, expr);
     if (!v.ok()) {
       cleanup();
       return v.status();
     }
-    if (!bound[slot]) {
-      bound[slot] = 1;
+    if (!ctx.bound[slot]) {
+      ctx.bound[slot] = 1;
       bound_here.push_back(slot);
     }
-    slots[slot] = std::move(v).value();
+    ctx.slots[slot] = std::move(v).value();
   }
-  Status status = EmitHeadWithPostConditions(cr);
+  Status status = EmitHeadWithPostConditions(ctx, cr);
   cleanup();
   return status;
 }
 
-Status Engine::Impl::FinalizeStratifiedAggregates(CompiledRule& cr) {
-  for (const Tuple& key : eval_group_order) {
-    auto it = eval_groups.find(key);
-    KGM_CHECK(it != eval_groups.end());
+Status Engine::Impl::FinalizeStratifiedAggregates(EvalContext& ctx,
+                                                  CompiledRule& cr) {
+  for (const Tuple& key : ctx.eval_group_order) {
+    auto it = ctx.eval_groups.find(key);
+    KGM_CHECK(it != ctx.eval_groups.end());
     // Clear all slots: only group + results are meaningful now.
-    bound.assign(cr.slot_names.size(), 0);
-    KGM_RETURN_IF_ERROR(EmitWithAggregates(cr, key, it->second));
+    ctx.bound.assign(cr.slot_names.size(), 0);
+    KGM_RETURN_IF_ERROR(EmitWithAggregates(ctx, cr, key, it->second));
   }
-  eval_groups.clear();
-  eval_group_order.clear();
+  ctx.eval_groups.clear();
+  ctx.eval_group_order.clear();
   return OkStatus();
 }
 
-Status Engine::Impl::EmitHeadWithPostConditions(CompiledRule& cr) {
+Status Engine::Impl::EmitHeadWithPostConditions(EvalContext& ctx,
+                                                CompiledRule& cr) {
   for (const ExprPtr& c : cr.post_conditions) {
-    KGM_ASSIGN_OR_RETURN(Value v, Eval(c));
+    KGM_ASSIGN_OR_RETURN(Value v, Eval(ctx, c));
     if (!v.is_bool()) {
       return InvalidArgument("condition is not boolean: " + c->ToString());
     }
     if (!v.AsBool()) return OkStatus();
   }
-  return EmitHead(cr);
+  return EmitHead(ctx, cr);
 }
 
-bool Engine::Impl::HeadSatisfied(CompiledRule& cr) {
+bool Engine::Impl::HeadSatisfied(EvalContext& ctx, CompiledRule& cr) {
+  // Restricted-chase programs never run on the parallel path, so lazily
+  // built lookup indexes are safe here.
+  KGM_CHECK(!ctx.frozen_db);
   // Backtracking search for an assignment of the existential slots such that
   // every head atom is already present in the database.
   std::unordered_map<int, Value> assignment;
@@ -845,9 +1311,9 @@ bool Engine::Impl::HeadSatisfied(CompiledRule& cr) {
       if (a.is_const) {
         mask |= 1ULL << i;
         probe[i] = a.constant;
-      } else if (bound[a.slot]) {
+      } else if (ctx.bound[a.slot]) {
         mask |= 1ULL << i;
-        probe[i] = slots[a.slot];
+        probe[i] = ctx.slots[a.slot];
       } else if (assignment.count(a.slot) > 0) {
         mask |= 1ULL << i;
         probe[i] = assignment[a.slot];
@@ -892,13 +1358,14 @@ bool Engine::Impl::HeadSatisfied(CompiledRule& cr) {
   return solve(0);
 }
 
-Status Engine::Impl::EmitHead(CompiledRule& cr) {
+Status Engine::Impl::EmitHead(EvalContext& ctx, CompiledRule& cr) {
   std::vector<int> bound_here;
   auto cleanup = [&]() {
-    for (int s : bound_here) bound[s] = 0;
+    for (int s : bound_here) ctx.bound[s] = 0;
   };
   if (!cr.existentials.empty()) {
-    if (options.chase_mode == ChaseMode::kRestricted && HeadSatisfied(cr)) {
+    if (options.chase_mode == ChaseMode::kRestricted &&
+        HeadSatisfied(ctx, cr)) {
       return OkStatus();
     }
     for (const ExistSlot& e : cr.existentials) {
@@ -911,14 +1378,14 @@ Status Engine::Impl::EmitHead(CompiledRule& cr) {
         std::vector<Value> args;
         args.reserve(e.arg_slots.size());
         for (int s : e.arg_slots) {
-          KGM_CHECK(bound[s]);
-          args.push_back(slots[s]);
+          KGM_CHECK(ctx.bound[s]);
+          args.push_back(ctx.slots[s]);
         }
         v = SkolemTable::Global().Intern(e.functor, args);
       }
-      KGM_CHECK(!bound[e.slot]);
-      slots[e.slot] = std::move(v);
-      bound[e.slot] = 1;
+      KGM_CHECK(!ctx.bound[e.slot]);
+      ctx.slots[e.slot] = std::move(v);
+      ctx.bound[e.slot] = 1;
       bound_here.push_back(e.slot);
     }
   }
@@ -929,14 +1396,14 @@ Status Engine::Impl::EmitHead(CompiledRule& cr) {
       if (a.is_const) {
         t[i] = a.constant;
       } else {
-        KGM_CHECK_MSG(a.slot >= 0 && bound[a.slot],
+        KGM_CHECK_MSG(a.slot >= 0 && ctx.bound[a.slot],
                       (cr.slot_names[a.slot] + " unbound in head of: " +
                        cr.rule->ToString())
                           .c_str());
-        t[i] = slots[a.slot];
+        t[i] = ctx.slots[a.slot];
       }
     }
-    Status status = InsertFact(h.pred, std::move(t));
+    Status status = InsertFact(ctx, h.pred, std::move(t));
     if (!status.ok()) {
       cleanup();
       return status;
@@ -993,3 +1460,4 @@ Status RunProgram(std::string_view source, FactDb* db,
 }
 
 }  // namespace kgm::vadalog
+

@@ -48,6 +48,16 @@ struct EngineOptions {
   size_t max_facts = 50'000'000;
   // Hard ceiling on fixpoint iterations per stratum.
   size_t max_iterations = 10'000'000;
+  // Worker threads for rule evaluation.  0 = hardware_concurrency.
+  // 1 = the exact legacy single-threaded evaluation order.  With more than
+  // one thread the engine evaluates Phase-A rule batches and Phase-B
+  // (rule x delta-literal x delta-partition) work items concurrently,
+  // buffering derived facts per work item and merging them into the
+  // database at an iteration barrier (see DESIGN.md, "Parallel
+  // semi-naive evaluation").  Falls back to single-threaded evaluation
+  // for restricted-chase programs with existentials, whose semantics
+  // depend on insertion order.
+  size_t num_threads = 0;
 };
 
 struct EngineStats {
@@ -55,6 +65,13 @@ struct EngineStats {
   size_t rule_firings = 0;     // satisfied body matches
   size_t iterations = 0;       // fixpoint rounds across all strata
   int strata = 0;
+  size_t join_probes = 0;      // candidate rows examined by joins
+  size_t threads_used = 1;     // effective worker count of the run
+  // Indexed by rule position in the program.
+  std::vector<size_t> rule_firings_by_rule;
+  std::vector<size_t> rule_probes_by_rule;
+  // Wall-clock seconds per stratum, in evaluation order.
+  std::vector<double> stratum_seconds;
 };
 
 class Engine {

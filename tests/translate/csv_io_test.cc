@@ -106,6 +106,69 @@ TEST(CsvIoTest, GeneratedNetworkRoundTrip) {
             original.EdgesWithLabel("HOLDS").size());
 }
 
+TEST(CsvSplitTest, RecordsHonorQuotedNewlines) {
+  auto records = CsvSplitRecords("a,b\nc,\"two\nlines\"\nd,e\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[1], "c,\"two\nlines\"");
+  auto fields = CsvSplitLine((*records)[1]);
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ((*fields)[1], "two\nlines");
+  // CRLF line endings and trailing blank records.
+  auto crlf = CsvSplitRecords("a\r\nb\r\n\r\n");
+  ASSERT_TRUE(crlf.ok());
+  EXPECT_EQ(*crlf, (std::vector<std::string>{"a", "b"}));
+  // Escaped quotes do not end the quoted region.
+  auto escaped = CsvSplitRecords("\"say \"\"hi\"\"\",x\ny\n");
+  ASSERT_TRUE(escaped.ok());
+  EXPECT_EQ(escaped->size(), 2u);
+  EXPECT_FALSE(CsvSplitRecords("a,\"open\nnever closed").ok());
+}
+
+// Regression: an embedded newline used to split the quoted field across
+// two import records, failing the round trip.
+TEST(CsvIoTest, RoundTripPreservesEmbeddedNewlines) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  pg::PropertyGraph g;
+  g.AddNode(std::vector<std::string>{"PhysicalPerson", "Person"},
+            {{"fiscalCode", Value("P1")},
+             {"name", Value("line one\nline two")},
+             {"surname", Value("verdi")}});
+  auto files = ExportCsv(schema, g);
+  ASSERT_TRUE(files.ok());
+  auto back = ImportCsv(schema, *files);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  pg::NodeId p = back->FindNode("PhysicalPerson", "fiscalCode", Value("P1"));
+  ASSERT_NE(p, pg::kInvalidNode);
+  EXPECT_EQ(*back->NodeProperty(p, "name"), Value("line one\nline two"));
+}
+
+// Regression: std::stoll/std::stod used to throw on malformed numerics
+// (terminating the process) and silently accept trailing garbage.
+TEST(CsvIoTest, MalformedNumericFieldsAreErrors) {
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+
+  std::map<std::string, std::string> files{
+      {"stock_share.csv", "share_id,number_of_stocks\nS9,12abc\n"}};
+  Status s = ImportCsv(schema, files).status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("bad integer"), std::string::npos)
+      << s.ToString();
+
+  files = {{"share.csv", "share_id,percentage\nS9,not-a-number\n"}};
+  s = ImportCsv(schema, files).status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("bad double"), std::string::npos)
+      << s.ToString();
+
+  files = {{"stock_share.csv",
+            "share_id,number_of_stocks\nS9,99999999999999999999999\n"}};
+  s = ImportCsv(schema, files).status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("out of range"), std::string::npos)
+      << s.ToString();
+}
+
 TEST(CsvIoTest, DanglingEdgeReferenceRejected) {
   core::SuperSchema schema = finkg::CompanyKgSchema();
   auto files = ExportCsv(schema, SmallInstance());

@@ -198,6 +198,53 @@ INSTANTIATE_TEST_SUITE_P(
                                          size_t{1000}),
                        ::testing::Values(uint64_t{5}, uint64_t{77})));
 
+// The same group-by oracle must hold under parallel evaluation, and the
+// monotonic count's final prefix must match the set size regardless of the
+// order work items fold contributions.
+TEST_P(AggregationProperty, AggregatesMatchOracleInParallel) {
+  auto [rows, seed] = GetParam();
+  Rng rng(seed);
+  FactDb db;
+  std::map<int64_t, double> sum_oracle;
+  std::map<int64_t, std::set<int64_t>> holders;
+  for (size_t i = 0; i < rows; ++i) {
+    int64_t p = static_cast<int64_t>(rng.NextBelow(rows / 2 + 1));
+    int64_t c = static_cast<int64_t>(rng.NextBelow(rows / 4 + 1));
+    double w = rng.NextDouble();
+    if (db.Add("holds", {Value(p), Value(c), Value(w)})) {
+      sum_oracle[c] += w;
+      holders[c].insert(p);
+    }
+  }
+  EngineOptions options;
+  options.num_threads = 8;
+  ASSERT_TRUE(RunProgram(R"(
+    holds(p, c, w), v = sum(w, <p>) -> total(c, v).
+    holds(p, c, _), n = mcount(<p>) -> stakeholders(c, n).
+  )", &db, options).ok());
+  const Relation* total = db.Get("total");
+  ASSERT_NE(total, nullptr);
+  ASSERT_EQ(total->size(), sum_oracle.size());
+  for (const Tuple& t : total->tuples()) {
+    auto it = sum_oracle.find(t[0].AsInt());
+    ASSERT_NE(it, sum_oracle.end());
+    EXPECT_NEAR(t[1].AsDouble(), it->second, 1e-9);
+  }
+  // mcount emits every prefix 1..N; the maximum per group is the count.
+  const Relation* stakeholders = db.Get("stakeholders");
+  ASSERT_NE(stakeholders, nullptr);
+  std::map<int64_t, int64_t> max_count;
+  for (const Tuple& t : stakeholders->tuples()) {
+    max_count[t[0].AsInt()] =
+        std::max(max_count[t[0].AsInt()], t[1].AsInt());
+  }
+  ASSERT_EQ(max_count.size(), holders.size());
+  for (const auto& [c, members] : holders) {
+    EXPECT_EQ(max_count[c], static_cast<int64_t>(members.size()))
+        << "group " << c;
+  }
+}
+
 // Chase modes agree on null-free derivations: for Datalog programs (no
 // existentials) kSkolem and kRestricted must produce identical results.
 class ChaseModeProperty
