@@ -169,8 +169,12 @@ void BM_StratifiedNegation(benchmark::State& state) {
 BENCHMARK(BM_StratifiedNegation)->Arg(10000)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
+// Second argument is the engine worker count: > 1 exercises the parallel
+// scan partitions, the barrier fold and the parallel group-emission round.
 void BM_StratifiedAggregation(benchmark::State& state) {
   const int64_t n = state.range(0);
+  vadalog::EngineOptions options;
+  options.num_threads = static_cast<size_t>(state.range(1));
   for (auto _ : state) {
     state.PauseTiming();
     FactDb db;
@@ -182,12 +186,43 @@ void BM_StratifiedAggregation(benchmark::State& state) {
     }
     state.ResumeTiming();
     Status s = vadalog::RunProgram(
-        "holds(p, c, w), v = sum(w, <p>) -> total(c, v).", &db);
+        "holds(p, c, w), v = sum(w, <p>) -> total(c, v).", &db, options);
     KGM_CHECK(s.ok());
   }
   state.SetItemsProcessed(state.iterations() * n);
+  state.counters["threads"] = static_cast<double>(options.num_threads);
 }
-BENCHMARK(BM_StratifiedAggregation)->Arg(10000)->Arg(50000)
+BENCHMARK(BM_StratifiedAggregation)
+    ->Args({10000, 1})->Args({50000, 1})
+    ->Args({50000, 2})->Args({50000, 4})->Args({50000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// Shard-count sweep at a fixed worker count: measures how much of the
+// insert path is lock-limited versus dedup-limited.
+void BM_TransitiveClosureShards(benchmark::State& state) {
+  const int64_t n = 300;
+  vadalog::EngineOptions options;
+  options.num_threads = 8;
+  options.num_shards = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    FactDb db;
+    Rng rng(7);
+    for (int64_t i = 0; i < 2 * n; ++i) {
+      db.Add("edge", {Value(static_cast<int64_t>(rng.NextBelow(n))),
+                      Value(static_cast<int64_t>(rng.NextBelow(n)))});
+    }
+    state.ResumeTiming();
+    Status s = vadalog::RunProgram(R"(
+      edge(x, y) -> path(x, y).
+      path(x, y), edge(y, z) -> path(x, z).
+    )", &db, options);
+    KGM_CHECK(s.ok());
+    benchmark::DoNotOptimize(db.TotalFacts());
+  }
+  state.counters["shards"] = static_cast<double>(options.num_shards);
+}
+BENCHMARK(BM_TransitiveClosureShards)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

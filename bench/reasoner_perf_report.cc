@@ -1,0 +1,155 @@
+// Machine-readable reasoner benchmark: runs the finkg intensional suite at
+// a sweep of (threads, shards) configurations and writes BENCH_reasoner.json
+// so the perf trajectory can be tracked across PRs.
+//
+// Usage: reasoner_perf_report [output.json] [companies] [persons]
+// Default output file: BENCH_reasoner.json in the working directory.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "finkg/company_kg.h"
+#include "finkg/generator.h"
+#include "instance/pipeline.h"
+
+namespace {
+
+// Minimal JSON emission: everything we write is numbers, booleans and
+// identifier-safe strings, so escaping is not needed.
+struct JsonWriter {
+  FILE* f;
+  int depth = 0;
+  bool first = true;
+
+  void Indent() {
+    for (int i = 0; i < depth; ++i) std::fputs("  ", f);
+  }
+  void Comma() {
+    if (!first) std::fputs(",\n", f);
+    first = false;
+    Indent();
+  }
+  void Open(const char* key, char bracket) {
+    Comma();
+    if (key != nullptr) std::fprintf(f, "\"%s\": %c\n", key, bracket);
+    else std::fprintf(f, "%c\n", bracket);
+    ++depth;
+    first = true;
+  }
+  void Close(char bracket) {
+    std::fputc('\n', f);
+    --depth;
+    Indent();
+    std::fputc(bracket, f);
+    first = false;
+  }
+  void Field(const char* key, double v) {
+    Comma();
+    std::fprintf(f, "\"%s\": %.6f", key, v);
+  }
+  void Field(const char* key, size_t v) {
+    Comma();
+    std::fprintf(f, "\"%s\": %zu", key, v);
+  }
+  void Field(const char* key, const char* v) {
+    Comma();
+    std::fprintf(f, "\"%s\": \"%s\"", key, v);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kgm;
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_reasoner.json";
+  finkg::GeneratorConfig config;
+  config.num_companies = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 400;
+  config.num_persons = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 600;
+  config.seed = 2022;
+
+  core::SuperSchema schema = finkg::CompanyKgSchema();
+  finkg::ShareholdingNetwork net =
+      finkg::ShareholdingNetwork::Generate(config);
+
+  struct Step {
+    const char* name;
+    const char* program;
+  };
+  const Step steps[] = {
+      {"owns", finkg::kOwnsProgram},
+      {"controls", finkg::kControlProgram},
+      {"stakeholders", finkg::kStakeholdersProgram},
+      {"close_links", finkg::kCloseLinksProgram},
+  };
+  struct Config {
+    size_t threads;
+    size_t shards;  // 0 = auto
+  };
+  const Config configs[] = {{1, 0}, {8, 0}, {8, 1}, {8, 16}};
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  JsonWriter w{f};
+  w.Open(nullptr, '{');
+  w.Field("benchmark", "reasoner_intensional_suite");
+  w.Field("companies", static_cast<size_t>(config.num_companies));
+  w.Field("persons", static_cast<size_t>(config.num_persons));
+  w.Field("holdings", net.holdings().size());
+  w.Open("runs", '[');
+  for (const Config& c : configs) {
+    // Fresh data per configuration: components build on OWNS et al., so
+    // reusing a graph would shrink later runs.
+    pg::PropertyGraph data = net.ToInstanceGraph();
+    instance::MaterializeOptions options;
+    options.engine.num_threads = c.threads;
+    options.engine.num_shards = c.shards;
+    w.Open(nullptr, '{');
+    w.Field("threads_requested", c.threads);
+    w.Field("shards_requested", c.shards);
+    w.Open("components", '[');
+    for (const Step& step : steps) {
+      auto stats = instance::Materialize(schema, step.program, &data, options);
+      if (!stats.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", step.name,
+                     stats.status().ToString().c_str());
+        std::fclose(f);
+        return 1;
+      }
+      const auto& es = stats->engine_stats;
+      w.Open(nullptr, '{');
+      w.Field("component", step.name);
+      w.Field("threads_used", es.threads_used);
+      w.Field("shard_count", es.shard_count);
+      w.Field("load_seconds", stats->load_seconds);
+      w.Field("reason_seconds", stats->reason_seconds);
+      w.Field("flush_seconds", stats->flush_seconds);
+      w.Field("merge_seconds", es.merge_seconds);
+      w.Field("agg_finalize_seconds", es.agg_finalize_seconds);
+      w.Field("staged_inserts", es.staged_inserts);
+      w.Field("staged_duplicates", es.staged_duplicates);
+      w.Field("shard_contentions", es.shard_contentions);
+      w.Field("facts_derived", es.facts_derived);
+      w.Field("iterations", es.iterations);
+      w.Open("stratum_seconds", '[');
+      for (double s : es.stratum_seconds) {
+        w.Comma();
+        std::fprintf(f, "%.6f", s);
+      }
+      w.Close(']');
+      w.Close('}');
+    }
+    w.Close(']');
+    w.Close('}');
+  }
+  w.Close(']');
+  w.Close('}');
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

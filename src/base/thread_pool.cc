@@ -32,6 +32,17 @@ void ThreadPool::WaitIdle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Submit([&fn, i] { fn(i); });
+  }
+  WaitIdle();
+}
+
 size_t ThreadPool::DefaultThreads() {
   unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;

@@ -45,6 +45,11 @@ class ThreadPool {
   // Blocks until the queue is empty and no task is running.
   void WaitIdle();
 
+  // Fork/join convenience: runs fn(0) .. fn(n - 1) on the pool and blocks
+  // until all calls return.  The caller must not hold tasks of its own in
+  // flight (ParallelFor waits for the whole pool to go idle).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
   // The default parallelism: hardware_concurrency, or 1 when unknown.
   static size_t DefaultThreads();
 

@@ -1,10 +1,22 @@
 #include "vadalog/database.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "base/check.h"
 
 namespace kgm::vadalog {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  if (n <= 1) return 1;
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
 
 const std::vector<uint32_t> Relation::kEmptyRows;
 
@@ -22,34 +34,81 @@ size_t HashTupleMasked(const Tuple& t, uint64_t mask) {
   return h;
 }
 
+TupleHasher::TupleHasher(const Tuple& t) : n_(t.size()) {
+  size_t* hs = inline_;
+  if (n_ > kInline) {
+    heap_.resize(n_);
+    hs = heap_.data();
+  }
+  size_t h = 0x8f3a7b12;
+  for (size_t i = 0; i < n_; ++i) {
+    hs[i] = t[i].Hash();
+    h = HashCombine(h, hs[i]);
+  }
+  hashes_ = hs;
+  full_ = h;
+}
+
+size_t TupleHasher::Masked(uint64_t mask) const {
+  size_t h = 0x51ab03c7;
+  for (size_t i = 0; i < n_; ++i) {
+    if (mask & (1ULL << i)) h = HashCombine(h, hashes_[i]);
+  }
+  return h;
+}
+
+Relation::Relation(size_t arity, size_t shard_count) : arity_(arity) {
+  shard_count = RoundUpPow2(shard_count);
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_mask_ = shard_count - 1;
+}
+
+bool Relation::CanonicalContains(const Shard& shard, size_t hash,
+                                 const Tuple& t) const {
+  auto it = shard.dedup.find(hash);
+  if (it == shard.dedup.end()) return false;
+  for (uint32_t row : it->second.rows) {
+    if (tuples_[row] == t) return true;
+  }
+  return false;
+}
+
 size_t Relation::FindRow(const Tuple& t) const {
-  auto it = dedup_.find(HashTuple(t));
-  if (it == dedup_.end()) return static_cast<size_t>(-1);
+  size_t h = HashTuple(t);
+  const Shard& shard = ShardFor(h);
+  auto it = shard.dedup.find(h);
+  if (it == shard.dedup.end()) return kNoRow;
   for (uint32_t row : it->second.rows) {
     if (tuples_[row] == t) return row;
   }
-  return static_cast<size_t>(-1);
+  return kNoRow;
 }
 
 bool Relation::Insert(Tuple t) {
   KGM_CHECK(t.size() == arity_);
-  size_t h = HashTuple(t);
-  Bucket& bucket = dedup_[h];
+  // Position hashes are computed once and reused for the dedup hash and
+  // every maintained index mask.
+  TupleHasher hasher(t);
+  size_t h = hasher.full();
+  Shard& shard = ShardFor(h);
+  Bucket& bucket = shard.dedup[h];
   for (uint32_t row : bucket.rows) {
     if (tuples_[row] == t) return false;
   }
   uint32_t row = static_cast<uint32_t>(tuples_.size());
   bucket.rows.push_back(row);
-  // Maintain already-built secondary indexes.
   for (auto& [mask, index] : indexes_) {
-    index[HashTupleMasked(t, mask)].rows.push_back(row);
+    index[hasher.Masked(mask)].rows.push_back(row);
   }
   tuples_.push_back(std::move(t));
   return true;
 }
 
 bool Relation::Contains(const Tuple& t) const {
-  return FindRow(t) != static_cast<size_t>(-1);
+  return FindRow(t) != kNoRow;
 }
 
 void Relation::EnsureIndex(uint64_t mask) {
@@ -87,10 +146,127 @@ bool Relation::MatchesMasked(size_t i, uint64_t mask,
   return true;
 }
 
+void Relation::Reshard(size_t shard_count) {
+  shard_count = RoundUpPow2(shard_count);
+  KGM_CHECK(StagedCount() == 0);
+  std::vector<std::unique_ptr<Shard>> fresh;
+  fresh.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    fresh.push_back(std::make_unique<Shard>());
+  }
+  size_t mask = shard_count - 1;
+  // Buckets are keyed by full-tuple hash, so they move wholesale; no tuple
+  // is rehashed.
+  for (auto& shard : shards_) {
+    for (auto& [h, bucket] : shard->dedup) {
+      fresh[h & mask]->dedup.emplace(h, std::move(bucket));
+    }
+  }
+  shards_ = std::move(fresh);
+  shard_mask_ = mask;
+}
+
+bool Relation::StageInsert(StageTag tag, Tuple t) {
+  KGM_CHECK(t.size() == arity_);
+  size_t h = HashTuple(t);
+  Shard& shard = ShardFor(h);
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    lock.lock();
+    ++shard.counters.contentions;
+  }
+  // The canonical store is frozen while stagings are in flight, so reading
+  // the shard's dedup slice under the shard lock is race-free.
+  if (CanonicalContains(shard, h, t)) {
+    ++shard.counters.duplicates;
+    return false;
+  }
+  // Duplicates *within* the barrier are not chased here: DrainStaged
+  // appends in ascending tag order and drops any tuple already appended,
+  // so the minimum-tag occurrence survives without a staging-side index.
+  // That keeps this hot path to one hash, one lock, and one push.
+  shard.staged.push_back(Staged{tag, h, std::move(t)});
+  ++shard.counters.accepted;
+  return true;
+}
+
+size_t Relation::StagedCount() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) n += shard->staged.size();
+  return n;
+}
+
+size_t Relation::DrainStaged() {
+  size_t total = StagedCount();
+  if (total == 0) return 0;
+  std::vector<Staged*> ordered;
+  ordered.reserve(total);
+  for (auto& shard : shards_) {
+    for (Staged& e : shard->staged) ordered.push_back(&e);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Staged* a, const Staged* b) { return a->tag < b->tag; });
+  tuples_.reserve(tuples_.size() + total);
+  size_t appended = 0;
+  for (Staged* e : ordered) {
+    Shard& home = ShardFor(e->hash);
+    Bucket& bucket = home.dedup[e->hash];
+    // Same-barrier duplicates surface here: an earlier (smaller-tag) copy
+    // has already been appended and sits in this bucket.  Dropping the
+    // later copies preserves the min-tag ordering StageInsert promises.
+    bool duplicate = false;
+    for (uint32_t row : bucket.rows) {
+      if (tuples_[row] == e->tuple) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      ++home.counters.duplicates;
+      --home.counters.accepted;
+      continue;
+    }
+    uint32_t row = static_cast<uint32_t>(tuples_.size());
+    bucket.rows.push_back(row);
+    if (!indexes_.empty()) {
+      TupleHasher hasher(e->tuple);
+      for (auto& [mask, index] : indexes_) {
+        index[hasher.Masked(mask)].rows.push_back(row);
+      }
+    }
+    tuples_.push_back(std::move(e->tuple));
+    ++appended;
+  }
+  for (auto& shard : shards_) {
+    shard->staged.clear();
+  }
+  return appended;
+}
+
+void Relation::DiscardStaged() {
+  for (auto& shard : shards_) {
+    shard->staged.clear();
+  }
+}
+
+void Relation::AccumulateShardCounters(std::vector<ShardCounters>* by_shard,
+                                       ShardCounters* total) const {
+  if (by_shard->size() < shards_.size()) by_shard->resize(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const ShardCounters& c = shards_[i]->counters;
+    (*by_shard)[i].accepted += c.accepted;
+    (*by_shard)[i].duplicates += c.duplicates;
+    (*by_shard)[i].contentions += c.contentions;
+    total->accepted += c.accepted;
+    total->duplicates += c.duplicates;
+    total->contentions += c.contentions;
+  }
+}
+
 Relation& FactDb::GetOrCreate(const std::string& pred, size_t arity) {
   auto it = relations_.find(pred);
   if (it == relations_.end()) {
-    it = relations_.emplace(pred, Relation(arity)).first;
+    it = relations_.emplace(pred, Relation(arity, default_shard_count_)).first;
   }
   KGM_CHECK_MSG(it->second.arity() == arity,
                 ("arity conflict for predicate " + pred).c_str());
@@ -124,6 +300,11 @@ size_t FactDb::TotalFacts() const {
   size_t n = 0;
   for (const auto& [pred, rel] : relations_) n += rel.size();
   return n;
+}
+
+void FactDb::ReshardAll(size_t shard_count) {
+  default_shard_count_ = shard_count;
+  for (auto& [pred, rel] : relations_) rel.Reshard(shard_count);
 }
 
 std::string FactDb::DebugString() const {

@@ -3,12 +3,29 @@
 // A FactDb maps predicate names to relations; a Relation is a deduplicated
 // append-only tuple store with lazily built hash indexes over arbitrary
 // position masks (used by the join in the semi-naive evaluator).
+//
+// Sharding & concurrent staging.  Each Relation is internally sharded:
+// full-tuple hashes route dedup entries to one of N shards (N a power of
+// two), and every shard owns its slice of the dedup table, a mutex, and a
+// staging area for concurrent inserts.  The canonical tuple store — the
+// `tuples()` vector, row ids, and the secondary hash indexes — stays
+// unsharded and is only written single-threaded.  During a parallel engine
+// phase the canonical store is frozen; work items call StageInsert, which
+// dedups against the canonical store under only that shard's lock.  Every
+// staged tuple carries a (work-item, sequence) tag.  At the barrier
+// DrainStaged appends the staged tuples to the canonical store in ascending
+// tag order, dropping same-barrier duplicates as they surface — so the
+// minimum-tag copy of every tuple survives regardless of thread scheduling,
+// which makes canonical row order — and therefore everything downstream of
+// it — deterministic for any worker count.
 
 #ifndef KGM_VADALOG_DATABASE_H_
 #define KGM_VADALOG_DATABASE_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,16 +42,58 @@ size_t HashTuple(const Tuple& t);
 // Hashes only positions selected by `mask` (bit i set = position i).
 size_t HashTupleMasked(const Tuple& t, uint64_t mask);
 
+// Caches the per-position value hashes of one tuple so that the full hash
+// and any number of masked hashes can be derived without rehashing the
+// values (string hashing dominates Insert otherwise).  Produces exactly the
+// same hashes as HashTuple / HashTupleMasked.
+class TupleHasher {
+ public:
+  explicit TupleHasher(const Tuple& t);
+
+  size_t full() const { return full_; }
+  size_t Masked(uint64_t mask) const;
+
+ private:
+  static constexpr size_t kInline = 16;
+  size_t n_;
+  size_t full_;
+  const size_t* hashes_;
+  size_t inline_[kInline];
+  std::vector<size_t> heap_;
+};
+
+// Deterministic ordering tag for one staged insert: the submitting work
+// item's submission index plus a per-item sequence number.
+struct StageTag {
+  uint32_t item = 0;
+  uint32_t seq = 0;
+
+  friend bool operator<(const StageTag& a, const StageTag& b) {
+    return a.item != b.item ? a.item < b.item : a.seq < b.seq;
+  }
+};
+
+// Per-shard insert counters, accumulated into EngineStats after a run.
+struct ShardCounters {
+  size_t accepted = 0;     // staged inserts that were new tuples
+  size_t duplicates = 0;   // staged inserts dropped as duplicates
+  size_t contentions = 0;  // lock acquisitions that had to wait
+};
+
 class Relation {
  public:
-  explicit Relation(size_t arity) : arity_(arity) {}
+  explicit Relation(size_t arity, size_t shard_count = 1);
+
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
 
   size_t arity() const { return arity_; }
   size_t size() const { return tuples_.size(); }
   const std::vector<Tuple>& tuples() const { return tuples_; }
   const Tuple& tuple(size_t i) const { return tuples_[i]; }
 
-  // Inserts (deduplicated); returns true if the tuple is new.
+  // Inserts (deduplicated); returns true if the tuple is new.  Not
+  // thread-safe; must not run while staged tuples are pending.
   bool Insert(Tuple t);
 
   bool Contains(const Tuple& t) const;
@@ -49,8 +108,9 @@ class Relation {
   const std::vector<uint32_t>& Lookup(uint64_t mask, const Tuple& probe);
 
   // Pre-builds the hash index for `mask` (no-op if already built).  Once
-  // built, indexes are maintained incrementally by Insert, so the engine
-  // calls this before a parallel join phase and probes with LookupBuilt.
+  // built, indexes are maintained incrementally by Insert and DrainStaged,
+  // so the engine calls this before a parallel phase and probes with
+  // LookupBuilt.
   void EnsureIndex(uint64_t mask);
 
   // Read-only probe: like Lookup, but requires EnsureIndex(mask) to have
@@ -61,18 +121,73 @@ class Relation {
   // True if row `i`'s masked positions equal those of `probe`.
   bool MatchesMasked(size_t i, uint64_t mask, const Tuple& probe) const;
 
+  // --- sharded concurrent staging -------------------------------------------
+
+  size_t shard_count() const { return shards_.size(); }
+
+  // Redistributes the dedup table over `shard_count` shards (rounded up to
+  // a power of two).  Buckets move by hash; tuples are not rehashed.  Must
+  // not be called with staged tuples pending.  Resets the shard counters.
+  void Reshard(size_t shard_count);
+
+  // Thread-safe dedup-on-insert into the staging area.  Returns true if
+  // the tuple was staged (i.e. absent from the canonical store); tuples
+  // staged more than once within a barrier are resolved at DrainStaged,
+  // where the minimum-tag copy wins, so canonical order stays
+  // schedule-independent.  The caller must keep the canonical store frozen
+  // (no Insert / EnsureIndex / DrainStaged) while stagings are in flight.
+  bool StageInsert(StageTag tag, Tuple t);
+
+  // Number of staged tuples.  Driver-only: not safe while StageInsert
+  // calls are in flight.
+  size_t StagedCount() const;
+
+  // Appends the staged tuples to the canonical store in ascending tag
+  // order, dropping same-barrier duplicates and maintaining the dedup
+  // table and every built index; returns the number of rows appended
+  // (their row ids are [old size, new size)).  Reclassifies dropped
+  // duplicates in the shard counters.  Driver-only.
+  size_t DrainStaged();
+
+  // Drops all staged tuples (used on error paths).  Driver-only.
+  void DiscardStaged();
+
+  // Adds this relation's per-shard counters into `by_shard` (resized as
+  // needed) and the totals into `total`.  Driver-only.
+  void AccumulateShardCounters(std::vector<ShardCounters>* by_shard,
+                               ShardCounters* total) const;
+
  private:
   struct Bucket {
     std::vector<uint32_t> rows;
   };
   using HashIndex = std::unordered_map<size_t, Bucket>;
 
+  // One staged (not yet canonical) tuple.
+  struct Staged {
+    StageTag tag;
+    size_t hash = 0;
+    Tuple tuple;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    HashIndex dedup;  // full-tuple hash -> canonical rows (this shard's keys)
+    std::vector<Staged> staged;
+    ShardCounters counters;
+  };
+
+  Shard& ShardFor(size_t hash) const { return *shards_[hash & shard_mask_]; }
   size_t FindRow(const Tuple& t) const;
+  // Canonical-store membership by precomputed hash.  Read-only.
+  bool CanonicalContains(const Shard& shard, size_t hash,
+                         const Tuple& t) const;
 
   size_t arity_;
   std::vector<Tuple> tuples_;
-  HashIndex dedup_;                          // full-tuple hash -> rows
-  std::map<uint64_t, HashIndex> indexes_;    // mask -> index
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_mask_ = 0;
+  std::map<uint64_t, HashIndex> indexes_;  // mask -> index
   static const std::vector<uint32_t> kEmptyRows;
 };
 
@@ -98,10 +213,22 @@ class FactDb {
   std::vector<std::string> Predicates() const;
   size_t TotalFacts() const;
 
+  // Reshards every relation to `shard_count` (see Relation::Reshard) and
+  // makes it the default for relations created afterwards.
+  void ReshardAll(size_t shard_count);
+  size_t default_shard_count() const { return default_shard_count_; }
+
+  // Visits every relation in predicate order.  Driver-only.
+  template <typename Fn>
+  void ForEachRelation(Fn&& fn) {
+    for (auto& [pred, rel] : relations_) fn(pred, rel);
+  }
+
   std::string DebugString() const;
 
  private:
   std::map<std::string, Relation> relations_;
+  size_t default_shard_count_ = 1;
 };
 
 }  // namespace kgm::vadalog

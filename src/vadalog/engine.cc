@@ -1,6 +1,7 @@
 #include "vadalog/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <deque>
 #include <functional>
@@ -149,19 +150,23 @@ struct PendingContribution {
 
 // Per-evaluation binding and output state.  Sequential evaluation uses a
 // single driver context writing straight into the FactDb; parallel work
-// items each own a context that buffers derived facts (and aggregate
-// contributions) for the merge at the iteration barrier.
+// items each own a context that stages derived facts into the sharded
+// relations (and records aggregate contributions) for the drain at the
+// iteration barrier.
 struct EvalContext {
   CompiledRule* rule = nullptr;
   std::vector<Value> slots;
   std::vector<char> bound;
 
-  // Buffered mode: facts go to `out` instead of the shared FactDb.
-  bool buffered = false;
-  std::vector<std::pair<const std::string*, Tuple>> out;
+  // Staged mode: facts go through Relation::StageInsert tagged with
+  // (item_index, insert_seq) instead of the canonical store.
+  bool staged = false;
+  uint32_t item_index = 0;
+  uint32_t insert_seq = 0;
 
-  // Deferred aggregation (parallel Phase B): the join records
-  // contributions instead of folding them into shared group state.
+  // Deferred aggregation (parallel work items of rules with aggregates):
+  // the join records contributions instead of folding them into shared
+  // group state.
   bool defer_aggregates = false;
   std::vector<PendingContribution> contributions;
 
@@ -171,8 +176,11 @@ struct EvalContext {
   // Restricts enumeration of the delta literal to [delta_begin, delta_end).
   size_t delta_begin = 0;
   size_t delta_end = static_cast<size_t>(-1);
+  // Phase-A scan partitioning: positive literal whose enumeration is
+  // restricted to [delta_begin, delta_end); -1 = none.
+  int range_literal = -1;
 
-  // Fact-budget baseline for buffered inserts (db size at freeze time).
+  // Fact-budget baseline for staged inserts (db size at freeze time).
   size_t budget_base = 0;
 
   // Stratified (non-monotonic) aggregation state of this evaluation.
@@ -227,7 +235,7 @@ struct Engine::Impl {
                            GroupState& state, size_t ai,
                            const Tuple& contribution, bool* any_update);
   Status EmitWithAggregates(EvalContext& ctx, CompiledRule& cr,
-                            const Tuple& group_key, GroupState& state);
+                            const Tuple& group_key, const GroupState& state);
   Status FinalizeStratifiedAggregates(EvalContext& ctx, CompiledRule& cr);
   Status EmitHeadWithPostConditions(EvalContext& ctx, CompiledRule& cr);
   Status EmitHead(EvalContext& ctx, CompiledRule& cr);
@@ -239,6 +247,9 @@ struct Engine::Impl {
   struct WorkItem {
     CompiledRule* rule = nullptr;
     int delta_literal = -1;
+    // Overrides the default EvalRule body (used by aggregation-finalize
+    // emission items).
+    std::function<Status(EvalContext&)> body;
     EvalContext ctx;
     Status status;
   };
@@ -246,11 +257,23 @@ struct Engine::Impl {
       const std::vector<CompiledRule*>& rules) const;
   void PrepareJoinIndexes(const CompiledRule& cr);
   size_t PartitionCount(size_t rows) const;
+  // Runs the items on the pool and drains the staged inserts at the
+  // barrier.  Newly appended canonical rows are mirrored into next_delta
+  // for recursive predicates.
   Status RunItems(std::deque<WorkItem>& items);
-  Status MergeItem(WorkItem& item);
+  Status DrainStagedInserts();
+  // Folds the deferred aggregate contributions of `items` in submission
+  // order: monotonic aggregates re-emit through the shared FactDb,
+  // stratified ones are folded into a master group map and emitted by
+  // parallel finalize items.
+  Status FoldItemContributions(std::deque<WorkItem>& items);
+  Status FoldAndEmitStratified(CompiledRule& cr, std::deque<WorkItem>& items);
   Status FoldPending(CompiledRule& cr, EvalContext& scratch,
                      const PendingContribution& pc);
   void FlushCtxStats(EvalContext& ctx, const CompiledRule& cr);
+
+  // Count of staged inserts accepted since the last drain (fact budget).
+  std::atomic<size_t> staged_total_{0};
 
   Result<Value> Eval(EvalContext& ctx, const ExprPtr& e) {
     return EvalExpr(*e, [&ctx](const std::string& name) -> const Value* {
@@ -551,17 +574,21 @@ Status Engine::Impl::InsertShared(const std::string& pred, Tuple t) {
 
 Status Engine::Impl::InsertFact(EvalContext& ctx, const std::string& pred,
                                 Tuple t) {
-  if (!ctx.buffered) return InsertShared(pred, std::move(t));
-  // Skip facts already in the (frozen) database; duplicates across
-  // concurrent work items are dropped by the merge.
-  const Relation* rel = db->Get(pred);
-  if (rel != nullptr && rel->Contains(t)) return OkStatus();
-  if (ctx.budget_base + ctx.out.size() > options.max_facts) {
-    return ResourceExhausted(
-        "fact budget exceeded (" + std::to_string(options.max_facts) +
-        "); the chase may not terminate on this program");
+  if (!ctx.staged) return InsertShared(pred, std::move(t));
+  // Parallel work item: dedup-on-insert into the relation's shards.  Every
+  // head predicate is pre-created in Run, so the map lookup is read-only
+  // and safe under concurrency.
+  Relation* rel = db->GetMutable(pred);
+  KGM_CHECK(rel != nullptr);
+  StageTag tag{ctx.item_index, ctx.insert_seq++};
+  if (rel->StageInsert(tag, std::move(t))) {
+    size_t staged = staged_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (ctx.budget_base + staged > options.max_facts) {
+      return ResourceExhausted(
+          "fact budget exceeded (" + std::to_string(options.max_facts) +
+          "); the chase may not terminate on this program");
+    }
   }
-  ctx.out.emplace_back(&pred, std::move(t));
   return OkStatus();
 }
 
@@ -592,14 +619,28 @@ Status Engine::Impl::Run(FactDb* target) {
   }
   bool parallel_ok =
       options.chase_mode == ChaseMode::kSkolem || !has_existentials;
-  num_workers = options.num_threads == 0 ? ThreadPool::DefaultThreads()
-                                         : options.num_threads;
+  size_t requested = options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                              : options.num_threads;
+  stats->requested_threads = requested;
+  num_workers = requested;
   if (num_workers > 1 && parallel_ok) {
     pool = std::make_unique<ThreadPool>(num_workers);
   } else {
+    stats->sequential_fallback = requested > 1 && !parallel_ok;
     num_workers = 1;
   }
   stats->threads_used = num_workers;
+  if (pool != nullptr) {
+    // Spread the dedup tables over enough shards that concurrent StageInsert
+    // calls rarely collide on a lock.
+    size_t shards = options.num_shards != 0
+                        ? options.num_shards
+                        : std::min<size_t>(num_workers * 4, 64);
+    size_t pow2 = 1;
+    while (pow2 < shards) pow2 <<= 1;
+    db->ReshardAll(pow2);
+    stats->shard_count = pow2;
+  }
 
   // Group rules by stratum.
   std::map<int, std::vector<CompiledRule*>> by_stratum;
@@ -614,6 +655,20 @@ Status Engine::Impl::Run(FactDb* target) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count());
     KGM_RETURN_IF_ERROR(status);
+  }
+  if (pool != nullptr) {
+    std::vector<ShardCounters> by_shard;
+    ShardCounters total;
+    db->ForEachRelation([&](const std::string&, Relation& rel) {
+      rel.AccumulateShardCounters(&by_shard, &total);
+    });
+    stats->staged_inserts = total.accepted;
+    stats->staged_duplicates = total.duplicates;
+    stats->shard_contentions = total.contentions;
+    stats->inserts_by_shard.resize(by_shard.size());
+    for (size_t i = 0; i < by_shard.size(); ++i) {
+      stats->inserts_by_shard[i] = by_shard[i].accepted;
+    }
   }
   return OkStatus();
 }
@@ -696,14 +751,20 @@ void Engine::Impl::FlushCtxStats(EvalContext& ctx, const CompiledRule& cr) {
 // Greedy batching in program order: a rule joins the current batch unless
 // it reads a predicate some batch member writes.  Within a batch no rule
 // observes another's output — exactly the sequential semantics, since
-// earlier rules never see later rules' facts and buffered evaluation hides
-// same-batch outputs.
+// earlier rules never see later rules' facts and staged evaluation hides
+// same-batch outputs.  Head relations also keep their sequential row
+// order: staged inserts (and monotonic-aggregate emissions) drain in
+// work-item order.  The one exception is a stratified-aggregate rule,
+// whose groups are emitted in a second round after the batch's drain — so
+// such a rule must not share a head predicate with any other batch member.
 std::vector<std::vector<CompiledRule*>> Engine::Impl::IndependentBatches(
     const std::vector<CompiledRule*>& rules) const {
   std::vector<std::vector<CompiledRule*>> out;
   std::vector<CompiledRule*> current;
   std::set<std::string> current_writes;
+  std::set<std::string> current_strat_writes;
   for (CompiledRule* cr : rules) {
+    bool stratified = !cr->aggregates.empty() && !AllMonotonic(*cr);
     bool conflict = false;
     for (const CompiledLiteral& l : cr->positives) {
       if (current_writes.count(l.pred) > 0) conflict = true;
@@ -711,14 +772,20 @@ std::vector<std::vector<CompiledRule*>> Engine::Impl::IndependentBatches(
     for (const CompiledLiteral& l : cr->negatives) {
       if (current_writes.count(l.pred) > 0) conflict = true;
     }
+    for (const CompiledLiteral& h : cr->head) {
+      if (current_strat_writes.count(h.pred) > 0) conflict = true;
+      if (stratified && current_writes.count(h.pred) > 0) conflict = true;
+    }
     if (conflict && !current.empty()) {
       out.push_back(std::move(current));
       current.clear();
       current_writes.clear();
+      current_strat_writes.clear();
     }
     current.push_back(cr);
     for (const CompiledLiteral& h : cr->head) {
       current_writes.insert(h.pred);
+      if (stratified) current_strat_writes.insert(h.pred);
     }
   }
   if (!current.empty()) out.push_back(std::move(current));
@@ -747,43 +814,178 @@ size_t Engine::Impl::PartitionCount(size_t rows) const {
 }
 
 Status Engine::Impl::RunItems(std::deque<WorkItem>& items) {
+  staged_total_.store(0, std::memory_order_relaxed);
   size_t budget_base = db->TotalFacts();
+  uint32_t index = 0;
   for (WorkItem& item : items) {
-    item.ctx.buffered = true;
+    item.ctx.staged = true;
     item.ctx.frozen_db = true;
     item.ctx.budget_base = budget_base;
+    item.ctx.item_index = index++;
     pool->Submit([this, &item] {
-      item.status = EvalRule(item.ctx, *item.rule, item.delta_literal);
+      item.status = item.body != nullptr
+                        ? item.body(item.ctx)
+                        : EvalRule(item.ctx, *item.rule, item.delta_literal);
     });
   }
   pool->WaitIdle();
-  // Merge in work-item order: deterministic regardless of worker count.
+  Status first_error = OkStatus();
   for (WorkItem& item : items) {
-    KGM_RETURN_IF_ERROR(item.status);
-    KGM_RETURN_IF_ERROR(MergeItem(item));
+    if (item.rule != nullptr) FlushCtxStats(item.ctx, *item.rule);
+    if (first_error.ok() && !item.status.ok()) first_error = item.status;
+  }
+  if (first_error.ok()) {
+    // Monotonic-aggregate contributions fold at the barrier in work-item
+    // order; the emissions are staged under the folding item's tag, so the
+    // drain interleaves them exactly where the sequential evaluation would
+    // have inserted them.
+    first_error = FoldItemContributions(items);
+  }
+  if (!first_error.ok()) {
+    db->ForEachRelation(
+        [](const std::string&, Relation& rel) { rel.DiscardStaged(); });
+    return first_error;
+  }
+  return DrainStagedInserts();
+}
+
+Status Engine::Impl::FoldItemContributions(std::deque<WorkItem>& items) {
+  auto t0 = std::chrono::steady_clock::now();
+  EvalContext scratch;
+  scratch.staged = true;
+  scratch.frozen_db = true;
+  for (WorkItem& item : items) {
+    if (item.ctx.contributions.empty()) continue;
+    CompiledRule& cr = *item.rule;
+    // Stratified contributions are folded by FoldAndEmitStratified after
+    // the whole batch has drained.
+    if (!AllMonotonic(cr)) continue;
+    scratch.rule = &cr;
+    scratch.slots.assign(cr.slot_names.size(), Value());
+    scratch.bound.assign(cr.slot_names.size(), 0);
+    scratch.item_index = item.ctx.item_index;
+    scratch.insert_seq = item.ctx.insert_seq;
+    scratch.budget_base = item.ctx.budget_base;
+    for (const PendingContribution& pc : item.ctx.contributions) {
+      KGM_RETURN_IF_ERROR(FoldPending(cr, scratch, pc));
+    }
+    item.ctx.contributions.clear();
+  }
+  stats->agg_finalize_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return OkStatus();
+}
+
+Status Engine::Impl::DrainStagedInserts() {
+  auto t0 = std::chrono::steady_clock::now();
+  // Snapshot the dirty relations first: the relation map must not change
+  // while the per-relation drains run on the pool.
+  struct Dirty {
+    const std::string* pred;
+    Relation* rel;
+    size_t before;
+    size_t added = 0;
+  };
+  std::vector<Dirty> dirty;
+  db->ForEachRelation([&](const std::string& pred, Relation& rel) {
+    if (rel.StagedCount() > 0) {
+      dirty.push_back(Dirty{&pred, &rel, rel.size()});
+    }
+  });
+  if (dirty.size() > 1) {
+    pool->ParallelFor(dirty.size(), [&dirty](size_t i) {
+      dirty[i].added = dirty[i].rel->DrainStaged();
+    });
+  } else {
+    for (Dirty& d : dirty) d.added = d.rel->DrainStaged();
+  }
+  for (Dirty& d : dirty) {
+    stats->facts_derived += d.added;
+    if (recursive_preds == nullptr || next_delta == nullptr ||
+        recursive_preds->count(*d.pred) == 0) {
+      continue;
+    }
+    // Mirror the fresh canonical rows into the next-iteration delta.
+    auto it = next_delta->find(*d.pred);
+    if (it == next_delta->end()) {
+      it = next_delta->emplace(*d.pred, Relation(d.rel->arity())).first;
+    }
+    for (size_t row = d.before; row < d.rel->size(); ++row) {
+      it->second.Insert(d.rel->tuple(row));
+    }
+  }
+  stats->merge_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (db->TotalFacts() > options.max_facts) {
+    return ResourceExhausted(
+        "fact budget exceeded (" + std::to_string(options.max_facts) +
+        "); the chase may not terminate on this program");
   }
   return OkStatus();
 }
 
-Status Engine::Impl::MergeItem(WorkItem& item) {
-  EvalContext& ctx = item.ctx;
-  FlushCtxStats(ctx, *item.rule);
-  for (auto& [pred, t] : ctx.out) {
-    KGM_RETURN_IF_ERROR(InsertShared(*pred, std::move(t)));
-  }
-  ctx.out.clear();
-  if (!ctx.contributions.empty()) {
-    CompiledRule& cr = *item.rule;
-    EvalContext scratch;
-    scratch.rule = &cr;
-    scratch.slots.assign(cr.slot_names.size(), Value());
-    scratch.bound.assign(cr.slot_names.size(), 0);
-    for (const PendingContribution& pc : ctx.contributions) {
-      KGM_RETURN_IF_ERROR(FoldPending(cr, scratch, pc));
+Status Engine::Impl::FoldAndEmitStratified(CompiledRule& cr,
+                                           std::deque<WorkItem>& items) {
+  auto t0 = std::chrono::steady_clock::now();
+  // Fold in work-item order: the rule's items cover ascending scan ranges
+  // of its first body literal, so this replays exactly the sequential
+  // contribution order (float sums are bit-identical).
+  std::unordered_map<Tuple, GroupState, TupleHashFn> groups;
+  std::vector<Tuple> order;
+  for (WorkItem& item : items) {
+    if (item.rule != &cr || item.ctx.contributions.empty()) continue;
+    for (const PendingContribution& pc : item.ctx.contributions) {
+      auto [it, inserted] = groups.try_emplace(pc.group_key);
+      GroupState& state = it->second;
+      if (inserted) {
+        state.acc.resize(cr.aggregates.size());
+        state.has_value.resize(cr.aggregates.size(), false);
+        state.packed.resize(cr.aggregates.size());
+        state.seen.resize(cr.aggregates.size());
+        order.push_back(pc.group_key);
+      }
+      bool any_update = false;
+      for (size_t ai = 0; ai < cr.aggregates.size(); ++ai) {
+        KGM_RETURN_IF_ERROR(ApplyContribution(cr, cr.aggregates[ai], state,
+                                              ai, pc.per_agg[ai],
+                                              &any_update));
+      }
     }
-    ctx.contributions.clear();
+    item.ctx.contributions.clear();
   }
-  return OkStatus();
+  stats->agg_finalize_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (order.empty()) return OkStatus();
+  // Emit the groups in first-seen order, partitioned across the pool.
+  // Staged inserts keep each head relation's row order identical to the
+  // sequential finalize loop.
+  size_t parts = PartitionCount(order.size());
+  size_t chunk = (order.size() + parts - 1) / parts;
+  std::deque<WorkItem> emit;
+  for (size_t p = 0; p < parts; ++p) {
+    size_t begin = p * chunk;
+    if (begin >= order.size()) break;
+    size_t end = std::min(order.size(), begin + chunk);
+    WorkItem& item = emit.emplace_back();
+    item.rule = &cr;
+    item.body = [this, &cr, &groups, &order, begin, end](
+                    EvalContext& ctx) -> Status {
+      ctx.rule = &cr;
+      ctx.slots.assign(cr.slot_names.size(), Value());
+      for (size_t g = begin; g < end; ++g) {
+        ctx.bound.assign(cr.slot_names.size(), 0);
+        auto it = groups.find(order[g]);
+        KGM_CHECK(it != groups.end());
+        KGM_RETURN_IF_ERROR(
+            EmitWithAggregates(ctx, cr, order[g], it->second));
+      }
+      return OkStatus();
+    };
+  }
+  return RunItems(emit);
 }
 
 // Folds one recorded firing into the rule's monotonic group state and
@@ -822,16 +1024,46 @@ Status Engine::Impl::EvalStratumParallel(
   next_delta = &delta_a;
   cur_delta = nullptr;
 
-  // Phase A: independent-rule batches, each rule a buffered work item.
+  // Phase A: independent-rule batches.  Each rule fans out into
+  // (rule x scan partition) items: the first body literal is
+  // range-restricted like a delta literal, so large scans split across the
+  // pool while the concatenation of the partitions preserves the
+  // sequential enumeration order.
   for (std::vector<CompiledRule*>& batch : IndependentBatches(rules)) {
     for (CompiledRule* cr : batch) PrepareJoinIndexes(*cr);
     std::deque<WorkItem> items;
+    std::vector<CompiledRule*> stratified;
     for (CompiledRule* cr : batch) {
-      WorkItem& item = items.emplace_back();
-      item.rule = cr;
-      item.delta_literal = -1;
+      bool defer = !cr->aggregates.empty();
+      if (defer && !AllMonotonic(*cr)) stratified.push_back(cr);
+      if (cr->positives.empty()) {
+        WorkItem& item = items.emplace_back();
+        item.rule = cr;
+        item.delta_literal = -1;
+        item.ctx.defer_aggregates = defer;
+        continue;
+      }
+      const Relation* scan = db->Get(cr->positives[0].pred);
+      size_t rows = scan == nullptr ? 0 : scan->size();
+      if (rows == 0) continue;  // empty scan: the rule cannot fire
+      size_t parts = PartitionCount(rows);
+      size_t chunk = (rows + parts - 1) / parts;
+      for (size_t p = 0; p < parts; ++p) {
+        size_t begin = p * chunk;
+        if (begin >= rows) break;
+        WorkItem& item = items.emplace_back();
+        item.rule = cr;
+        item.delta_literal = -1;
+        item.ctx.range_literal = 0;
+        item.ctx.delta_begin = begin;
+        item.ctx.delta_end = std::min(rows, begin + chunk);
+        item.ctx.defer_aggregates = defer;
+      }
     }
     KGM_RETURN_IF_ERROR(RunItems(items));
+    for (CompiledRule* cr : stratified) {
+      KGM_RETURN_IF_ERROR(FoldAndEmitStratified(*cr, items));
+    }
   }
 
   // Phase B: semi-naive fixpoint; work items are (rule x recursive
@@ -905,12 +1137,16 @@ Status Engine::Impl::EvalRule(EvalContext& ctx, CompiledRule& cr,
   ctx.rule = &cr;
   ctx.slots.assign(cr.slot_names.size(), Value());
   ctx.bound.assign(cr.slot_names.size(), 0);
-  if (!cr.aggregates.empty() && !AllMonotonic(cr)) {
+  // Deferred evaluation records contributions instead of grouping inline;
+  // the driver folds and finalizes them at the barrier.
+  bool stratified_inline =
+      !cr.aggregates.empty() && !AllMonotonic(cr) && !ctx.defer_aggregates;
+  if (stratified_inline) {
     ctx.eval_groups.clear();
     ctx.eval_group_order.clear();
   }
   KGM_RETURN_IF_ERROR(Join(ctx, cr, 0, delta_literal));
-  if (!cr.aggregates.empty() && !AllMonotonic(cr)) {
+  if (stratified_inline) {
     KGM_RETURN_IF_ERROR(FinalizeStratifiedAggregates(ctx, cr));
   }
   return OkStatus();
@@ -923,6 +1159,10 @@ Status Engine::Impl::Join(EvalContext& ctx, CompiledRule& cr,
   }
   const CompiledLiteral& lit = cr.positives[literal_index];
   bool is_delta = static_cast<int>(literal_index) == delta_literal;
+  // Scan-partitioned literals (Phase A) are range-restricted exactly like
+  // the delta literal of a semi-naive item.
+  bool is_ranged =
+      is_delta || static_cast<int>(literal_index) == ctx.range_literal;
   Relation* source = nullptr;
   if (is_delta) {
     KGM_CHECK(cur_delta != nullptr);
@@ -948,9 +1188,10 @@ Status Engine::Impl::Join(EvalContext& ctx, CompiledRule& cr,
     }
   }
 
-  // Partition filter: only the delta literal is range-restricted.
-  size_t range_begin = is_delta ? ctx.delta_begin : 0;
-  size_t range_end = is_delta ? ctx.delta_end : static_cast<size_t>(-1);
+  // Partition filter: only the delta / scan-partitioned literal is
+  // range-restricted.
+  size_t range_begin = is_ranged ? ctx.delta_begin : 0;
+  size_t range_end = is_ranged ? ctx.delta_end : static_cast<size_t>(-1);
 
   // Takes the row by value: head emission may insert into `source` itself,
   // reallocating its tuple storage under us.
@@ -1147,10 +1388,9 @@ Status Engine::Impl::ProcessAggregates(EvalContext& ctx, CompiledRule& cr) {
   bool monotonic = AllMonotonic(cr);
 
   if (ctx.defer_aggregates) {
-    // Parallel Phase B: record the contribution; the driver folds it into
-    // the shared group state at the merge.  Recursive aggregates are
-    // always monotonic, so this path never sees eval_groups.
-    KGM_CHECK(monotonic);
+    // Parallel work item: record the contribution; the driver folds it
+    // into the group state at the barrier (FoldItemContributions for
+    // monotonic rules, FoldAndEmitStratified for stratified ones).
     PendingContribution pc;
     pc.per_agg.reserve(cr.aggregates.size());
     for (size_t ai = 0; ai < cr.aggregates.size(); ++ai) {
@@ -1166,15 +1406,19 @@ Status Engine::Impl::ProcessAggregates(EvalContext& ctx, CompiledRule& cr) {
       }
       pc.per_agg.push_back(std::move(contribution));
     }
-    // Skip contributions the (frozen) group state has already folded in a
-    // previous iteration; the merge dedups same-iteration duplicates.
-    auto git = cr.mono_groups.find(group_key);
-    if (git != cr.mono_groups.end()) {
-      bool all_seen = true;
-      for (size_t ai = 0; ai < cr.aggregates.size(); ++ai) {
-        if (git->second.seen[ai].count(pc.per_agg[ai]) == 0) all_seen = false;
+    if (monotonic) {
+      // Skip contributions the (frozen) group state has already folded in
+      // a previous iteration; the fold dedups same-barrier duplicates.
+      auto git = cr.mono_groups.find(group_key);
+      if (git != cr.mono_groups.end()) {
+        bool all_seen = true;
+        for (size_t ai = 0; ai < cr.aggregates.size(); ++ai) {
+          if (git->second.seen[ai].count(pc.per_agg[ai]) == 0) {
+            all_seen = false;
+          }
+        }
+        if (all_seen) return OkStatus();
       }
-      if (all_seen) return OkStatus();
     }
     pc.group_key = std::move(group_key);
     ctx.contributions.push_back(std::move(pc));
@@ -1216,7 +1460,7 @@ Status Engine::Impl::ProcessAggregates(EvalContext& ctx, CompiledRule& cr) {
 
 Status Engine::Impl::EmitWithAggregates(EvalContext& ctx, CompiledRule& cr,
                                         const Tuple& group_key,
-                                        GroupState& state) {
+                                        const GroupState& state) {
   // Rebind the binding from the group key (the caller's binding may already
   // match, but in the finalize path slots are stale).
   std::vector<int> bound_here;

@@ -50,14 +50,21 @@ struct EngineOptions {
   size_t max_iterations = 10'000'000;
   // Worker threads for rule evaluation.  0 = hardware_concurrency.
   // 1 = the exact legacy single-threaded evaluation order.  With more than
-  // one thread the engine evaluates Phase-A rule batches and Phase-B
-  // (rule x delta-literal x delta-partition) work items concurrently,
-  // buffering derived facts per work item and merging them into the
-  // database at an iteration barrier (see DESIGN.md, "Parallel
-  // semi-naive evaluation").  Falls back to single-threaded evaluation
-  // for restricted-chase programs with existentials, whose semantics
-  // depend on insertion order.
+  // one thread the engine evaluates Phase-A (rule x scan-partition) and
+  // Phase-B (rule x delta-literal x delta-partition) work items
+  // concurrently.  Work items insert derived facts directly into the
+  // sharded FactDb (dedup-on-insert under per-shard locks, tagged with the
+  // work-item submission order); at the iteration barrier the shards are
+  // drained into the canonical store in tag order, so results are
+  // deterministic for any worker count (see DESIGN.md, "Sharded FactDb &
+  // deterministic merge").  Falls back to single-threaded evaluation for
+  // restricted-chase programs with existentials, whose semantics depend on
+  // insertion order.
   size_t num_threads = 0;
+  // Shards per relation for the parallel path (rounded up to a power of
+  // two).  0 = auto: scales with the worker count.  Ignored by sequential
+  // runs, which keep single-shard relations.
+  size_t num_shards = 0;
 };
 
 struct EngineStats {
@@ -66,7 +73,20 @@ struct EngineStats {
   size_t iterations = 0;       // fixpoint rounds across all strata
   int strata = 0;
   size_t join_probes = 0;      // candidate rows examined by joins
-  size_t threads_used = 1;     // effective worker count of the run
+  // Effective worker count of the run: 1 whenever the engine took the
+  // sequential legacy path (num_threads <= 1, or the restricted-chase
+  // fallback), regardless of the requested pool size.
+  size_t threads_used = 1;
+  size_t requested_threads = 1;      // pool size the options asked for
+  bool sequential_fallback = false;  // restricted-chase forced num_threads=1
+  // Sharded-insert observability (parallel runs only).
+  size_t shard_count = 1;         // shards per relation
+  size_t staged_inserts = 0;      // concurrent inserts accepted by shards
+  size_t staged_duplicates = 0;   // concurrent inserts dropped as duplicates
+  size_t shard_contentions = 0;   // shard lock acquisitions that had to wait
+  std::vector<size_t> inserts_by_shard;  // accepted inserts per shard index
+  double merge_seconds = 0;        // barrier drains (canonical + delta)
+  double agg_finalize_seconds = 0; // aggregate fold + finalize at barriers
   // Indexed by rule position in the program.
   std::vector<size_t> rule_firings_by_rule;
   std::vector<size_t> rule_probes_by_rule;

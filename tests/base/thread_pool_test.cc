@@ -1,0 +1,55 @@
+#include "base/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace kgm {
+namespace {
+
+TEST(ThreadPoolTest, WaitIdleIsAForkJoinBarrier) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleCanBeReused) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(257, 0);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { hits[i] += 1; });
+  // WaitIdle inside ParallelFor publishes the writes to this thread.
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 257);
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForSingleIndexRunsInline) {
+  ThreadPool pool(2);
+  size_t seen = 0;
+  pool.ParallelFor(1, [&seen](size_t i) { seen = i + 1; });
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace kgm

@@ -90,5 +90,124 @@ TEST(TupleHashTest, MaskedHashIgnoresUnmaskedPositions) {
   EXPECT_NE(HashTuple(a), HashTuple(b));
 }
 
+TEST(TupleHashTest, TupleHasherMatchesFreeFunctions) {
+  Tuple t;
+  t.push_back(Value("alpha"));
+  t.push_back(Value(int64_t{42}));
+  t.push_back(Value(3.25));
+  TupleHasher hasher(t);
+  EXPECT_EQ(hasher.full(), HashTuple(t));
+  for (uint64_t mask = 0; mask < 8; ++mask) {
+    EXPECT_EQ(hasher.Masked(mask), HashTupleMasked(t, mask)) << mask;
+  }
+  // Arities past the inline buffer take the heap path.
+  Tuple wide;
+  for (int64_t i = 0; i < 20; ++i) wide.push_back(Value(i));
+  TupleHasher wide_hasher(wide);
+  EXPECT_EQ(wide_hasher.full(), HashTuple(wide));
+  EXPECT_EQ(wide_hasher.Masked(0xFFFFF), HashTupleMasked(wide, 0xFFFFF));
+}
+
+TEST(RelationShardTest, ShardCountRoundsUpToPowerOfTwo) {
+  Relation rel(2, 5);
+  EXPECT_EQ(rel.shard_count(), 8u);
+  rel.Reshard(3);
+  EXPECT_EQ(rel.shard_count(), 4u);
+}
+
+TEST(RelationShardTest, ReshardPreservesDedupAndIndexes) {
+  Relation rel(2);
+  for (int64_t i = 0; i < 100; ++i) rel.Insert(T({i, i * 10}));
+  Tuple probe = T({7, 0});
+  EXPECT_EQ(rel.Lookup(0b01, probe).size(), 1u);
+  rel.Reshard(16);
+  EXPECT_EQ(rel.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rel.Insert(T({i, i * 10}))) << i;  // still deduplicated
+    EXPECT_TRUE(rel.Contains(T({i, i * 10}))) << i;
+  }
+  EXPECT_EQ(rel.Lookup(0b01, probe).size(), 1u);
+}
+
+TEST(RelationShardTest, StageInsertDedupsAgainstCanonicalAndStaged) {
+  Relation rel(2, 4);
+  rel.Insert(T({1, 2}));
+  EXPECT_FALSE(rel.StageInsert({0, 0}, T({1, 2})));  // canonical duplicate
+  EXPECT_TRUE(rel.StageInsert({0, 1}, T({3, 4})));
+  // Same-barrier duplicates are staged (cheaply) and resolved at drain.
+  EXPECT_TRUE(rel.StageInsert({1, 0}, T({3, 4})));
+  EXPECT_EQ(rel.StagedCount(), 2u);
+  EXPECT_EQ(rel.size(), 1u);  // canonical store untouched until the drain
+  EXPECT_EQ(rel.DrainStaged(), 1u);
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel.StagedCount(), 0u);
+  EXPECT_TRUE(rel.Contains(T({3, 4})));
+  EXPECT_FALSE(rel.Insert(T({3, 4})));  // drained rows are deduplicated
+}
+
+TEST(RelationShardTest, DrainOrdersByTagWithMinTagMerge) {
+  Relation rel(1, 4);
+  // Staged out of submission order; tuple 30 is staged both by item 5 and
+  // by item 1 — the min-tag copy (1, 0) must win its drain position and
+  // the (5, 0) copy must be dropped.
+  EXPECT_TRUE(rel.StageInsert({5, 0}, T({30})));
+  EXPECT_TRUE(rel.StageInsert({2, 0}, T({20})));
+  EXPECT_TRUE(rel.StageInsert({1, 0}, T({30})));
+  EXPECT_TRUE(rel.StageInsert({0, 1}, T({10})));
+  EXPECT_TRUE(rel.StageInsert({0, 0}, T({5})));
+  EXPECT_EQ(rel.DrainStaged(), 4u);
+  ASSERT_EQ(rel.size(), 4u);
+  EXPECT_EQ(rel.tuple(0), T({5}));   // (0, 0)
+  EXPECT_EQ(rel.tuple(1), T({10}));  // (0, 1)
+  EXPECT_EQ(rel.tuple(2), T({30}));  // (1, 0) beats (5, 0)
+  EXPECT_EQ(rel.tuple(3), T({20}));  // (2, 0)
+}
+
+TEST(RelationShardTest, DrainMaintainsBuiltIndexes) {
+  Relation rel(2, 4);
+  rel.Insert(T({1, 10}));
+  Tuple probe = T({1, 0});
+  EXPECT_EQ(rel.Lookup(0b01, probe).size(), 1u);
+  EXPECT_TRUE(rel.StageInsert({0, 0}, T({1, 20})));
+  rel.DrainStaged();
+  EXPECT_EQ(rel.Lookup(0b01, probe).size(), 2u);
+}
+
+TEST(RelationShardTest, DiscardStagedDropsEverything) {
+  Relation rel(1, 2);
+  EXPECT_TRUE(rel.StageInsert({0, 0}, T({1})));
+  EXPECT_TRUE(rel.StageInsert({0, 1}, T({2})));
+  rel.DiscardStaged();
+  EXPECT_EQ(rel.StagedCount(), 0u);
+  EXPECT_EQ(rel.DrainStaged(), 0u);
+  EXPECT_EQ(rel.size(), 0u);
+}
+
+TEST(RelationShardTest, CountersTrackAcceptedAndDuplicates) {
+  Relation rel(1, 2);
+  rel.Insert(T({1}));
+  EXPECT_FALSE(rel.StageInsert({0, 0}, T({1})));  // canonical duplicate
+  EXPECT_TRUE(rel.StageInsert({0, 1}, T({2})));
+  EXPECT_TRUE(rel.StageInsert({0, 2}, T({2})));  // same-barrier duplicate
+  // The same-barrier duplicate is reclassified when the drain drops it.
+  EXPECT_EQ(rel.DrainStaged(), 1u);
+  std::vector<ShardCounters> by_shard;
+  ShardCounters total;
+  rel.AccumulateShardCounters(&by_shard, &total);
+  EXPECT_EQ(total.accepted, 1u);
+  EXPECT_EQ(total.duplicates, 2u);
+  EXPECT_EQ(by_shard.size(), 2u);
+}
+
+TEST(FactDbTest, ReshardAllAppliesToExistingAndFutureRelations) {
+  FactDb db;
+  db.Add("p", T({1}));
+  db.ReshardAll(4);
+  EXPECT_EQ(db.default_shard_count(), 4u);
+  EXPECT_EQ(db.Get("p")->shard_count(), 4u);
+  db.Add("q", T({2}));
+  EXPECT_EQ(db.Get("q")->shard_count(), 4u);
+}
+
 }  // namespace
 }  // namespace kgm::vadalog

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <string>
 
@@ -189,8 +190,26 @@ TEST(EngineParallelTest, RestrictedChaseFallsBackToSequential) {
   Engine engine(std::move(program), options);
   ASSERT_TRUE(engine.status().ok());
   ASSERT_TRUE(engine.Run(&db).ok());
-  // Order-dependent restricted chase: the engine must not go parallel.
+  // Order-dependent restricted chase: the engine must not go parallel, and
+  // the stats must report the fallback rather than the requested pool size.
   EXPECT_EQ(engine.stats().threads_used, 1u);
+  EXPECT_EQ(engine.stats().requested_threads, 8u);
+  EXPECT_TRUE(engine.stats().sequential_fallback);
+  EXPECT_EQ(engine.stats().shard_count, 1u);
+}
+
+TEST(EngineParallelTest, SkolemChaseDoesNotReportFallback) {
+  FactDb db = RandomEdges(20, 40, 9);
+  auto parsed = ParseProgram("edge(x, y) -> path(x, y).");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EngineOptions options;
+  options.num_threads = 4;
+  Engine engine(std::move(parsed).value(), options);
+  ASSERT_TRUE(engine.status().ok());
+  ASSERT_TRUE(engine.Run(&db).ok());
+  EXPECT_EQ(engine.stats().threads_used, 4u);
+  EXPECT_EQ(engine.stats().requested_threads, 4u);
+  EXPECT_FALSE(engine.stats().sequential_fallback);
 }
 
 TEST(EngineParallelTest, StatsArePopulated) {
@@ -216,6 +235,76 @@ TEST(EngineParallelTest, StatsArePopulated) {
             stats.rule_firings_by_rule[0] + stats.rule_firings_by_rule[1]);
   EXPECT_GT(stats.join_probes, 0u);
   EXPECT_EQ(stats.stratum_seconds.size(), static_cast<size_t>(stats.strata));
+  // Sharded-insert observability: every derived fact went through a shard,
+  // and the per-shard histogram adds up to the accepted total.
+  EXPECT_GT(stats.shard_count, 1u);
+  EXPECT_EQ(stats.staged_inserts, stats.facts_derived);
+  size_t by_shard_total = 0;
+  for (size_t n : stats.inserts_by_shard) by_shard_total += n;
+  EXPECT_EQ(by_shard_total, stats.staged_inserts);
+}
+
+TEST(EngineParallelTest, ExplicitShardCountIsHonored) {
+  FactDb db = RandomEdges(30, 60, 3);
+  auto parsed = ParseProgram(R"(
+    edge(x, y) -> path(x, y).
+    path(x, y), edge(y, z) -> path(x, z).
+  )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EngineOptions options;
+  options.num_threads = 4;
+  options.num_shards = 5;  // rounded up to the next power of two
+  Engine engine(std::move(parsed).value(), options);
+  ASSERT_TRUE(engine.status().ok());
+  ASSERT_TRUE(engine.Run(&db).ok());
+  EXPECT_EQ(engine.stats().shard_count, 8u);
+  EXPECT_EQ(db.default_shard_count(), 8u);
+}
+
+// A stratified (non-monotonic) float sum evaluated by parallel scan
+// partitions plus the parallel group-emission round must be bit-identical
+// to the sequential fold: same groups, same IEEE addition order.
+TEST(EngineParallelTest, StratifiedFloatSumIsBitIdentical) {
+  const char* program = R"(
+    w(g, v), t = sum(v, <g>) -> total(g, t).
+  )";
+  auto load = [](FactDb* db) {
+    Rng rng(417);
+    for (int64_t i = 0; i < 4000; ++i) {
+      int64_t g = static_cast<int64_t>(rng.NextBelow(37));
+      // Sums of values at very different magnitudes: any reordering of the
+      // fold shows up in the low mantissa bits.
+      double v = (1.0 + static_cast<double>(rng.NextBelow(1000))) *
+                 std::pow(10.0, static_cast<double>(rng.NextBelow(9)) - 4.0);
+      db->Add("w", {Value(g), Value(v)});
+    }
+  };
+  FactDb seq;
+  load(&seq);
+  EngineOptions seq_opts;
+  seq_opts.num_threads = 1;
+  ASSERT_TRUE(RunProgram(program, &seq, seq_opts).ok());
+  for (size_t shards : {1u, 4u, 16u}) {
+    FactDb par;
+    load(&par);
+    EngineOptions par_opts;
+    par_opts.num_threads = 8;
+    par_opts.num_shards = shards;
+    ASSERT_TRUE(RunProgram(program, &par, par_opts).ok());
+    const Relation* a = seq.Get("total");
+    const Relation* b = par.Get("total");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_EQ(a->size(), b->size()) << "shards " << shards;
+    ASSERT_GT(a->size(), 0u);
+    // Compare Value-exact (operator== on doubles), not via ToString, so a
+    // single flipped mantissa bit fails the test.
+    for (const Tuple& t : a->tuples()) {
+      EXPECT_TRUE(b->Contains(t))
+          << "shards " << shards << ": missing " << t[0].ToString() << ", "
+          << t[1].ToString();
+    }
+  }
 }
 
 // Regression: int64 sum/prod aggregates must report overflow instead of
@@ -260,42 +349,51 @@ class IntensionalParallelTest : public ::testing::Test {
     return out;
   }
 
+  // Runs `program` once with num_threads = 1 and once with 8 threads at
+  // each shard count in `shard_counts`, and demands identical edge sets.
   static void CheckProgram(const char* program,
                            const std::vector<std::string>& labels,
-                           const std::vector<const char*>& prereqs = {}) {
+                           const std::vector<const char*>& prereqs = {},
+                           const std::vector<size_t>& shard_counts = {0}) {
     core::SuperSchema schema = finkg::CompanyKgSchema();
     pg::PropertyGraph seq = MakeData();
-    pg::PropertyGraph par = MakeData();
     instance::MaterializeOptions seq_opts;
     seq_opts.engine.num_threads = 1;
-    instance::MaterializeOptions par_opts;
-    par_opts.engine.num_threads = 8;
     // Prerequisite components (e.g. OWNS before close links) run
     // sequentially on both graphs so the inputs are identical.
     for (const char* prereq : prereqs) {
       ASSERT_TRUE(instance::Materialize(schema, prereq, &seq, seq_opts).ok());
-      ASSERT_TRUE(instance::Materialize(schema, prereq, &par, seq_opts).ok());
     }
     auto seq_stats = instance::Materialize(schema, program, &seq, seq_opts);
     ASSERT_TRUE(seq_stats.ok()) << seq_stats.status().ToString();
-    auto par_stats = instance::Materialize(schema, program, &par, par_opts);
-    ASSERT_TRUE(par_stats.ok()) << par_stats.status().ToString();
-    EXPECT_EQ(par_stats->engine_stats.threads_used, 8u);
-    for (const std::string& label : labels) {
-      EXPECT_EQ(EdgeSet(seq, label), EdgeSet(par, label))
-          << "label " << label;
-      EXPECT_GT(EdgeSet(seq, label).size(), 0u) << "label " << label;
+    for (size_t shards : shard_counts) {
+      pg::PropertyGraph par = MakeData();
+      instance::MaterializeOptions par_opts;
+      par_opts.engine.num_threads = 8;
+      par_opts.engine.num_shards = shards;
+      for (const char* prereq : prereqs) {
+        ASSERT_TRUE(
+            instance::Materialize(schema, prereq, &par, seq_opts).ok());
+      }
+      auto par_stats = instance::Materialize(schema, program, &par, par_opts);
+      ASSERT_TRUE(par_stats.ok()) << par_stats.status().ToString();
+      EXPECT_EQ(par_stats->engine_stats.threads_used, 8u);
+      for (const std::string& label : labels) {
+        EXPECT_EQ(EdgeSet(seq, label), EdgeSet(par, label))
+            << "label " << label << " shards " << shards;
+        EXPECT_GT(EdgeSet(seq, label).size(), 0u) << "label " << label;
+      }
     }
   }
 };
 
 TEST_F(IntensionalParallelTest, ControlProgramIsDeterministic) {
-  CheckProgram(finkg::kControlProgram, {"CONTROLS"});
+  CheckProgram(finkg::kControlProgram, {"CONTROLS"}, {}, {1, 4, 16});
 }
 
 TEST_F(IntensionalParallelTest, CloseLinksProgramIsDeterministic) {
   CheckProgram(finkg::kCloseLinksProgram, {"IO", "CLOSE_LINK"},
-               {finkg::kOwnsProgram});
+               {finkg::kOwnsProgram}, {1, 4, 16});
 }
 
 }  // namespace

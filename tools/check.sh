@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# One-shot verification: tier-1 ctest on the regular build, then the ASan
+# and TSan builds (KGM_SANITIZE) with the race-sensitive suites.
+#
+#   tools/check.sh            # full run (regular + asan + tsan)
+#   tools/check.sh --fast     # regular build + ctest only
+#
+# Sanitizer builds reuse build-asan/ and build-tsan/ so incremental runs
+# are cheap.  Exits non-zero on the first failing step.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run() {
+  echo "== $*"
+  "$@"
+}
+
+# No explicit generator: reconfiguring an existing build dir with a
+# different one is a cmake error, so stick to the platform default.
+run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+run cmake --build build -j
+JOBS="$(nproc)"
+
+run ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$FAST" == 1 ]]; then
+  echo "OK (fast: sanitizer builds skipped)"
+  exit 0
+fi
+
+# The sanitizer runs focus on the suites that exercise the concurrent
+# engine paths; everything else is covered by the regular build above.
+SANITIZER_TESTS='vadalog_|base_thread_pool'
+
+run cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DKGM_SANITIZE=address
+run cmake --build build-asan -j
+run ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+  -R "$SANITIZER_TESTS"
+
+run cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DKGM_SANITIZE=thread
+run cmake --build build-tsan -j
+run ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R "$SANITIZER_TESTS"
+
+echo "OK (regular + asan + tsan)"
