@@ -11,21 +11,36 @@
 //       Import the CSV instance from <dir>, validate it, materialize the
 //       requested intensional component(s) through Algorithm 2, and write
 //       the enriched instance back.
+//   kgmctl serve [--port N]
+//       Run a KgService over a line-oriented protocol (stdin, or a TCP
+//       socket with --port; one thread per connection).  Commands:
+//         publish [companies persons seed]   generate + publish an epoch
+//         query <output> <m|v> <program>     MetaLog (m) or Vadalog (v)
+//         stats | epoch | quit
 //
 // Run: build/examples/kgmctl <command> ...
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "analytics/graph_stats.h"
 #include "core/gsl.h"
 #include "finkg/company_kg.h"
 #include "finkg/generator.h"
 #include "instance/pipeline.h"
+#include "metalog/prepared.h"
 #include "rel/relational.h"
+#include "service/service.h"
 #include "translate/csv_io.h"
 #include "translate/enforce.h"
 #include "translate/ssst.h"
@@ -42,7 +57,8 @@ int Usage() {
                "  kgmctl schema <gsl|dot|ddl|cypher|rdfs|csv|pg>\n"
                "  kgmctl export <dir> [companies persons seed]\n"
                "  kgmctl materialize <dir> "
-               "<owns|control|stakeholders|family|closelinks|all>\n");
+               "<owns|control|stakeholders|family|closelinks|all>\n"
+               "  kgmctl serve [--port N]\n");
   return 2;
 }
 
@@ -185,11 +201,18 @@ int CmdMaterialize(int argc, char** argv) {
       {"family", finkg::kFamilyProgram},
       {"closelinks", finkg::kCloseLinksProgram},
   };
+  // One prepared cache across components: repeated materializations of the
+  // same component (and the shared view structure) compile once.
+  metalog::PreparedCache prepared(64);
+  instance::MaterializeOptions mat_options;
+  mat_options.prepared = &prepared;
+
   bool ran = false;
   for (const Step& step : steps) {
     if (component != "all" && component != step.key) continue;
     ran = true;
-    auto stats = instance::Materialize(schema, step.program, &*data);
+    auto stats = instance::Materialize(schema, step.program, &*data,
+                                       mat_options);
     if (!stats.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", step.key,
                    stats.status().ToString().c_str());
@@ -213,6 +236,154 @@ int CmdMaterialize(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// serve: a KgService behind a line-oriented protocol.
+
+// Handles one protocol line; returns false on `quit`.  Thread-safe: the
+// service does its own synchronization, and each connection has its own
+// output string.
+bool HandleServeLine(service::KgService& svc, const std::string& line,
+                     std::string* out) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty()) {
+    return true;
+  } else if (cmd == "quit") {
+    *out = "bye\n";
+    return false;
+  } else if (cmd == "epoch") {
+    *out = "epoch " + std::to_string(svc.CurrentEpoch()) + "\n";
+  } else if (cmd == "stats") {
+    *out = svc.Stats().ToJson() + "\n";
+  } else if (cmd == "publish") {
+    finkg::GeneratorConfig config;
+    config.num_companies = 300;
+    config.num_persons = 500;
+    if (in >> config.num_companies) {
+      in >> config.num_persons;
+      size_t seed;
+      if (in >> seed) config.seed = seed;
+    }
+    finkg::ShareholdingNetwork net =
+        finkg::ShareholdingNetwork::Generate(config);
+    uint64_t epoch = svc.Publish(net.ToInstanceGraph());
+    *out = "published epoch " + std::to_string(epoch) + "\n";
+  } else if (cmd == "query") {
+    std::string output, lang;
+    in >> output >> lang;
+    std::string program;
+    std::getline(in, program);
+    if (output.empty() || (lang != "m" && lang != "v") || program.empty()) {
+      *out = "error usage: query <output> <m|v> <program>\n";
+      return true;
+    }
+    service::QueryRequest request;
+    request.program = program;
+    request.language = lang == "m" ? service::QueryLanguage::kMetaLog
+                                   : service::QueryLanguage::kVadalog;
+    request.output = output;
+    auto result = svc.Query(request);
+    if (!result.ok()) {
+      *out = "error " + result.status().ToString() + "\n";
+      return true;
+    }
+    std::ostringstream reply;
+    reply << "ok epoch=" << result->epoch << " rows=" << result->rows->size()
+          << " cache=" << (result->result_cache_hit ? "hit" : "miss")
+          << " eval=" << result->eval_seconds << "\n";
+    constexpr size_t kMaxRows = 20;
+    for (size_t i = 0; i < result->rows->size() && i < kMaxRows; ++i) {
+      const vadalog::Tuple& t = (*result->rows)[i];
+      for (size_t j = 0; j < t.size(); ++j) {
+        reply << (j == 0 ? "" : "\t") << t[j].ToString();
+      }
+      reply << "\n";
+    }
+    if (result->rows->size() > kMaxRows) {
+      reply << "... (" << result->rows->size() - kMaxRows << " more)\n";
+    }
+    *out = reply.str();
+  } else {
+    *out = "error unknown command: " + cmd + "\n";
+  }
+  return true;
+}
+
+void ServeConnection(service::KgService& svc, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      std::string out;
+      bool keep_going = HandleServeLine(svc, line, &out);
+      if (!out.empty() &&
+          write(fd, out.data(), out.size()) != static_cast<ssize_t>(out.size())) {
+        keep_going = false;
+      }
+      if (!keep_going) {
+        close(fd);
+        return;
+      }
+    }
+  }
+  close(fd);
+}
+
+int CmdServe(int argc, char** argv) {
+  int port = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    }
+  }
+
+  service::KgService svc;
+  if (port == 0) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      std::string out;
+      bool keep_going = HandleServeLine(svc, line, &out);
+      std::fputs(out.c_str(), stdout);
+      std::fflush(stdout);
+      if (!keep_going) break;
+    }
+    return 0;
+  }
+
+  int listener = socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  int one = 1;
+  setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(listener, 16) < 0) {
+    std::perror("bind/listen");
+    close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "kgmctl serving on 127.0.0.1:%d\n", port);
+  for (;;) {
+    int fd = accept(listener, nullptr, nullptr);
+    if (fd < 0) break;
+    std::thread(&ServeConnection, std::ref(svc), fd).detach();
+  }
+  close(listener);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,5 +395,6 @@ int main(int argc, char** argv) {
   }
   if (command == "export") return CmdExport(argc, argv);
   if (command == "materialize") return CmdMaterialize(argc, argv);
+  if (command == "serve") return CmdServe(argc, argv);
   return Usage();
 }

@@ -22,6 +22,10 @@ const char* StatusCodeName(StatusCode code) {
       return "internal";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

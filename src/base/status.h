@@ -25,6 +25,13 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kResourceExhausted,
+  // A per-request deadline expired or the request was cooperatively
+  // cancelled before completion (serving-layer taxonomy).
+  kDeadlineExceeded,
+  // The service cannot take the request right now (e.g. admission control
+  // rejected it because the request queue is full); retrying later may
+  // succeed.
+  kUnavailable,
 };
 
 // Returns a stable lower-case name for `code` ("ok", "invalid_argument", ...).
@@ -81,6 +88,12 @@ inline Status Internal(std::string msg) {
 }
 inline Status ResourceExhausted(std::string msg) {
   return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
 }
 
 // A value of type T or a non-OK Status.  Accessing value() on an error

@@ -30,6 +30,10 @@ namespace kgm::instance {
 struct MaterializeOptions {
   vadalog::EngineOptions engine;
   int64_t instance_oid = 234;
+  // Optional prepared-program cache: repeated materializations of the same
+  // component skip the MetaLog parse and MTV translation of V_I + Sigma +
+  // V_O when the dictionary's catalog is unchanged.
+  metalog::PreparedCache* prepared = nullptr;
 };
 
 struct MaterializeStats {

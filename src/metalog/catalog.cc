@@ -105,6 +105,26 @@ void GraphCatalog::Merge(const GraphCatalog& other) {
   }
 }
 
+uint64_t GraphCatalog::Fingerprint() const {
+  // The label maps are ordered, so hashing in iteration order is already
+  // deterministic and content-defined.
+  std::hash<std::string> hs;
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto fold = [&h, &hs](
+      const std::map<std::string, std::vector<std::string>>& labels,
+      uint64_t salt) {
+    h = HashCombine(h, salt);
+    for (const auto& [label, props] : labels) {
+      h = HashCombine(h, hs(label));
+      for (const std::string& p : props) h = HashCombine(h, hs(p));
+      h = HashCombine(h, props.size());
+    }
+  };
+  fold(node_labels_, 0x6e6f6465);  // "node"
+  fold(edge_labels_, 0x65646765);  // "edge"
+  return h;
+}
+
 bool GraphCatalog::HasNodeLabel(const std::string& label) const {
   return node_labels_.count(label) > 0;
 }

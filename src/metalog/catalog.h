@@ -67,6 +67,13 @@ class GraphCatalog {
   std::vector<std::string> NodeLabels() const;
   std::vector<std::string> EdgeLabels() const;
 
+  // Order-independent digest of the catalog contents (labels and their
+  // canonical property lists).  Two catalogs with equal fingerprints
+  // produce identical relational encodings, so a MetaLog program compiled
+  // against one is valid against the other — the prepared-query cache
+  // keys compiled programs by (source, fingerprint).
+  uint64_t Fingerprint() const;
+
  private:
   std::map<std::string, std::vector<std::string>> node_labels_;
   std::map<std::string, std::vector<std::string>> edge_labels_;

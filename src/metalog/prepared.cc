@@ -1,0 +1,84 @@
+#include "metalog/prepared.h"
+
+#include <utility>
+
+#include "base/value.h"
+#include "metalog/parser.h"
+
+namespace kgm::metalog {
+
+PreparedCache::PreparedCache(size_t capacity) : capacity_(capacity) {}
+
+uint64_t PreparedCache::KeyOf(std::string_view source,
+                              const GraphCatalog& catalog,
+                              const MtvOptions& options) {
+  uint64_t key = std::hash<std::string_view>{}(source);
+  key = HashCombine(key, catalog.Fingerprint());
+  key = HashCombine(key, options.reflexive_star ? 0x7265666cULL : 0ULL);
+  key = HashCombine(key, static_cast<uint64_t>(options.max_stars_per_rule));
+  return key;
+}
+
+Result<std::shared_ptr<const CompiledMeta>> PreparedCache::Compile(
+    std::string_view source, const GraphCatalog& catalog,
+    const MtvOptions& options) {
+  const uint64_t key = KeyOf(source, catalog, options);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++counters_.hits;
+      return it->second->second;
+    }
+    ++counters_.misses;
+  }
+
+  // Compile outside the lock: concurrent misses may duplicate work but
+  // never serialize all callers behind one compilation.
+  auto compiled = std::make_shared<CompiledMeta>();
+  KGM_ASSIGN_OR_RETURN(compiled->meta, ParseMetaProgram(source));
+  compiled->catalog = catalog;
+  KGM_RETURN_IF_ERROR(compiled->catalog.AbsorbProgram(compiled->meta));
+  KGM_ASSIGN_OR_RETURN(
+      MtvResult mtv,
+      TranslateMetaProgram(compiled->meta, compiled->catalog, options));
+  compiled->program = std::move(mtv.program);
+  compiled->helper_predicates = std::move(mtv.helper_predicates);
+
+  std::shared_ptr<const CompiledMeta> result = std::move(compiled);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    // Another thread compiled the same key first; keep its copy.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  lru_.emplace_front(key, result);
+  by_key_[key] = lru_.begin();
+  while (capacity_ > 0 && lru_.size() > capacity_) {
+    by_key_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+  return result;
+}
+
+PreparedCache::Counters PreparedCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+size_t PreparedCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void PreparedCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  by_key_.clear();
+}
+
+}  // namespace kgm::metalog

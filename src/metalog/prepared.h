@@ -1,0 +1,79 @@
+// Prepared-program cache: parse a MetaLog program and compile it through
+// MTV once, then reuse the compiled Vadalog program for every execution
+// against a compatible catalog.
+//
+// Compilation output depends only on (source text, catalog contents, MTV
+// options), so entries are keyed by the source hash combined with the
+// catalog fingerprint — a program prepared for one epoch of a served
+// knowledge graph stays valid across publications as long as the label
+// catalog is unchanged, while a schema change naturally misses and
+// recompiles.  The cache is bounded (LRU) and thread-safe; concurrent
+// misses for the same key may compile twice, but only one result is
+// retained.
+
+#ifndef KGM_METALOG_PREPARED_H_
+#define KGM_METALOG_PREPARED_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "metalog/ast.h"
+#include "metalog/catalog.h"
+#include "metalog/mtv.h"
+#include "vadalog/ast.h"
+
+namespace kgm::metalog {
+
+// One parse+MTV compilation, immutable once cached.
+struct CompiledMeta {
+  MetaProgram meta;        // the parsed source
+  GraphCatalog catalog;    // base catalog after AbsorbProgram
+  vadalog::Program program;
+  std::vector<std::string> helper_predicates;
+};
+
+class PreparedCache {
+ public:
+  explicit PreparedCache(size_t capacity = 128);
+
+  // Returns the compiled form of `source` against `catalog` (which must
+  // NOT yet have the program absorbed — Compile copies and absorbs it),
+  // compiling on a miss.  Parse/translation failures are returned as-is
+  // and are not cached.
+  Result<std::shared_ptr<const CompiledMeta>> Compile(
+      std::string_view source, const GraphCatalog& catalog,
+      const MtvOptions& options = {});
+
+  struct Counters {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+  };
+  Counters counters() const;
+  size_t size() const;
+  void Clear();
+
+  // Stable key for (source, catalog, options); exposed so callers (e.g.
+  // the serving layer's result cache) can key on the same identity.
+  static uint64_t KeyOf(std::string_view source, const GraphCatalog& catalog,
+                        const MtvOptions& options);
+
+ private:
+  using Entry = std::pair<uint64_t, std::shared_ptr<const CompiledMeta>>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> by_key_;
+  Counters counters_;
+};
+
+}  // namespace kgm::metalog
+
+#endif  // KGM_METALOG_PREPARED_H_

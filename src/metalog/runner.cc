@@ -29,8 +29,34 @@ Result<MetaRunResult> RunMetaLog(const MetaProgram& program,
 Result<MetaRunResult> RunMetaLogSource(std::string_view source,
                                        pg::PropertyGraph* graph,
                                        const MetaRunOptions& options) {
-  KGM_ASSIGN_OR_RETURN(MetaProgram program, ParseMetaProgram(source));
-  return RunMetaLog(program, graph, options);
+  if (options.prepared == nullptr) {
+    KGM_ASSIGN_OR_RETURN(MetaProgram program, ParseMetaProgram(source));
+    return RunMetaLog(program, graph, options);
+  }
+  GraphCatalog catalog = GraphCatalog::FromGraph(*graph);
+  catalog.Merge(options.extra_catalog);
+  KGM_ASSIGN_OR_RETURN(
+      std::shared_ptr<const CompiledMeta> compiled,
+      options.prepared->Compile(source, catalog, options.mtv));
+  return RunCompiledMeta(*compiled, graph, options);
+}
+
+Result<MetaRunResult> RunCompiledMeta(const CompiledMeta& compiled,
+                                      pg::PropertyGraph* graph,
+                                      const MetaRunOptions& options) {
+  vadalog::FactDb db = EncodeGraph(*graph, compiled.catalog);
+
+  vadalog::Program program = compiled.program;  // engine takes ownership
+  vadalog::Engine engine(std::move(program), options.engine);
+  KGM_RETURN_IF_ERROR(engine.status());
+  KGM_RETURN_IF_ERROR(engine.Run(&db));
+
+  MetaRunResult result;
+  result.engine_stats = engine.stats();
+  result.vadalog_rule_count = engine.program().rules.size();
+  KGM_ASSIGN_OR_RETURN(result.decode,
+                       DecodeGraph(db, compiled.catalog, graph));
+  return result;
 }
 
 }  // namespace kgm::metalog

@@ -18,6 +18,7 @@
 #include "metalog/ast.h"
 #include "metalog/catalog.h"
 #include "metalog/mtv.h"
+#include "metalog/prepared.h"
 #include "pg/property_graph.h"
 #include "vadalog/engine.h"
 
@@ -29,6 +30,11 @@ struct MetaRunOptions {
   // Extra labels to register before translation (for intensional labels
   // whose properties are not mentioned in the program).
   GraphCatalog extra_catalog;
+  // Optional prepared-program cache.  When set, RunMetaLogSource reuses
+  // cached parse+MTV compilations instead of recompiling per run (valid as
+  // long as the graph's label catalog is unchanged; a changed catalog
+  // fingerprint misses and recompiles).
+  PreparedCache* prepared = nullptr;
 };
 
 struct MetaRunResult {
@@ -43,10 +49,18 @@ Result<MetaRunResult> RunMetaLog(const MetaProgram& program,
                                  pg::PropertyGraph* graph,
                                  const MetaRunOptions& options = {});
 
-// Parses and runs MetaLog source text.
+// Parses and runs MetaLog source text.  With options.prepared set, the
+// parse+MTV compilation is served from the cache when possible.
 Result<MetaRunResult> RunMetaLogSource(std::string_view source,
                                        pg::PropertyGraph* graph,
                                        const MetaRunOptions& options = {});
+
+// Runs an already-compiled MetaLog program (from PreparedCache::Compile)
+// against `graph`.  The compilation's catalog must cover the graph's
+// labels; labels absent from it are skipped during encoding.
+Result<MetaRunResult> RunCompiledMeta(const CompiledMeta& compiled,
+                                      pg::PropertyGraph* graph,
+                                      const MetaRunOptions& options = {});
 
 }  // namespace kgm::metalog
 

@@ -1,0 +1,71 @@
+// Bounded LRU map used for the serving layer's result cache.  Values are
+// shared_ptrs to immutable payloads, so a Get returns a handle that stays
+// valid after eviction.  All operations take one mutex briefly; payloads
+// are never copied under the lock.
+
+#ifndef KGM_SERVICE_CACHE_H_
+#define KGM_SERVICE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace kgm::service {
+
+template <typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  // nullptr on miss; promotes the entry on hit.
+  std::shared_ptr<const V> Get(uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_key_.find(key);
+    if (it == by_key_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+
+  void Put(uint64_t key, std::shared_ptr<const V> value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+      it->second->second = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, std::move(value));
+    by_key_[key] = lru_.begin();
+    while (lru_.size() > capacity_) {
+      by_key_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    by_key_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
+
+ private:
+  using Entry = std::pair<uint64_t, std::shared_ptr<const V>>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, typename std::list<Entry>::iterator> by_key_;
+};
+
+}  // namespace kgm::service
+
+#endif  // KGM_SERVICE_CACHE_H_

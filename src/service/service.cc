@@ -1,0 +1,218 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <functional>
+#include <future>
+#include <utility>
+
+#include "base/value.h"
+#include "vadalog/parser.h"
+
+namespace kgm::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// Column names of a label's relational encoding; empty for non-labels.
+std::vector<std::string> ColumnsFor(const metalog::GraphCatalog& catalog,
+                                    const std::string& output) {
+  std::vector<std::string> cols;
+  if (catalog.HasNodeLabel(output)) {
+    cols.push_back("oid");
+    for (const std::string& p : catalog.NodeProps(output)) cols.push_back(p);
+  } else if (catalog.HasEdgeLabel(output)) {
+    cols.push_back("oid");
+    cols.push_back("from");
+    cols.push_back("to");
+    for (const std::string& p : catalog.EdgeProps(output)) cols.push_back(p);
+  }
+  return cols;
+}
+
+}  // namespace
+
+KgService::KgService(KgServiceOptions options)
+    : options_(options),
+      pool_(std::max<size_t>(options.num_workers, 1)),
+      prepared_(options.prepared_cache_capacity),
+      results_(options.result_cache_capacity) {}
+
+KgService::~KgService() { pool_.WaitIdle(); }
+
+uint64_t KgService::Publish(pg::PropertyGraph graph) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  const uint64_t epoch = next_epoch_++;
+  std::shared_ptr<const Snapshot> snap =
+      BuildSnapshot(std::move(graph), epoch);
+  {
+    std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+    snapshot_ = std::move(snap);
+  }
+  // Results are keyed by epoch, so entries for older epochs can never be
+  // returned for queries against this one — the clear just frees capacity.
+  // A reader still pinned to an old snapshot may re-insert an old-epoch
+  // entry after this; that is correct for its epoch and ages out via LRU.
+  results_.Clear();
+  stats_.RecordPublish(epoch);
+  return epoch;
+}
+
+std::shared_ptr<const Snapshot> KgService::CurrentSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+uint64_t KgService::CurrentEpoch() const {
+  std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
+  return snap == nullptr ? 0 : snap->epoch;
+}
+
+uint64_t KgService::ResultKey(const QueryRequest& request, uint64_t epoch,
+                              const metalog::MtvOptions& mtv) {
+  uint64_t key = std::hash<std::string>{}(request.program);
+  key = HashCombine(key, std::hash<std::string>{}(request.output));
+  key = HashCombine(key, static_cast<uint64_t>(request.language));
+  key = HashCombine(key, epoch);
+  key = HashCombine(key, mtv.reflexive_star ? 1u : 0u);
+  key = HashCombine(key, static_cast<uint64_t>(mtv.max_stars_per_rule));
+  return key;
+}
+
+Result<QueryResult> KgService::Query(const QueryRequest& request) {
+  // Admission: reserve a queue slot or reject.  fetch_add + rollback keeps
+  // the check race-free without a lock.
+  const size_t prev = pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (prev >= options_.queue_capacity) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    stats_.RecordQueueRejected();
+    return Unavailable(
+        "service queue full (capacity " +
+        std::to_string(options_.queue_capacity) + ")");
+  }
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline =
+      request.timeout_ms > 0
+          ? start + std::chrono::milliseconds(request.timeout_ms)
+          : Clock::time_point{};
+
+  std::promise<Result<QueryResult>> promise;
+  std::future<Result<QueryResult>> future = promise.get_future();
+  pool_.Submit([this, &request, &promise, start, deadline] {
+    Result<QueryResult> result = Evaluate(request, start, deadline);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    promise.set_value(std::move(result));
+  });
+  return future.get();
+}
+
+Result<QueryResult> KgService::Execute(const QueryRequest& request) {
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline =
+      request.timeout_ms > 0
+          ? start + std::chrono::milliseconds(request.timeout_ms)
+          : Clock::time_point{};
+  return Evaluate(request, start, deadline);
+}
+
+Result<QueryResult> KgService::Evaluate(const QueryRequest& request,
+                                        Clock::time_point start,
+                                        Clock::time_point deadline) {
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    // A request can expire while queued; don't start evaluating it.
+    if (deadline != Clock::time_point{} && Clock::now() >= deadline) {
+      return DeadlineExceeded("deadline expired before evaluation");
+    }
+    std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
+    if (snap == nullptr) {
+      return FailedPrecondition("no graph published yet");
+    }
+    return EvaluateOnSnapshot(request, *snap, deadline);
+  }();
+
+  const double latency = Seconds(start, Clock::now());
+  if (result.ok()) {
+    stats_.RecordOk(latency);
+  } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+    stats_.RecordDeadlineExceeded(latency);
+  } else {
+    stats_.RecordFailed(latency);
+  }
+  return result;
+}
+
+Result<QueryResult> KgService::EvaluateOnSnapshot(const QueryRequest& request,
+                                                  const Snapshot& snap,
+                                                  Clock::time_point deadline) {
+  const uint64_t key = ResultKey(request, snap.epoch, options_.mtv);
+  if (request.use_result_cache) {
+    if (std::shared_ptr<const CachedResult> hit = results_.Get(key)) {
+      stats_.RecordResultCache(true);
+      QueryResult out;
+      out.epoch = snap.epoch;
+      out.result_cache_hit = true;
+      out.eval_seconds = hit->eval_seconds;
+      out.columns = hit->columns;
+      out.rows = hit->rows;
+      return out;
+    }
+    stats_.RecordResultCache(false);
+  }
+
+  const Clock::time_point eval_start = Clock::now();
+  QueryResult out;
+  out.epoch = snap.epoch;
+
+  vadalog::FactDb db;
+  vadalog::Program program;
+  if (request.language == QueryLanguage::kMetaLog) {
+    KGM_ASSIGN_OR_RETURN(
+        std::shared_ptr<const metalog::CompiledMeta> compiled,
+        prepared_.Compile(request.program, snap.catalog, options_.mtv));
+    if (EncodingCompatible(snap.catalog, compiled->catalog)) {
+      db = snap.facts.Clone();
+    } else {
+      db = metalog::EncodeGraph(snap.graph, compiled->catalog);
+      out.fresh_encoding = true;
+    }
+    program = compiled->program;
+    out.columns = ColumnsFor(compiled->catalog, request.output);
+  } else {
+    KGM_ASSIGN_OR_RETURN(program, vadalog::ParseProgram(request.program));
+    db = snap.facts.Clone();
+  }
+
+  vadalog::EngineOptions engine_options = options_.engine;
+  engine_options.deadline = deadline;
+  vadalog::Engine engine(std::move(program), engine_options);
+  KGM_RETURN_IF_ERROR(engine.status());
+  KGM_RETURN_IF_ERROR(engine.Run(&db));
+
+  auto rows = std::make_shared<std::vector<vadalog::Tuple>>();
+  if (const vadalog::Relation* rel = db.Get(request.output)) {
+    *rows = rel->tuples();
+  }
+  out.rows = std::move(rows);
+  out.eval_seconds = Seconds(eval_start, Clock::now());
+
+  if (request.use_result_cache) {
+    auto cached = std::make_shared<CachedResult>();
+    cached->columns = out.columns;
+    cached->rows = out.rows;
+    cached->eval_seconds = out.eval_seconds;
+    results_.Put(key, std::move(cached));
+  }
+  return out;
+}
+
+StatsSnapshot KgService::Stats() const {
+  const metalog::PreparedCache::Counters prepared = prepared_.counters();
+  return stats_.Snapshot(pending_.load(std::memory_order_relaxed),
+                         prepared.hits, prepared.misses);
+}
+
+}  // namespace kgm::service

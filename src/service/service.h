@@ -1,0 +1,161 @@
+// KgService: an embeddable, thread-safe serving layer over a materialized
+// knowledge graph.
+//
+// The service owns the published graph as a sequence of immutable,
+// epoch-stamped snapshots (see snapshot.h).  Writers materialize a new
+// graph off to the side and Publish() it — one shared_ptr swap under a
+// leaf mutex held only for the pointer copy — while readers keep
+// evaluating against the epoch they pinned; no query ever observes a
+// half-published graph and no reader ever waits for snapshot
+// construction, only for a concurrent pointer copy.
+//
+// Queries (MetaLog or Vadalog) flow through three layers:
+//
+//   1. admission control — a bounded queue over a worker pool; requests
+//      beyond `queue_capacity` are rejected immediately with Unavailable
+//      rather than piling up latency;
+//   2. caching — MetaLog programs are parse+MTV-compiled once per
+//      (source, catalog fingerprint) via PreparedCache, and whole results
+//      are cached per (request, epoch), invalidated by publication;
+//   3. evaluation — the snapshot's precomputed relational encoding is
+//      cloned, the compiled program runs to fixpoint with a per-request
+//      deadline (cooperatively checked inside the engine), and the output
+//      predicate's tuples are returned.
+
+#ifndef KGM_SERVICE_SERVICE_H_
+#define KGM_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/thread_pool.h"
+#include "metalog/mtv.h"
+#include "metalog/prepared.h"
+#include "pg/property_graph.h"
+#include "service/cache.h"
+#include "service/snapshot.h"
+#include "service/stats.h"
+#include "vadalog/engine.h"
+
+namespace kgm::service {
+
+enum class QueryLanguage {
+  kMetaLog,  // compiled via MTV against the snapshot catalog
+  kVadalog,  // parsed directly; runs over the relational encoding
+};
+
+struct QueryRequest {
+  std::string program;
+  QueryLanguage language = QueryLanguage::kMetaLog;
+  // Predicate whose facts are the result.  For MetaLog this is a label:
+  // node rows are (oid, props...), edge rows (oid, from, to, props...).
+  std::string output;
+  int64_t timeout_ms = 0;  // 0 = no per-request deadline
+  bool use_result_cache = true;
+};
+
+struct QueryResult {
+  uint64_t epoch = 0;
+  bool result_cache_hit = false;
+  // Set when the program widened an extensional label's property list and
+  // the graph had to be re-encoded instead of cloning the snapshot facts.
+  bool fresh_encoding = false;
+  double eval_seconds = 0;
+  // Column names of `rows` (known for MetaLog outputs; empty for Vadalog).
+  std::vector<std::string> columns;
+  // Shared with the result cache; never mutated after creation.
+  std::shared_ptr<const std::vector<vadalog::Tuple>> rows;
+};
+
+struct KgServiceOptions {
+  size_t num_workers = 4;
+  // Upper bound on queued + running requests; 0 rejects every Query()
+  // (Execute() stays available).  Rejections return Unavailable.
+  size_t queue_capacity = 64;
+  size_t prepared_cache_capacity = 128;
+  size_t result_cache_capacity = 256;
+  // Per-query engine configuration.  Queries default to single-threaded
+  // evaluation — the pool provides cross-request parallelism.
+  vadalog::EngineOptions engine;
+  metalog::MtvOptions mtv;
+
+  KgServiceOptions() { engine.num_threads = 1; }
+};
+
+class KgService {
+ public:
+  explicit KgService(KgServiceOptions options = {});
+  ~KgService();
+
+  KgService(const KgService&) = delete;
+  KgService& operator=(const KgService&) = delete;
+
+  // Builds a snapshot from `graph` (taken by value) and makes it the
+  // current epoch.  Readers holding the previous epoch finish against
+  // it; new queries see the new one.  Returns the new epoch.  Publishers
+  // are serialized; building happens outside the snapshot lock, so
+  // readers only ever contend on the O(1) pointer swap.
+  uint64_t Publish(pg::PropertyGraph graph);
+
+  // The current epoch's snapshot (nullptr before the first Publish).
+  std::shared_ptr<const Snapshot> CurrentSnapshot() const;
+  uint64_t CurrentEpoch() const;
+
+  // Runs a query through admission control on the worker pool; blocks the
+  // caller until the result is ready.  Returns Unavailable when the queue
+  // is full and DeadlineExceeded when `timeout_ms` elapses (including
+  // queue wait).
+  Result<QueryResult> Query(const QueryRequest& request);
+
+  // Evaluates on the caller's thread, bypassing admission control (still
+  // honors `timeout_ms`).  For embedders that manage their own threading.
+  Result<QueryResult> Execute(const QueryRequest& request);
+
+  StatsSnapshot Stats() const;
+
+  metalog::PreparedCache& prepared_cache() { return prepared_; }
+
+ private:
+  struct CachedResult {
+    std::vector<std::string> columns;
+    std::shared_ptr<const std::vector<vadalog::Tuple>> rows;
+    double eval_seconds = 0;
+  };
+
+  static uint64_t ResultKey(const QueryRequest& request, uint64_t epoch,
+                            const metalog::MtvOptions& mtv);
+
+  // Full evaluation with stats recording; `start` is the admission time.
+  Result<QueryResult> Evaluate(const QueryRequest& request,
+                               std::chrono::steady_clock::time_point start,
+                               std::chrono::steady_clock::time_point deadline);
+  // The uninstrumented evaluation pipeline.
+  Result<QueryResult> EvaluateOnSnapshot(
+      const QueryRequest& request, const Snapshot& snap,
+      std::chrono::steady_clock::time_point deadline);
+
+  KgServiceOptions options_;
+  ThreadPool pool_;
+  // Current epoch.  A leaf mutex guards the pointer itself; critical
+  // sections are a single shared_ptr copy/assign.  (A C++20
+  // std::atomic<std::shared_ptr> would do, but libstdc++'s lock-bit
+  // implementation is opaque to TSan, which this repo gates on.)
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Snapshot> snapshot_;  // guarded by snapshot_mu_
+  std::mutex publish_mu_;
+  uint64_t next_epoch_ = 1;  // guarded by publish_mu_
+  metalog::PreparedCache prepared_;
+  LruCache<CachedResult> results_;
+  std::atomic<size_t> pending_{0};  // queued + running requests
+  ServiceStats stats_;
+};
+
+}  // namespace kgm::service
+
+#endif  // KGM_SERVICE_SERVICE_H_

@@ -1,0 +1,32 @@
+#include "service/snapshot.h"
+
+#include <utility>
+
+namespace kgm::service {
+
+std::shared_ptr<const Snapshot> BuildSnapshot(pg::PropertyGraph graph,
+                                              uint64_t epoch) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->epoch = epoch;
+  snap->published_at = std::chrono::steady_clock::now();
+  snap->graph = std::move(graph);
+  snap->catalog = metalog::GraphCatalog::FromGraph(snap->graph);
+  snap->catalog_fingerprint = snap->catalog.Fingerprint();
+  snap->facts = metalog::EncodeGraph(snap->graph, snap->catalog);
+  snap->num_nodes = snap->graph.num_nodes();
+  snap->num_edges = snap->graph.num_edges();
+  return snap;
+}
+
+bool EncodingCompatible(const metalog::GraphCatalog& base,
+                        const metalog::GraphCatalog& extended) {
+  for (const std::string& label : base.NodeLabels()) {
+    if (extended.NodeProps(label) != base.NodeProps(label)) return false;
+  }
+  for (const std::string& label : base.EdgeLabels()) {
+    if (extended.EdgeProps(label) != base.EdgeProps(label)) return false;
+  }
+  return true;
+}
+
+}  // namespace kgm::service

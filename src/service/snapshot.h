@@ -1,0 +1,58 @@
+// Immutable, epoch-stamped view of a materialized knowledge graph.
+//
+// A Snapshot bundles everything a query needs — the property graph, its
+// label catalog, and the relational encoding MTV-compiled programs run
+// against — built once at publication time.  Snapshots are shared via
+// `shared_ptr<const Snapshot>` and never mutated after publication, so
+// readers pin one with a single atomic load and evaluate against it
+// without locks while writers materialize the next epoch off to the side.
+
+#ifndef KGM_SERVICE_SNAPSHOT_H_
+#define KGM_SERVICE_SNAPSHOT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "base/status.h"
+#include "metalog/catalog.h"
+#include "pg/property_graph.h"
+#include "vadalog/database.h"
+
+namespace kgm::service {
+
+struct Snapshot {
+  uint64_t epoch = 0;
+  std::chrono::steady_clock::time_point published_at{};
+
+  pg::PropertyGraph graph;
+  // Catalog scanned from `graph` (FromGraph); queries compile against it.
+  metalog::GraphCatalog catalog;
+  uint64_t catalog_fingerprint = 0;
+  // Relational encoding of `graph` per `catalog`, precomputed so queries
+  // clone facts instead of re-encoding the graph per request.
+  vadalog::FactDb facts;
+
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+};
+
+// Builds a snapshot from a graph (taken by value; callers Clone() first if
+// they need to keep their copy).  Pure function of the inputs — safe to
+// run while readers serve an older epoch.
+std::shared_ptr<const Snapshot> BuildSnapshot(pg::PropertyGraph graph,
+                                              uint64_t epoch);
+
+// True when every label of `base` has the same property list in `extended`
+// — i.e. the relational encoding produced under `base` is byte-identical
+// to the one `extended` would produce for those labels, so facts encoded
+// under `base` can be evaluated by a program compiled against `extended`.
+// (AbsorbProgram only ever widens the catalog; this detects the rare case
+// where a query mentions an unseen property of an extensional label, which
+// changes that label's fact arity and forces a fresh encoding.)
+bool EncodingCompatible(const metalog::GraphCatalog& base,
+                        const metalog::GraphCatalog& extended);
+
+}  // namespace kgm::service
+
+#endif  // KGM_SERVICE_SNAPSHOT_H_

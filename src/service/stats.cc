@@ -1,0 +1,141 @@
+#include "service/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace kgm::service {
+
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+std::string StatsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{";
+  out << "\"queries_total\":" << queries_total;
+  out << ",\"queries_ok\":" << queries_ok;
+  out << ",\"queries_failed\":" << queries_failed;
+  out << ",\"queue_rejected\":" << queue_rejected;
+  out << ",\"deadline_exceeded\":" << deadline_exceeded;
+  out << ",\"result_cache_hits\":" << result_cache_hits;
+  out << ",\"result_cache_misses\":" << result_cache_misses;
+  out << ",\"prepared_cache_hits\":" << prepared_cache_hits;
+  out << ",\"prepared_cache_misses\":" << prepared_cache_misses;
+  out << ",\"publishes\":" << publishes;
+  out << ",\"epoch\":" << epoch;
+  out << ",\"epoch_age_seconds\":" << epoch_age_seconds;
+  out << ",\"queue_depth\":" << queue_depth;
+  out << ",\"uptime_seconds\":" << uptime_seconds;
+  out << ",\"qps\":" << qps;
+  out << ",\"latency_samples\":" << latency_samples;
+  out << ",\"latency_p50\":" << latency_p50;
+  out << ",\"latency_p95\":" << latency_p95;
+  out << ",\"latency_p99\":" << latency_p99;
+  out << ",\"latency_max\":" << latency_max;
+  out << "}";
+  return out.str();
+}
+
+ServiceStats::ServiceStats(size_t latency_window)
+    : start_(std::chrono::steady_clock::now()) {
+  latencies_.resize(std::max<size_t>(latency_window, 1));
+}
+
+void ServiceStats::RecordLatencyLocked(double latency_seconds) {
+  latencies_[latency_next_] = latency_seconds;
+  latency_next_ = (latency_next_ + 1) % latencies_.size();
+  ++latency_count_;
+}
+
+void ServiceStats::RecordOk(double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++queries_ok_;
+  RecordLatencyLocked(latency_seconds);
+}
+
+void ServiceStats::RecordFailed(double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++queries_failed_;
+  RecordLatencyLocked(latency_seconds);
+}
+
+void ServiceStats::RecordDeadlineExceeded(double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++deadline_exceeded_;
+  RecordLatencyLocked(latency_seconds);
+}
+
+void ServiceStats::RecordQueueRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++queue_rejected_;
+}
+
+void ServiceStats::RecordResultCache(bool hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (hit) {
+    ++result_cache_hits_;
+  } else {
+    ++result_cache_misses_;
+  }
+}
+
+void ServiceStats::RecordPublish(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++publishes_;
+  epoch_ = epoch;
+  last_publish_ = std::chrono::steady_clock::now();
+}
+
+StatsSnapshot ServiceStats::Snapshot(size_t queue_depth,
+                                     uint64_t prepared_hits,
+                                     uint64_t prepared_misses) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatsSnapshot s;
+  s.queries_ok = queries_ok_;
+  s.queries_failed = queries_failed_;
+  s.queue_rejected = queue_rejected_;
+  s.deadline_exceeded = deadline_exceeded_;
+  s.queries_total =
+      queries_ok_ + queries_failed_ + deadline_exceeded_ + queue_rejected_;
+  s.result_cache_hits = result_cache_hits_;
+  s.result_cache_misses = result_cache_misses_;
+  s.prepared_cache_hits = prepared_hits;
+  s.prepared_cache_misses = prepared_misses;
+  s.publishes = publishes_;
+  s.epoch = epoch_;
+  s.queue_depth = queue_depth;
+
+  const auto now = std::chrono::steady_clock::now();
+  s.uptime_seconds = std::chrono::duration<double>(now - start_).count();
+  if (last_publish_ != std::chrono::steady_clock::time_point{}) {
+    s.epoch_age_seconds =
+        std::chrono::duration<double>(now - last_publish_).count();
+  }
+  const uint64_t completed = queries_ok_ + queries_failed_ + deadline_exceeded_;
+  s.qps = s.uptime_seconds > 0
+              ? static_cast<double>(completed) / s.uptime_seconds
+              : 0;
+
+  std::vector<double> window(
+      latencies_.begin(),
+      latencies_.begin() +
+          static_cast<ptrdiff_t>(std::min(latency_count_, latencies_.size())));
+  std::sort(window.begin(), window.end());
+  s.latency_samples = window.size();
+  s.latency_p50 = Percentile(window, 0.50);
+  s.latency_p95 = Percentile(window, 0.95);
+  s.latency_p99 = Percentile(window, 0.99);
+  s.latency_max = window.empty() ? 0 : window.back();
+  return s;
+}
+
+}  // namespace kgm::service

@@ -1,0 +1,86 @@
+// Service-side observability: request counters, latency percentiles over a
+// sliding window, cache hit rates, queue depth and epoch age, snapshotted
+// atomically and dumpable as JSON for dashboards / the bench harness.
+
+#ifndef KGM_SERVICE_STATS_H_
+#define KGM_SERVICE_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kgm::service {
+
+// Point-in-time copy of the service counters.
+struct StatsSnapshot {
+  uint64_t queries_total = 0;
+  uint64_t queries_ok = 0;
+  uint64_t queries_failed = 0;      // compile/eval errors
+  uint64_t queue_rejected = 0;      // admission control (Unavailable)
+  uint64_t deadline_exceeded = 0;
+
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
+  uint64_t prepared_cache_hits = 0;
+  uint64_t prepared_cache_misses = 0;
+
+  uint64_t publishes = 0;
+  uint64_t epoch = 0;
+  double epoch_age_seconds = 0;     // since last publish; 0 if never
+
+  size_t queue_depth = 0;           // in-flight + queued requests
+  double uptime_seconds = 0;
+  double qps = 0;                   // completed queries / uptime
+
+  // Latency percentiles (seconds) over the most recent window.
+  size_t latency_samples = 0;
+  double latency_p50 = 0;
+  double latency_p95 = 0;
+  double latency_p99 = 0;
+  double latency_max = 0;
+
+  std::string ToJson() const;
+};
+
+// Thread-safe accumulator.  Record* methods take one mutex briefly;
+// latencies go into a fixed ring so memory stays bounded.
+class ServiceStats {
+ public:
+  explicit ServiceStats(size_t latency_window = 4096);
+
+  void RecordOk(double latency_seconds);
+  void RecordFailed(double latency_seconds);
+  void RecordDeadlineExceeded(double latency_seconds);
+  void RecordQueueRejected();
+  void RecordResultCache(bool hit);
+  void RecordPublish(uint64_t epoch);
+
+  // `queue_depth` and the prepared-cache counters live elsewhere; the
+  // service passes current values when snapshotting.
+  StatsSnapshot Snapshot(size_t queue_depth, uint64_t prepared_hits,
+                         uint64_t prepared_misses) const;
+
+ private:
+  void RecordLatencyLocked(double latency_seconds);
+
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_publish_{};
+  uint64_t queries_ok_ = 0;
+  uint64_t queries_failed_ = 0;
+  uint64_t queue_rejected_ = 0;
+  uint64_t deadline_exceeded_ = 0;
+  uint64_t result_cache_hits_ = 0;
+  uint64_t result_cache_misses_ = 0;
+  uint64_t publishes_ = 0;
+  uint64_t epoch_ = 0;
+  std::vector<double> latencies_;  // ring buffer
+  size_t latency_next_ = 0;
+  size_t latency_count_ = 0;       // total ever recorded
+};
+
+}  // namespace kgm::service
+
+#endif  // KGM_SERVICE_STATS_H_

@@ -1,7 +1,9 @@
 #include "vadalog/database.h"
 
 #include <algorithm>
+#include <queue>
 #include <sstream>
+#include <unordered_map>
 
 #include "base/check.h"
 
@@ -64,6 +66,19 @@ Relation::Relation(size_t arity, size_t shard_count) : arity_(arity) {
     shards_.push_back(std::make_unique<Shard>());
   }
   shard_mask_ = shard_count - 1;
+}
+
+Relation Relation::Clone() const {
+  KGM_CHECK(StagedCount() == 0);
+  Relation out(arity_, shards_.size());
+  out.tuples_ = tuples_;
+  // Dedup buckets are keyed by full-tuple hash and the shard layout is
+  // identical, so they copy wholesale — nothing is rehashed.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    out.shards_[i]->dedup = shards_[i]->dedup;
+  }
+  out.indexes_ = indexes_;
+  return out;
 }
 
 bool Relation::CanonicalContains(const Shard& shard, size_t hash,
@@ -196,51 +211,93 @@ size_t Relation::StagedCount() const {
   return n;
 }
 
-size_t Relation::DrainStaged() {
-  size_t total = StagedCount();
-  if (total == 0) return 0;
-  std::vector<Staged*> ordered;
-  ordered.reserve(total);
-  for (auto& shard : shards_) {
-    for (Staged& e : shard->staged) ordered.push_back(&e);
-  }
-  std::sort(ordered.begin(), ordered.end(),
-            [](const Staged* a, const Staged* b) { return a->tag < b->tag; });
-  tuples_.reserve(tuples_.size() + total);
-  size_t appended = 0;
-  for (Staged* e : ordered) {
-    Shard& home = ShardFor(e->hash);
-    Bucket& bucket = home.dedup[e->hash];
-    // Same-barrier duplicates surface here: an earlier (smaller-tag) copy
-    // has already been appended and sits in this bucket.  Dropping the
-    // later copies preserves the min-tag ordering StageInsert promises.
-    bool duplicate = false;
-    for (uint32_t row : bucket.rows) {
-      if (tuples_[row] == e->tuple) {
-        duplicate = true;
+void Relation::PrepareStagedShard(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  if (shard.staged.empty()) return;
+  std::sort(
+      shard.staged.begin(), shard.staged.end(),
+      [](const Staged& a, const Staged& b) { return a.tag < b.tag; });
+  // Same-barrier duplicates are shard-local (equal tuples share a full
+  // hash), so after the sort the first — minimum-tag — copy of every
+  // tuple survives and later copies are flagged.  StageInsert already
+  // rejected tuples present in the (frozen) canonical store.
+  std::unordered_map<size_t, std::vector<const Staged*>> firsts_by_hash;
+  firsts_by_hash.reserve(shard.staged.size());
+  for (Staged& e : shard.staged) {
+    e.duplicate = false;
+    std::vector<const Staged*>& firsts = firsts_by_hash[e.hash];
+    for (const Staged* f : firsts) {
+      if (f->tuple == e.tuple) {
+        e.duplicate = true;
         break;
       }
     }
-    if (duplicate) {
-      ++home.counters.duplicates;
-      --home.counters.accepted;
+    if (e.duplicate) {
+      ++shard.counters.duplicates;
+      --shard.counters.accepted;
       continue;
     }
-    uint32_t row = static_cast<uint32_t>(tuples_.size());
-    bucket.rows.push_back(row);
+    firsts.push_back(&e);
+    // Precompute the masked hashes the merge will need, so DrainPrepared
+    // never rehashes a value: this is the expensive part of a drain, and
+    // it now runs per shard in parallel.
     if (!indexes_.empty()) {
-      TupleHasher hasher(e->tuple);
-      for (auto& [mask, index] : indexes_) {
-        index[hasher.Masked(mask)].rows.push_back(row);
+      TupleHasher hasher(e.tuple);
+      e.index_hashes.clear();
+      e.index_hashes.reserve(indexes_.size());
+      for (const auto& [mask, index] : indexes_) {
+        (void)index;
+        e.index_hashes.push_back(hasher.Masked(mask));
       }
     }
-    tuples_.push_back(std::move(e->tuple));
+  }
+}
+
+size_t Relation::DrainPrepared() {
+  size_t total = StagedCount();
+  if (total == 0) return 0;
+  // K-way merge of the per-shard tag-sorted runs.
+  struct Cursor {
+    std::vector<Staged>* run;
+    size_t pos;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    if (!shard->staged.empty()) cursors.push_back(Cursor{&shard->staged, 0});
+  }
+  auto greater = [](const Cursor& a, const Cursor& b) {
+    return (*b.run)[b.pos].tag < (*a.run)[a.pos].tag;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(greater)> heap(
+      greater, std::move(cursors));
+  tuples_.reserve(tuples_.size() + total);
+  size_t appended = 0;
+  while (!heap.empty()) {
+    Cursor cur = heap.top();
+    heap.pop();
+    Staged& e = (*cur.run)[cur.pos];
+    if (++cur.pos < cur.run->size()) heap.push(cur);
+    if (e.duplicate) continue;
+    uint32_t row = static_cast<uint32_t>(tuples_.size());
+    ShardFor(e.hash).dedup[e.hash].rows.push_back(row);
+    size_t ii = 0;
+    for (auto& [mask, index] : indexes_) {
+      (void)mask;
+      index[e.index_hashes[ii++]].rows.push_back(row);
+    }
+    tuples_.push_back(std::move(e.tuple));
     ++appended;
   }
   for (auto& shard : shards_) {
     shard->staged.clear();
   }
   return appended;
+}
+
+size_t Relation::DrainStaged() {
+  for (size_t i = 0; i < shards_.size(); ++i) PrepareStagedShard(i);
+  return DrainPrepared();
 }
 
 void Relation::DiscardStaged() {
@@ -261,6 +318,15 @@ void Relation::AccumulateShardCounters(std::vector<ShardCounters>* by_shard,
     total->duplicates += c.duplicates;
     total->contentions += c.contentions;
   }
+}
+
+FactDb FactDb::Clone() const {
+  FactDb out;
+  out.default_shard_count_ = default_shard_count_;
+  for (const auto& [pred, rel] : relations_) {
+    out.relations_.emplace(pred, rel.Clone());
+  }
+  return out;
 }
 
 Relation& FactDb::GetOrCreate(const std::string& pred, size_t arity) {

@@ -87,6 +87,12 @@ class Relation {
   Relation(Relation&&) = default;
   Relation& operator=(Relation&&) = default;
 
+  // Deep copy: canonical tuples, dedup shards, and built indexes.  Much
+  // cheaper than re-inserting (no value is rehashed).  Must not be called
+  // with staged tuples pending.  The serving layer uses this to evaluate
+  // queries against a cloned snapshot without mutating the published one.
+  Relation Clone() const;
+
   size_t arity() const { return arity_; }
   size_t size() const { return tuples_.size(); }
   const std::vector<Tuple>& tuples() const { return tuples_; }
@@ -142,12 +148,34 @@ class Relation {
   // calls are in flight.
   size_t StagedCount() const;
 
+  // Staged tuples in one shard.  Driver-only.
+  size_t StagedCountShard(size_t shard_index) const {
+    return shards_[shard_index]->staged.size();
+  }
+
   // Appends the staged tuples to the canonical store in ascending tag
   // order, dropping same-barrier duplicates and maintaining the dedup
   // table and every built index; returns the number of rows appended
   // (their row ids are [old size, new size)).  Reclassifies dropped
-  // duplicates in the shard counters.  Driver-only.
+  // duplicates in the shard counters.  Driver-only.  Equivalent to
+  // PrepareStagedShard on every shard followed by DrainPrepared.
   size_t DrainStaged();
+
+  // Phase 1 of a two-phase drain, parallelizable per shard: sorts shard
+  // `shard_index`'s staged tuples by tag, drops same-barrier duplicates
+  // (equal tuples share a full hash, so every copy routes to the same
+  // shard — dedup is shard-local and the minimum-tag copy survives), and
+  // precomputes the hash every built index will need.  Tasks for distinct
+  // shards of one relation may run concurrently; the canonical store must
+  // stay frozen until DrainPrepared.
+  void PrepareStagedShard(size_t shard_index);
+
+  // Phase 2: merges the prepared shards into the canonical store in
+  // ascending tag order.  After PrepareStagedShard every surviving tuple
+  // is globally unique and absent from the canonical store, so this is a
+  // pure merge-append — no hashing, no tuple comparisons.  Driver-only
+  // (one caller per relation); returns the number of rows appended.
+  size_t DrainPrepared();
 
   // Drops all staged tuples (used on error paths).  Driver-only.
   void DiscardStaged();
@@ -168,6 +196,11 @@ class Relation {
     StageTag tag;
     size_t hash = 0;
     Tuple tuple;
+    // Filled by PrepareStagedShard: per-built-index masked hashes (in
+    // indexes_ iteration order), and whether the entry lost a same-barrier
+    // dedup race to a smaller-tag copy.
+    std::vector<size_t> index_hashes;
+    bool duplicate = false;
   };
 
   struct Shard {
@@ -198,6 +231,9 @@ class FactDb {
   FactDb& operator=(FactDb&&) = default;
   FactDb(const FactDb&) = delete;
   FactDb& operator=(const FactDb&) = delete;
+
+  // Deep copy of every relation (see Relation::Clone).
+  FactDb Clone() const;
 
   // The relation for `pred`, created with `arity` if absent.  Aborts on an
   // arity conflict (callers validate programs first).

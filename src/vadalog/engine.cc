@@ -183,6 +183,10 @@ struct EvalContext {
   // Fact-budget baseline for staged inserts (db size at freeze time).
   size_t budget_base = 0;
 
+  // Join-probe counter driving the periodic deadline/cancellation poll
+  // (checked every few tens of thousands of candidate rows).
+  size_t checkpoint_tick = 0;
+
   // Stratified (non-monotonic) aggregation state of this evaluation.
   std::unordered_map<Tuple, GroupState, TupleHashFn> eval_groups;
   std::vector<Tuple> eval_group_order;
@@ -209,6 +213,25 @@ struct Engine::Impl {
   // Worker pool; null = sequential legacy evaluation.
   std::unique_ptr<ThreadPool> pool;
   size_t num_workers = 1;
+
+  // True when the run has a deadline or a cancellation flag to poll.
+  bool checkpoints_armed = false;
+
+  // Cooperative deadline/cancellation poll.  Called at stratum and batch
+  // boundaries, at every fixpoint iteration, and (rate-limited) from the
+  // join loops; safe on pool threads.
+  Status Checkpoint() const {
+    if (!checkpoints_armed) return OkStatus();
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      return DeadlineExceeded("evaluation cancelled");
+    }
+    if (options.deadline != std::chrono::steady_clock::time_point{} &&
+        std::chrono::steady_clock::now() >= options.deadline) {
+      return DeadlineExceeded("engine deadline exceeded");
+    }
+    return OkStatus();
+  }
 
   // Per-stratum evaluation state.
   const std::set<std::string>* recursive_preds = nullptr;
@@ -594,6 +617,9 @@ Status Engine::Impl::InsertFact(EvalContext& ctx, const std::string& pred,
 
 Status Engine::Impl::Run(FactDb* target) {
   db = target;
+  checkpoints_armed =
+      options.cancel != nullptr ||
+      options.deadline != std::chrono::steady_clock::time_point{};
   // Materialize program facts and pre-create relations.
   for (const FactDecl& f : engine->program_.facts) {
     Relation& rel = db->GetOrCreate(f.predicate, f.values.size());
@@ -697,6 +723,7 @@ Status Engine::Impl::EvalStratumSequential(
 
   // Phase A: every rule once, full mode.
   for (CompiledRule* cr : rules) {
+    KGM_RETURN_IF_ERROR(Checkpoint());
     Status status = EvalRule(ctx, *cr, /*delta_literal=*/-1);
     FlushCtxStats(ctx, *cr);
     KGM_RETURN_IF_ERROR(status);
@@ -717,6 +744,7 @@ Status Engine::Impl::EvalStratumSequential(
       return ResourceExhausted("iteration budget exceeded in stratum " +
                                std::to_string(stratum));
     }
+    KGM_RETURN_IF_ERROR(Checkpoint());
     ++stats->iterations;
     // Swap deltas.
     cur_delta = next_delta;
@@ -893,12 +921,30 @@ Status Engine::Impl::DrainStagedInserts() {
       dirty.push_back(Dirty{&pred, &rel, rel.size()});
     }
   });
-  if (dirty.size() > 1) {
-    pool->ParallelFor(dirty.size(), [&dirty](size_t i) {
-      dirty[i].added = dirty[i].rel->DrainStaged();
+  // Phase 1 — sort/dedup/hash, one pool task per dirty (relation, shard):
+  // a stratum dominated by a single huge relation still spreads its drain
+  // work (the hashing dominates) across the pool.
+  std::vector<std::pair<Relation*, size_t>> prep;
+  for (Dirty& d : dirty) {
+    for (size_t s = 0; s < d.rel->shard_count(); ++s) {
+      if (d.rel->StagedCountShard(s) > 0) prep.emplace_back(d.rel, s);
+    }
+  }
+  if (prep.size() > 1) {
+    pool->ParallelFor(prep.size(), [&prep](size_t i) {
+      prep[i].first->PrepareStagedShard(prep[i].second);
     });
   } else {
-    for (Dirty& d : dirty) d.added = d.rel->DrainStaged();
+    for (auto& [rel, s] : prep) rel->PrepareStagedShard(s);
+  }
+  // Phase 2 — tag-ordered merge-append, parallel across relations (the
+  // append order within a relation is inherently sequential).
+  if (dirty.size() > 1) {
+    pool->ParallelFor(dirty.size(), [&dirty](size_t i) {
+      dirty[i].added = dirty[i].rel->DrainPrepared();
+    });
+  } else {
+    for (Dirty& d : dirty) d.added = d.rel->DrainPrepared();
   }
   for (Dirty& d : dirty) {
     stats->facts_derived += d.added;
@@ -1030,6 +1076,7 @@ Status Engine::Impl::EvalStratumParallel(
   // pool while the concatenation of the partitions preserves the
   // sequential enumeration order.
   for (std::vector<CompiledRule*>& batch : IndependentBatches(rules)) {
+    KGM_RETURN_IF_ERROR(Checkpoint());
     for (CompiledRule* cr : batch) PrepareJoinIndexes(*cr);
     std::deque<WorkItem> items;
     std::vector<CompiledRule*> stratified;
@@ -1084,6 +1131,11 @@ Status Engine::Impl::EvalStratumParallel(
       next_delta = nullptr;
       return ResourceExhausted("iteration budget exceeded in stratum " +
                                std::to_string(stratum));
+    }
+    if (Status s = Checkpoint(); !s.ok()) {
+      recursive_preds = nullptr;
+      next_delta = nullptr;
+      return s;
     }
     ++stats->iterations;
     cur_delta = next_delta;
@@ -1196,6 +1248,12 @@ Status Engine::Impl::Join(EvalContext& ctx, CompiledRule& cr,
   // Takes the row by value: head emission may insert into `source` itself,
   // reallocating its tuple storage under us.
   auto try_row = [&](Tuple row) -> Status {
+    // A single fixpoint iteration can run for minutes on a bad join order;
+    // poll the deadline/cancel flag every ~16k candidate rows so such
+    // iterations stay cancellable.
+    if (checkpoints_armed && (++ctx.checkpoint_tick & 0x3FFF) == 0) {
+      KGM_RETURN_IF_ERROR(Checkpoint());
+    }
     // Bind free positions, checking intra-atom repeated variables.
     std::vector<int> bound_here;
     bool ok = true;

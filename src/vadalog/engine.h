@@ -22,6 +22,8 @@
 #ifndef KGM_VADALOG_ENGINE_H_
 #define KGM_VADALOG_ENGINE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -65,6 +67,19 @@ struct EngineOptions {
   // two).  0 = auto: scales with the worker count.  Ignored by sequential
   // runs, which keep single-shard relations.
   size_t num_shards = 0;
+  // Cooperative deadline: when set (non-default time_point), the engine
+  // polls the clock at evaluation checkpoints — stratum/batch boundaries,
+  // every fixpoint iteration, and every few tens of thousands of join
+  // probes — and Run returns DeadlineExceeded with the stats gathered so
+  // far.  Derived facts of completed barriers stay in the database;
+  // callers that need isolation evaluate against a throwaway FactDb (the
+  // serving layer clones the snapshot).
+  std::chrono::steady_clock::time_point deadline{};
+  // Cooperative cancellation: polled at the same checkpoints as
+  // `deadline`; setting the flag makes Run return DeadlineExceeded.  The
+  // flag is read with relaxed ordering, so it may take one checkpoint for
+  // a store from another thread to be observed.
+  std::shared_ptr<const std::atomic<bool>> cancel;
 };
 
 struct EngineStats {

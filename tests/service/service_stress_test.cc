@@ -1,0 +1,156 @@
+// Concurrency torture for the serving layer: readers keep querying while a
+// publisher swaps epochs underneath them.  Every result must be internally
+// consistent with the epoch it reports — a torn read (rows from one epoch,
+// stamp from another) is the failure mode epoch snapshots exist to prevent.
+// Run under TSan via tools/check.sh.
+
+#include "service/service.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kgm::service {
+namespace {
+
+// Epoch k publishes a chain with (kBaseEdges + k) LINK edges, so the
+// expected row count identifies the epoch that produced a result.
+constexpr size_t kBaseEdges = 3;
+
+pg::PropertyGraph GraphForEpoch(size_t k) {
+  const size_t nodes = kBaseEdges + k + 1;
+  pg::PropertyGraph g;
+  std::vector<pg::NodeId> ids;
+  for (size_t i = 0; i < nodes; ++i) {
+    ids.push_back(g.AddNode("Item", {{"n", Value(int64_t(i))}}));
+  }
+  for (size_t i = 0; i + 1 < nodes; ++i) {
+    g.AddEdge(ids[i], ids[i + 1], "LINK");
+  }
+  return g;
+}
+
+const char kCopyLinks[] =
+    "(x: Item)[: LINK](y: Item) -> exists e (x)[e: LINK2](y).";
+
+TEST(ServiceStressTest, ReadersSeeConsistentEpochsAcrossPublishes) {
+  KgServiceOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 64;
+  KgService svc(options);
+  const uint64_t first_epoch = svc.Publish(GraphForEpoch(1));
+  ASSERT_EQ(first_epoch, 1u);
+
+  constexpr size_t kEpochs = 8;
+  constexpr size_t kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> checked{0};
+  std::atomic<size_t> cache_hits{0};
+  std::atomic<size_t> failures{0};
+
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        QueryRequest request;
+        request.program = kCopyLinks;
+        request.output = "LINK2";
+        // Alternate cached and uncached evaluations per reader.
+        request.use_result_cache = ((r + i++) % 2) == 0;
+        auto result = svc.Query(request);
+        if (!result.ok()) {
+          // Admission rejections are legal under load; anything else is
+          // not.
+          if (result.status().code() != StatusCode::kUnavailable) {
+            failures.fetch_add(1);
+          }
+          continue;
+        }
+        // rows must match the epoch the result claims, whatever epoch is
+        // current by now.
+        const size_t expected = kBaseEdges + (result->epoch);
+        if (result->rows->size() != expected) {
+          ADD_FAILURE() << "torn read: epoch " << result->epoch << " with "
+                        << result->rows->size() << " rows, expected "
+                        << expected;
+          failures.fetch_add(1);
+        }
+        if (result->result_cache_hit) cache_hits.fetch_add(1);
+        checked.fetch_add(1);
+      }
+    });
+  }
+
+  for (size_t k = 2; k <= kEpochs; ++k) {
+    const uint64_t epoch = svc.Publish(GraphForEpoch(k));
+    EXPECT_EQ(epoch, k);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(checked.load(), 0u);
+  EXPECT_EQ(svc.CurrentEpoch(), kEpochs);
+
+  // After the last publish, a cached query must reflect the final epoch.
+  QueryRequest request;
+  request.program = kCopyLinks;
+  request.output = "LINK2";
+  auto final_result = svc.Query(request);
+  ASSERT_TRUE(final_result.ok()) << final_result.status().ToString();
+  EXPECT_EQ(final_result->epoch, kEpochs);
+  EXPECT_EQ(final_result->rows->size(), kBaseEdges + kEpochs);
+}
+
+TEST(ServiceStressTest, TinyQueueUnderLoadConservesRequests) {
+  KgServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 1;
+  KgService svc(options);
+  svc.Publish(GraphForEpoch(1));
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 40;
+  std::atomic<size_t> ok{0};
+  std::atomic<size_t> rejected{0};
+  std::atomic<size_t> other{0};
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        QueryRequest request;
+        request.program = kCopyLinks;
+        request.output = "LINK2";
+        auto result = svc.Query(request);
+        if (result.ok()) {
+          ok.fetch_add(1);
+        } else if (result.status().code() == StatusCode::kUnavailable) {
+          rejected.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Every request either succeeded or was rejected at admission — nothing
+  // lost, nothing failed, no deadlock.
+  EXPECT_EQ(ok.load() + rejected.load(), kThreads * kPerThread);
+  EXPECT_EQ(other.load(), 0u);
+  EXPECT_GT(ok.load(), 0u);
+
+  StatsSnapshot stats = svc.Stats();
+  EXPECT_EQ(stats.queue_rejected, rejected.load());
+  EXPECT_EQ(stats.queries_ok, ok.load());
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+}  // namespace
+}  // namespace kgm::service

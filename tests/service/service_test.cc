@@ -1,0 +1,238 @@
+// KgService behavior: publication, the two cache layers, admission
+// control, deadlines and the error taxonomy.
+
+#include "service/service.h"
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kgm::service {
+namespace {
+
+// A chain of `n` Item nodes connected by LINK edges.
+pg::PropertyGraph ChainGraph(int n) {
+  pg::PropertyGraph g;
+  std::vector<pg::NodeId> nodes;
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(g.AddNode("Item", {{"n", Value(int64_t{i})}}));
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    g.AddEdge(nodes[i], nodes[i + 1], "LINK");
+  }
+  return g;
+}
+
+// Copies every LINK edge to a derived LINK2 edge.
+const char kCopyLinks[] =
+    "(x: Item)[: LINK](y: Item) -> exists e (x)[e: LINK2](y).";
+
+QueryRequest CopyLinksRequest() {
+  QueryRequest request;
+  request.program = kCopyLinks;
+  request.language = QueryLanguage::kMetaLog;
+  request.output = "LINK2";
+  return request;
+}
+
+TEST(ServiceTest, QueryBeforePublishFails) {
+  KgService svc;
+  auto result = svc.Query(CopyLinksRequest());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServiceTest, PublishAndQuery) {
+  KgService svc;
+  EXPECT_EQ(svc.CurrentEpoch(), 0u);
+  const uint64_t epoch = svc.Publish(ChainGraph(6));
+  EXPECT_EQ(epoch, 1u);
+  EXPECT_EQ(svc.CurrentEpoch(), 1u);
+
+  auto result = svc.Query(CopyLinksRequest());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->epoch, 1u);
+  EXPECT_FALSE(result->result_cache_hit);
+  EXPECT_EQ(result->rows->size(), 5u);  // 5 LINK edges copied
+  // Edge encoding: oid, from, to (LINK2 has no properties).
+  ASSERT_EQ(result->columns.size(), 3u);
+  EXPECT_EQ(result->columns[0], "oid");
+  EXPECT_EQ(result->columns[1], "from");
+  EXPECT_EQ(result->columns[2], "to");
+}
+
+TEST(ServiceTest, ResultCacheHitOnRepeat) {
+  KgService svc;
+  svc.Publish(ChainGraph(5));
+  auto first = svc.Query(CopyLinksRequest());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->result_cache_hit);
+
+  auto second = svc.Query(CopyLinksRequest());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->result_cache_hit);
+  // The cached rows are shared, not recomputed.
+  EXPECT_EQ(second->rows.get(), first->rows.get());
+
+  StatsSnapshot stats = svc.Stats();
+  EXPECT_EQ(stats.result_cache_hits, 1u);
+  EXPECT_EQ(stats.result_cache_misses, 1u);
+  EXPECT_EQ(stats.queries_ok, 2u);
+}
+
+TEST(ServiceTest, ResultCacheCanBeBypassed) {
+  KgService svc;
+  svc.Publish(ChainGraph(5));
+  QueryRequest request = CopyLinksRequest();
+  request.use_result_cache = false;
+  auto first = svc.Query(request);
+  auto second = svc.Query(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->result_cache_hit);
+  EXPECT_NE(second->rows.get(), first->rows.get());
+}
+
+TEST(ServiceTest, PreparedCacheReusedAcrossEpochs) {
+  KgService svc;
+  svc.Publish(ChainGraph(4));
+  ASSERT_TRUE(svc.Query(CopyLinksRequest()).ok());
+  // Same label catalog, so the compiled program is reused even though the
+  // result cache was invalidated.
+  svc.Publish(ChainGraph(7));
+  auto result = svc.Query(CopyLinksRequest());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->epoch, 2u);
+  EXPECT_FALSE(result->result_cache_hit);
+  EXPECT_EQ(result->rows->size(), 6u);
+
+  StatsSnapshot stats = svc.Stats();
+  EXPECT_EQ(stats.prepared_cache_misses, 1u);
+  EXPECT_EQ(stats.prepared_cache_hits, 1u);
+}
+
+TEST(ServiceTest, PublishInvalidatesResultCache) {
+  KgService svc;
+  svc.Publish(ChainGraph(5));
+  auto before = svc.Query(CopyLinksRequest());
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->rows->size(), 4u);
+
+  svc.Publish(ChainGraph(9));
+  auto after = svc.Query(CopyLinksRequest());
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->result_cache_hit);
+  EXPECT_EQ(after->epoch, 2u);
+  EXPECT_EQ(after->rows->size(), 8u);
+}
+
+TEST(ServiceTest, CompileErrorIsReported) {
+  KgService svc;
+  svc.Publish(ChainGraph(3));
+  QueryRequest request;
+  request.program = "this is not metalog";
+  request.output = "X";
+  auto result = svc.Query(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+      << result.status().ToString();
+
+  StatsSnapshot stats = svc.Stats();
+  EXPECT_EQ(stats.queries_failed, 1u);
+}
+
+TEST(ServiceTest, VadalogQueryRunsOverEncoding) {
+  KgService svc;
+  svc.Publish(ChainGraph(4));
+  QueryRequest request;
+  // The encoding exposes LINK edges as LINK(oid, from, to).
+  request.program =
+      "LINK(e, x, y) -> hop(x, y).\n"
+      "hop(x, y), LINK(e, y, z) -> hop(x, z).";
+  request.language = QueryLanguage::kVadalog;
+  request.output = "hop";
+  auto result = svc.Query(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Closure of a 3-edge chain: 3 + 2 + 1 pairs.
+  EXPECT_EQ(result->rows->size(), 6u);
+}
+
+TEST(ServiceTest, ZeroCapacityQueueRejectsDeterministically) {
+  KgServiceOptions options;
+  options.queue_capacity = 0;
+  KgService svc(options);
+  svc.Publish(ChainGraph(3));
+
+  auto queued = svc.Query(CopyLinksRequest());
+  ASSERT_FALSE(queued.ok());
+  EXPECT_EQ(queued.status().code(), StatusCode::kUnavailable);
+
+  // Execute bypasses admission control and still works.
+  auto direct = svc.Execute(CopyLinksRequest());
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  EXPECT_EQ(direct->rows->size(), 2u);
+
+  StatsSnapshot stats = svc.Stats();
+  EXPECT_EQ(stats.queue_rejected, 1u);
+}
+
+TEST(ServiceTest, DeadlineExceededThroughService) {
+  KgService svc;
+  svc.Publish(ChainGraph(3));
+  // A big closure with a 1ms budget: the engine's cooperative checks cut
+  // it off mid-fixpoint.
+  std::ostringstream program;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    program << "@fact edge(" << i << ", " << (i + 1) % n << ").\n";
+  }
+  program << "edge(x, y) -> path(x, y).\n";
+  program << "path(x, y), edge(y, z) -> path(x, z).\n";
+
+  QueryRequest request;
+  request.program = program.str();
+  request.language = QueryLanguage::kVadalog;
+  request.output = "path";
+  request.timeout_ms = 1;
+  auto result = svc.Query(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status().ToString();
+
+  StatsSnapshot stats = svc.Stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+}
+
+TEST(ServiceTest, StatsJsonIsWellFormed) {
+  KgService svc;
+  svc.Publish(ChainGraph(3));
+  ASSERT_TRUE(svc.Query(CopyLinksRequest()).ok());
+  std::string json = svc.Stats().ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"queries_ok\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"epoch\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"latency_p50\":"), std::string::npos) << json;
+}
+
+TEST(ServiceTest, WidenedCatalogFallsBackToFreshEncoding) {
+  KgService svc;
+  svc.Publish(ChainGraph(4));
+  // Mentions an Item property the graph never had: the compiled catalog
+  // widens Item's property list, so the snapshot encoding is incompatible
+  // and the graph is re-encoded for this query.
+  QueryRequest request;
+  request.program =
+      "(x: Item; extra: v)[: LINK](y: Item) -> exists e (x)[e: LINK3](y).";
+  request.output = "LINK3";
+  auto result = svc.Query(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->fresh_encoding);
+}
+
+}  // namespace
+}  // namespace kgm::service

@@ -199,6 +199,81 @@ TEST(RelationShardTest, CountersTrackAcceptedAndDuplicates) {
   EXPECT_EQ(by_shard.size(), 2u);
 }
 
+TEST(RelationShardTest, TwoPhaseDrainMatchesDrainStaged) {
+  // The same staged inserts, drained via the one-shot DrainStaged and via
+  // the per-shard PrepareStagedShard + DrainPrepared phases, must produce
+  // identical canonical orders.
+  auto stage = [](Relation& rel) {
+    EXPECT_TRUE(rel.StageInsert({5, 0}, T({30, 1})));
+    EXPECT_TRUE(rel.StageInsert({2, 0}, T({20, 2})));
+    EXPECT_TRUE(rel.StageInsert({1, 0}, T({30, 1})));  // same-barrier dup
+    EXPECT_TRUE(rel.StageInsert({0, 1}, T({10, 3})));
+    EXPECT_TRUE(rel.StageInsert({0, 0}, T({5, 4})));
+    EXPECT_TRUE(rel.StageInsert({3, 2}, T({40, 5})));
+  };
+  Relation one_shot(2, 4);
+  stage(one_shot);
+  EXPECT_EQ(one_shot.DrainStaged(), 5u);
+
+  Relation two_phase(2, 4);
+  stage(two_phase);
+  for (size_t s = 0; s < two_phase.shard_count(); ++s) {
+    two_phase.PrepareStagedShard(s);
+  }
+  EXPECT_EQ(two_phase.DrainPrepared(), 5u);
+
+  ASSERT_EQ(two_phase.size(), one_shot.size());
+  for (size_t i = 0; i < one_shot.size(); ++i) {
+    EXPECT_EQ(two_phase.tuple(i), one_shot.tuple(i)) << i;
+  }
+  // Both drains leave equivalent dedup state.
+  EXPECT_FALSE(two_phase.Insert(T({30, 1})));
+  EXPECT_TRUE(two_phase.Contains(T({40, 5})));
+}
+
+TEST(RelationShardTest, TwoPhaseDrainMaintainsBuiltIndexes) {
+  Relation rel(2, 4);
+  rel.Insert(T({1, 10}));
+  Tuple probe = T({1, 0});
+  EXPECT_EQ(rel.Lookup(0b01, probe).size(), 1u);
+  EXPECT_TRUE(rel.StageInsert({0, 0}, T({1, 20})));
+  EXPECT_TRUE(rel.StageInsert({1, 0}, T({1, 30})));
+  for (size_t s = 0; s < rel.shard_count(); ++s) rel.PrepareStagedShard(s);
+  EXPECT_EQ(rel.DrainPrepared(), 2u);
+  EXPECT_EQ(rel.Lookup(0b01, probe).size(), 3u);
+}
+
+TEST(RelationShardTest, CloneIsDeepAndIndependent) {
+  Relation rel(2, 4);
+  for (int64_t i = 0; i < 50; ++i) rel.Insert(T({i, i * 2}));
+  Tuple probe = T({7, 0});
+  EXPECT_EQ(rel.Lookup(0b01, probe).size(), 1u);  // build an index first
+
+  Relation copy = rel.Clone();
+  EXPECT_EQ(copy.size(), 50u);
+  EXPECT_EQ(copy.Lookup(0b01, probe).size(), 1u);
+  for (int64_t i = 0; i < 50; ++i) {
+    EXPECT_FALSE(copy.Insert(T({i, i * 2}))) << i;  // dedup state copied
+  }
+  // Mutating the clone leaves the original untouched.
+  EXPECT_TRUE(copy.Insert(T({100, 200})));
+  EXPECT_FALSE(rel.Contains(T({100, 200})));
+  EXPECT_EQ(rel.size(), 50u);
+}
+
+TEST(FactDbTest, CloneCopiesEveryRelation) {
+  FactDb db;
+  db.Add("p", T({1}));
+  db.Add("p", T({2}));
+  db.Add("q", T({3}));
+  FactDb copy = db.Clone();
+  EXPECT_EQ(copy.TotalFacts(), 3u);
+  EXPECT_TRUE(copy.Get("p")->Contains(T({1})));
+  copy.Add("p", T({9}));
+  EXPECT_EQ(db.Get("p")->size(), 2u);
+  EXPECT_EQ(copy.Get("p")->size(), 3u);
+}
+
 TEST(FactDbTest, ReshardAllAppliesToExistingAndFutureRelations) {
   FactDb db;
   db.Add("p", T({1}));

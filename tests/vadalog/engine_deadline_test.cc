@@ -1,0 +1,115 @@
+// Per-run deadline and cooperative cancellation (EngineOptions::deadline /
+// EngineOptions::cancel), the serving layer's defense against runaway
+// recursive queries.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "vadalog/engine.h"
+#include "vadalog/parser.h"
+
+namespace kgm::vadalog {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Transitive closure over an n-cycle: derives n^2 path facts, far more
+// work than a millisecond-scale deadline allows for the sizes used here.
+std::string CycleClosure(int n) {
+  std::ostringstream src;
+  for (int i = 0; i < n; ++i) {
+    src << "@fact edge(" << i << ", " << (i + 1) % n << ").\n";
+  }
+  src << "edge(x, y) -> path(x, y).\n";
+  src << "path(x, y), edge(y, z) -> path(x, z).\n";
+  return src.str();
+}
+
+TEST(EngineDeadlineTest, ExpiredDeadlineFailsFast) {
+  auto program = ParseProgram(CycleClosure(10));
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EngineOptions options;
+  options.deadline = Clock::now() - std::chrono::seconds(1);
+  Engine engine(std::move(*program), options);
+  ASSERT_TRUE(engine.status().ok());
+  FactDb db;
+  Status s = engine.Run(&db);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s.ToString();
+}
+
+TEST(EngineDeadlineTest, ShortDeadlineStopsRecursiveProgram) {
+  // 400^2 = 160k derived facts: comfortably slower than 1ms.
+  auto program = ParseProgram(CycleClosure(400));
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EngineOptions options;
+  options.deadline = Clock::now() + std::chrono::milliseconds(1);
+  Engine engine(std::move(*program), options);
+  ASSERT_TRUE(engine.status().ok());
+  FactDb db;
+  Status s = engine.Run(&db);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s.ToString();
+  // The run was cut off mid-fixpoint: partial progress, not the full
+  // closure.
+  const Relation* path = db.Get("path");
+  const size_t derived = path == nullptr ? 0 : path->size();
+  EXPECT_LT(derived, 400u * 400u);
+}
+
+TEST(EngineDeadlineTest, ShortDeadlineStopsParallelRun) {
+  auto program = ParseProgram(CycleClosure(400));
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EngineOptions options;
+  options.num_threads = 4;
+  options.deadline = Clock::now() + std::chrono::milliseconds(1);
+  Engine engine(std::move(*program), options);
+  ASSERT_TRUE(engine.status().ok());
+  FactDb db;
+  Status s = engine.Run(&db);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s.ToString();
+}
+
+TEST(EngineDeadlineTest, CancelFlagStopsRun) {
+  auto program = ParseProgram(CycleClosure(10));
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EngineOptions options;
+  auto cancel = std::make_shared<std::atomic<bool>>(true);
+  options.cancel = cancel;
+  Engine engine(std::move(*program), options);
+  ASSERT_TRUE(engine.status().ok());
+  FactDb db;
+  Status s = engine.Run(&db);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s.ToString();
+}
+
+TEST(EngineDeadlineTest, NoDeadlineRunsToFixpoint) {
+  FactDb db;
+  Status s = RunProgram(CycleClosure(20), &db);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_NE(db.Get("path"), nullptr);
+  EXPECT_EQ(db.Get("path")->size(), 400u);
+}
+
+TEST(EngineDeadlineTest, FutureDeadlineDoesNotInterfere) {
+  auto program = ParseProgram(CycleClosure(20));
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EngineOptions options;
+  options.deadline = Clock::now() + std::chrono::minutes(5);
+  Engine engine(std::move(*program), options);
+  ASSERT_TRUE(engine.status().ok());
+  FactDb db;
+  Status s = engine.Run(&db);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(db.Get("path")->size(), 400u);
+}
+
+}  // namespace
+}  // namespace kgm::vadalog

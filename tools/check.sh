@@ -33,8 +33,9 @@ if [[ "$FAST" == 1 ]]; then
 fi
 
 # The sanitizer runs focus on the suites that exercise the concurrent
-# engine paths; everything else is covered by the regular build above.
-SANITIZER_TESTS='vadalog_|base_thread_pool'
+# engine and serving paths; everything else is covered by the regular
+# build above.
+SANITIZER_TESTS='vadalog_|base_thread_pool|service_'
 
 run cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DKGM_SANITIZE=address
