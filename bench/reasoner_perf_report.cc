@@ -5,14 +5,20 @@
 // Usage: reasoner_perf_report [output.json] [companies] [persons]
 // Default output file: BENCH_reasoner.json in the working directory.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "base/rng.h"
 #include "finkg/company_kg.h"
 #include "finkg/generator.h"
 #include "instance/pipeline.h"
+#include "vadalog/engine.h"
+#include "vadalog/parser.h"
 
 namespace {
 
@@ -58,6 +64,65 @@ struct JsonWriter {
     std::fprintf(f, "\"%s\": \"%s\"", key, v);
   }
 };
+
+// Restricted-chase existential benchmark: a dense recursive closure whose
+// head mints one automatic null per reachable pair, so every iteration
+// both screens against earlier nulls and mints new ones.  The baseline is
+// the pre-barrier implementation itself, re-enabled in-binary via
+// EngineOptions::legacy_sequential_chase (the eager chase with live head
+// checks, which is also what a multi-threaded request used to silently
+// fall back to) — so speedup_vs_legacy measures exactly what this change
+// replaced, on the same build, and the differential test guarantees both
+// paths produce bit-identical output.
+struct ChaseBenchResult {
+  double reason_seconds = 0;
+  kgm::vadalog::EngineStats stats;
+  bool ok = false;
+};
+
+ChaseBenchResult RunChaseBench(size_t nodes, size_t edges, size_t threads,
+                               bool legacy) {
+  using namespace kgm;
+  using namespace kgm::vadalog;
+  ChaseBenchResult out;
+  FactDb db;
+  Rng rng(4051);
+  for (size_t i = 0; i < edges; ++i) {
+    auto a = static_cast<int64_t>(rng.NextBelow(nodes));
+    auto b = static_cast<int64_t>(rng.NextBelow(nodes));
+    db.Add("edge", {Value(a), Value(b)});
+  }
+  // Conjunctive existential heads: satisfaction needs a witness w with
+  // rel(x, y, w) AND mark(w), so every head check is a two-atom
+  // backtracking search.  The eager chase pays it live on each of the
+  // ~600k firings; the barrier chase pays a hash probe per duplicate and
+  // the expensive screen only per distinct head.
+  auto parsed = ParseProgram(
+      "edge(x, y) -> exists w rel(x, y, w), mark(w).\n"
+      "rel(x, y, w), edge(y, z) -> exists v rel(x, z, v), mark(v).\n");
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "chase bench parse failed: %s\n",
+                 parsed.status().ToString().c_str());
+    return out;
+  }
+  EngineOptions options;
+  options.chase_mode = ChaseMode::kRestricted;
+  options.num_threads = threads;
+  options.legacy_sequential_chase = legacy;
+  Engine engine(std::move(*parsed), options);
+  if (!engine.status().ok()) return out;
+  auto start = std::chrono::steady_clock::now();
+  Status s = engine.Run(&db);
+  auto stop = std::chrono::steady_clock::now();
+  if (!s.ok()) {
+    std::fprintf(stderr, "chase bench run failed: %s\n", s.ToString().c_str());
+    return out;
+  }
+  out.reason_seconds = std::chrono::duration<double>(stop - start).count();
+  out.stats = engine.stats();
+  out.ok = true;
+  return out;
+}
 
 }  // namespace
 
@@ -147,6 +212,79 @@ int main(int argc, char** argv) {
     w.Close('}');
   }
   w.Close(']');
+
+  // Restricted chase with existentials: the pre-barrier eager sequential
+  // chase (in-binary via legacy_sequential_chase; also what an 8-thread
+  // request used to fall back to) vs the deterministic barrier chase at 1
+  // and 8 threads.  Each configuration runs kChaseReps times interleaved
+  // and reports the minimum, since shared hosts are noisy.
+  const size_t chase_nodes = 120;
+  const size_t chase_edges = 4800;
+  constexpr int kChaseReps = 3;
+  struct ChaseConfig {
+    const char* mode;
+    size_t threads;
+    bool legacy;
+  };
+  const ChaseConfig chase_configs[] = {
+      {"legacy_sequential", 8, true},
+      {"barrier", 1, false},
+      {"barrier", 8, false},
+  };
+  constexpr int kChaseConfigs =
+      static_cast<int>(sizeof(chase_configs) / sizeof(chase_configs[0]));
+  ChaseBenchResult best[kChaseConfigs];
+  for (int rep = 0; rep < kChaseReps; ++rep) {
+    for (int i = 0; i < kChaseConfigs; ++i) {
+      ChaseBenchResult r =
+          RunChaseBench(chase_nodes, chase_edges, chase_configs[i].threads,
+                        chase_configs[i].legacy);
+      if (!r.ok) {
+        std::fclose(f);
+        return 1;
+      }
+      if (!best[i].ok || r.reason_seconds < best[i].reason_seconds) {
+        best[i] = r;
+      }
+    }
+  }
+  w.Open("restricted_chase", '{');
+  w.Field("program", "existential_closure_conjunctive_heads");
+  w.Field("nodes", chase_nodes);
+  w.Field("edges", chase_edges);
+  w.Field("reps", static_cast<size_t>(kChaseReps));
+  w.Field("host_cpus",
+          static_cast<size_t>(std::thread::hardware_concurrency()));
+  w.Field("note",
+          "baseline is the pre-barrier eager sequential chase "
+          "(legacy_sequential_chase), which is also what a multi-thread "
+          "request used to fall back to; on a single-core host the "
+          "multi-thread rows measure oversubscription, not scaling");
+  w.Open("runs", '[');
+  const double legacy_seconds = best[0].reason_seconds;
+  for (int i = 0; i < kChaseConfigs; ++i) {
+    const ChaseBenchResult& r = best[i];
+    w.Open(nullptr, '{');
+    w.Field("mode", chase_configs[i].mode);
+    w.Field("threads_requested", chase_configs[i].threads);
+    w.Field("threads_used", r.stats.threads_used);
+    w.Field("reason_seconds", r.reason_seconds);
+    w.Field("chase_replay_seconds", r.stats.chase_replay_seconds);
+    w.Field("facts_derived", r.stats.facts_derived);
+    w.Field("nulls_minted", r.stats.nulls_minted);
+    w.Field("chase_candidates", r.stats.chase_candidates);
+    w.Field("chase_screened", r.stats.chase_screened);
+    w.Field("chase_deduped", r.stats.chase_deduped);
+    w.Field("chase_rechecks", r.stats.chase_rechecks);
+    w.Field("chase_recheck_drops", r.stats.chase_recheck_drops);
+    if (!chase_configs[i].legacy && r.reason_seconds > 0) {
+      w.Field("speedup_vs_legacy", legacy_seconds / r.reason_seconds);
+    }
+    w.Close('}');
+  }
+  w.Close(']');
+  w.Close('}');
+
   w.Close('}');
   std::fputc('\n', f);
   std::fclose(f);

@@ -15,35 +15,14 @@ double Value::AsDouble() const {
   return AsDoubleExact();
 }
 
-bool Value::operator==(const Value& other) const {
-  if (kind() != other.kind()) return false;
-  switch (kind()) {
-    case ValueKind::kNull:
-      return true;
-    case ValueKind::kBool:
-      return AsBool() == other.AsBool();
-    case ValueKind::kInt:
-      return AsInt() == other.AsInt();
-    case ValueKind::kDouble:
-      return AsDoubleExact() == other.AsDoubleExact();
-    case ValueKind::kString:
-      return AsString() == other.AsString();
-    case ValueKind::kLabeledNull:
-      return AsLabeledNull() == other.AsLabeledNull();
-    case ValueKind::kSkolem:
-      return AsSkolem() == other.AsSkolem();
-    case ValueKind::kRecord: {
-      const Record& a = *AsRecord();
-      const Record& b = *other.AsRecord();
-      if (a.size() != b.size()) return false;
-      for (size_t i = 0; i < a.size(); ++i) {
-        if (a[i].first != b[i].first || a[i].second != b[i].second)
-          return false;
-      }
-      return true;
-    }
+bool Value::RecordEquals(const Value& other) const {
+  const Record& a = *AsRecord();
+  const Record& b = *other.AsRecord();
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].first != b[i].first || a[i].second != b[i].second) return false;
   }
-  return false;
+  return true;
 }
 
 bool Value::operator<(const Value& other) const {
@@ -79,33 +58,13 @@ bool Value::operator<(const Value& other) const {
   return false;
 }
 
-size_t Value::Hash() const {
-  size_t seed = static_cast<size_t>(kind()) * 0x9e3779b97f4a7c15ULL;
-  switch (kind()) {
-    case ValueKind::kNull:
-      return seed;
-    case ValueKind::kBool:
-      return HashCombine(seed, std::hash<bool>{}(AsBool()));
-    case ValueKind::kInt:
-      return HashCombine(seed, std::hash<int64_t>{}(AsInt()));
-    case ValueKind::kDouble:
-      return HashCombine(seed, std::hash<double>{}(AsDoubleExact()));
-    case ValueKind::kString:
-      return HashCombine(seed, std::hash<std::string>{}(AsString()));
-    case ValueKind::kLabeledNull:
-      return HashCombine(seed, std::hash<uint64_t>{}(AsLabeledNull().id));
-    case ValueKind::kSkolem:
-      return HashCombine(seed, std::hash<uint64_t>{}(AsSkolem().id));
-    case ValueKind::kRecord: {
-      size_t h = seed;
-      for (const auto& [name, value] : *AsRecord()) {
-        h = HashCombine(h, std::hash<std::string>{}(name));
-        h = HashCombine(h, value.Hash());
-      }
-      return h;
-    }
+size_t Value::RecordHash(size_t seed) const {
+  size_t h = seed;
+  for (const auto& [name, value] : *AsRecord()) {
+    h = HashCombine(h, std::hash<std::string>{}(name));
+    h = HashCombine(h, value.Hash());
   }
-  return seed;
+  return h;
 }
 
 std::string Value::ToString() const {
@@ -198,6 +157,26 @@ Value SkolemTable::Intern(const std::string& functor,
   terms_.push_back(Term{functor, args});
   index_->map.emplace(std::move(key), id);
   return Value(SkolemRef{id});
+}
+
+std::vector<Value> SkolemTable::InternBatch(
+    const std::vector<std::pair<std::string, std::vector<Value>>>& batch) {
+  std::vector<Value> out;
+  out.reserve(batch.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [functor, args] : batch) {
+    SkolemKey key{functor, args};
+    auto it = index_->map.find(key);
+    if (it != index_->map.end()) {
+      out.emplace_back(SkolemRef{it->second});
+      continue;
+    }
+    uint64_t id = terms_.size();
+    terms_.push_back(Term{functor, args});
+    index_->map.emplace(std::move(key), id);
+    out.emplace_back(SkolemRef{id});
+  }
+  return out;
 }
 
 const std::string& SkolemTable::FunctorOf(SkolemRef ref) const {

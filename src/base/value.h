@@ -93,18 +93,81 @@ class Value {
   // is_numeric().
   double AsDouble() const;
 
-  bool operator==(const Value& other) const;
+  // Equality and hashing are the engine's hottest operations (every join
+  // probe, index lookup and dedup goes through them), so the scalar cases
+  // inline here; records defer to the out-of-line slow path.
+  bool operator==(const Value& other) const {
+    if (data_.index() != other.data_.index()) return false;
+    switch (kind()) {
+      case ValueKind::kNull:
+        return true;
+      case ValueKind::kBool:
+        return *std::get_if<bool>(&data_) == *std::get_if<bool>(&other.data_);
+      case ValueKind::kInt:
+        return *std::get_if<int64_t>(&data_) ==
+               *std::get_if<int64_t>(&other.data_);
+      case ValueKind::kDouble:
+        return *std::get_if<double>(&data_) ==
+               *std::get_if<double>(&other.data_);
+      case ValueKind::kString:
+        return *std::get_if<std::string>(&data_) ==
+               *std::get_if<std::string>(&other.data_);
+      case ValueKind::kLabeledNull:
+        return std::get_if<LabeledNull>(&data_)->id ==
+               std::get_if<LabeledNull>(&other.data_)->id;
+      case ValueKind::kSkolem:
+        return std::get_if<SkolemRef>(&data_)->id ==
+               std::get_if<SkolemRef>(&other.data_)->id;
+      case ValueKind::kRecord:
+        return RecordEquals(other);
+    }
+    return false;
+  }
   bool operator!=(const Value& other) const { return !(*this == other); }
   // Total order: by kind, then by value within the kind.
   bool operator<(const Value& other) const;
 
-  size_t Hash() const;
+  size_t Hash() const {
+    size_t seed = static_cast<size_t>(kind()) * 0x9e3779b97f4a7c15ULL;
+    switch (kind()) {
+      case ValueKind::kNull:
+        return seed;
+      case ValueKind::kBool:
+        return seed ^ (*std::get_if<bool>(&data_) + 0x9e3779b97f4a7c15ULL +
+                       (seed << 6) + (seed >> 2));
+      case ValueKind::kInt:
+        return seed ^ (std::hash<int64_t>{}(*std::get_if<int64_t>(&data_)) +
+                       0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+      case ValueKind::kDouble:
+        return seed ^ (std::hash<double>{}(*std::get_if<double>(&data_)) +
+                       0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+      case ValueKind::kString:
+        return seed ^
+               (std::hash<std::string>{}(*std::get_if<std::string>(&data_)) +
+                0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+      case ValueKind::kLabeledNull:
+        return seed ^
+               (std::hash<uint64_t>{}(std::get_if<LabeledNull>(&data_)->id) +
+                0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+      case ValueKind::kSkolem:
+        return seed ^
+               (std::hash<uint64_t>{}(std::get_if<SkolemRef>(&data_)->id) +
+                0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+      case ValueKind::kRecord:
+        return RecordHash(seed);
+    }
+    return seed;
+  }
 
   // Debug/display rendering: strings are quoted, nulls print as _:nK,
   // Skolem terms as their functor applied to arguments.
   std::string ToString() const;
 
  private:
+  // Record (pack()) comparisons and hashes, out of line.
+  bool RecordEquals(const Value& other) const;
+  size_t RecordHash(size_t seed) const;
+
   std::variant<std::monostate, bool, int64_t, double, std::string, LabeledNull,
                SkolemRef, RecordPtr>
       data_;
@@ -136,6 +199,14 @@ class SkolemTable {
   // Interns sk_functor(args) and returns its Value (kind kSkolem).
   // Thread-safe; idempotent per (functor, args).
   Value Intern(const std::string& functor, const std::vector<Value>& args);
+
+  // Interns every (functor, args) pair of `batch` under a single lock
+  // acquisition and returns the Values in batch order.  Fresh ids are
+  // assigned in batch order, so a caller that fixes the batch order also
+  // fixes the ids minted for previously unseen terms — the deterministic
+  // parallel chase relies on this when replaying candidate firings.
+  std::vector<Value> InternBatch(
+      const std::vector<std::pair<std::string, std::vector<Value>>>& batch);
 
   // Returns the functor of an interned term.
   const std::string& FunctorOf(SkolemRef ref) const;

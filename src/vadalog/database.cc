@@ -152,13 +152,13 @@ const std::vector<uint32_t>& Relation::LookupBuilt(uint64_t mask,
   return bucket->second.rows;
 }
 
-bool Relation::MatchesMasked(size_t i, uint64_t mask,
-                             const Tuple& probe) const {
-  const Tuple& t = tuples_[i];
-  for (size_t p = 0; p < t.size(); ++p) {
-    if ((mask & (1ULL << p)) && !(t[p] == probe[p])) return false;
-  }
-  return true;
+const std::vector<uint32_t>* Relation::TryLookupBuilt(
+    uint64_t mask, const Tuple& probe) const {
+  auto it = indexes_.find(mask);
+  if (it == indexes_.end()) return nullptr;
+  auto bucket = it->second.find(HashTupleMasked(probe, mask));
+  if (bucket == it->second.end()) return &kEmptyRows;
+  return &bucket->second.rows;
 }
 
 void Relation::Reshard(size_t shard_count) {

@@ -1,6 +1,7 @@
 #include "vadalog/engine.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <deque>
@@ -38,6 +39,13 @@ struct CompiledLiteral {
   // variables bound by earlier body literals.  Statically known because
   // literals are joined in textual order.
   uint64_t static_mask = 0;
+  // Relation resolved by the last PrepareJoinIndexes call (nullptr when the
+  // predicate does not exist yet).  Only trusted under a frozen context —
+  // the canonical store cannot gain relations mid-phase there, and the
+  // driver refreshes the cache at every barrier; the mutating sequential
+  // path re-resolves per probe because head emission can create the
+  // relation mid-join.  Relation addresses are stable (node-based map).
+  Relation* rel = nullptr;
 };
 
 struct CompiledAgg {
@@ -84,6 +92,24 @@ struct CompiledRule {
   std::vector<int> group_slots;
   std::vector<ExistSlot> existentials;
   std::vector<CompiledLiteral> head;  // reuse ArgSlot encoding
+
+  // Per head atom, the statically-known bound mask of the restricted-chase
+  // head-satisfaction probe: constants, universal (non-existential) slots,
+  // and existential slots fixed by an earlier head atom.  Only computed
+  // for rules with existentials; the barrier chase pre-builds indexes for
+  // these masks so the frozen screen probes read-only.
+  std::vector<uint64_t> head_check_masks;
+  // Head relations resolved once per barrier by PrepareJoinIndexes (one
+  // entry per head atom, nullptr when the relation does not exist yet) so
+  // the head-satisfaction screen skips the by-name lookup on every firing.
+  // Readers fall back to FactDb::GetMutable on nullptr: a relation that
+  // appears mid-barrier (first mint into a new predicate) must be seen by
+  // the replay re-checks that follow it.
+  std::vector<Relation*> head_rels;
+  // True when no existential's Skolem arguments name another existential
+  // of the same rule, so one firing's Skolem terms can intern as a single
+  // ordered batch.
+  bool skolem_batch_ok = true;
 
   // Monotonic aggregation state (persists across the whole run).
   std::unordered_map<Tuple, GroupState, TupleHashFn> mono_groups;
@@ -148,6 +174,20 @@ struct PendingContribution {
   std::vector<Tuple> per_agg;
 };
 
+// One recorded emission of a barrier-chase work item, replayed by the
+// driver at the iteration barrier in ascending (item, seq) order.  kFact
+// is a plain derived fact; kCandidate is a restricted-chase firing whose
+// head passed the frozen screen and must be re-checked against the live
+// database before its existential witnesses are minted.
+struct ReplayOp {
+  enum class Kind : uint8_t { kFact, kCandidate };
+  Kind kind = Kind::kFact;
+  const std::string* pred = nullptr;  // kFact: head predicate
+  Tuple tuple;                        // kFact: the derived fact
+  std::vector<Value> slots;           // kCandidate: binding snapshot
+  std::vector<char> bound;            // kCandidate: bound-mask snapshot
+};
+
 // Per-evaluation binding and output state.  Sequential evaluation uses a
 // single driver context writing straight into the FactDb; parallel work
 // items each own a context that stages derived facts into the sharded
@@ -163,6 +203,32 @@ struct EvalContext {
   bool staged = false;
   uint32_t item_index = 0;
   uint32_t insert_seq = 0;
+
+  // Barrier-chase replay mode (deterministic parallel restricted chase):
+  // instead of staging into shards, emissions are recorded in firing order
+  // and the driver replays them at the barrier in ascending item order, so
+  // head re-checks and null minting are deterministic for any worker
+  // count.
+  bool replay = false;
+  std::vector<ReplayOp> replay_ops;
+  size_t chase_candidates = 0;  // candidate firings recorded for replay
+  size_t chase_screened = 0;    // firings dropped by the frozen screen
+  size_t chase_deduped = 0;     // duplicate firings dropped worker-side
+  // Bound-head-argument signatures of the firings this item has already
+  // screened or recorded.  A later firing with an identical signature
+  // would deterministically drop at the barrier re-check (the earlier
+  // candidate either minted a witness for exactly this head or was itself
+  // already satisfied), so it can be dropped here without recording.
+  std::unordered_set<Tuple, TupleHashFn> chase_seen;
+  // Scratch for the signature probed against chase_seen (distinct
+  // signatures are copied in; duplicates — the common case in dense
+  // chases — cost no allocation).
+  Tuple sig_scratch;
+  // Worker-side dedup, set per barrier by RunItems from the previous
+  // barrier's observed duplicate rate.  Any policy here is output-neutral:
+  // a duplicate that is not deduped is dropped by the frozen screen or the
+  // barrier re-check instead.
+  bool chase_dedup_enabled = true;
 
   // Deferred aggregation (parallel work items of rules with aggregates):
   // the join records contributions instead of folding them into shared
@@ -187,6 +253,14 @@ struct EvalContext {
   // (checked every few tens of thousands of candidate rows).
   size_t checkpoint_tick = 0;
 
+  // Scratch probe reused by the head-satisfaction fast path so screening
+  // half a million firings does not allocate a vector per check.
+  Tuple head_probe;
+
+  // Per-literal scratch probes for Join, indexed by literal position (the
+  // recursion occupies one depth per literal, so frames never alias).
+  std::vector<Tuple> join_probes;
+
   // Stratified (non-monotonic) aggregation state of this evaluation.
   std::unordered_map<Tuple, GroupState, TupleHashFn> eval_groups;
   std::vector<Tuple> eval_group_order;
@@ -210,9 +284,32 @@ struct Engine::Impl {
   std::map<std::string, size_t> arity;
   NullFactory nulls;
 
-  // Worker pool; null = sequential legacy evaluation.
+  // Worker pool; null = sequential legacy evaluation (or a single-threaded
+  // barrier chase, which runs its work items inline).
   std::unique_ptr<ThreadPool> pool;
   size_t num_workers = 1;
+
+  // Deterministic barrier chase: restricted-chase programs with
+  // existentials run the two-phase protocol at every thread count —
+  // workers evaluate against the frozen pre-barrier database and record
+  // emissions; the driver replays them in ascending (item, seq) order.
+  bool barrier_chase = false;
+
+  // Cross-item signature dedup for the barrier chase, sharded by signature
+  // hash and cleared at every barrier.  Maps a bound-head-argument
+  // signature (prefixed with the rule index) to the smallest packed
+  // (item, seq) tag that has claimed it so far.  A firing drops only
+  // against a STRICTLY smaller tag, so the minimum-tag copy of every
+  // signature is always recorded regardless of thread schedule; larger-tag
+  // copies that slip through are dropped deterministically by the barrier
+  // re-check.  Outputs are therefore schedule-independent even though the
+  // dedup counters are not.
+  static constexpr size_t kChaseSeenShards = 16;
+  struct ChaseSeenShard {
+    std::mutex mu;
+    std::unordered_map<Tuple, uint64_t, TupleHashFn> map;
+  };
+  std::array<ChaseSeenShard, kChaseSeenShards> chase_seen_shared;
 
   // True when the run has a deadline or a cancellation flag to poll.
   bool checkpoints_armed = false;
@@ -262,6 +359,7 @@ struct Engine::Impl {
   Status FinalizeStratifiedAggregates(EvalContext& ctx, CompiledRule& cr);
   Status EmitHeadWithPostConditions(EvalContext& ctx, CompiledRule& cr);
   Status EmitHead(EvalContext& ctx, CompiledRule& cr);
+  Status MintAndEmitHead(EvalContext& ctx, CompiledRule& cr);
   bool HeadSatisfied(EvalContext& ctx, CompiledRule& cr);
   Status InsertFact(EvalContext& ctx, const std::string& pred, Tuple t);
   Status InsertShared(const std::string& pred, Tuple t);
@@ -278,13 +376,21 @@ struct Engine::Impl {
   };
   std::vector<std::vector<CompiledRule*>> IndependentBatches(
       const std::vector<CompiledRule*>& rules) const;
-  void PrepareJoinIndexes(const CompiledRule& cr);
+  void PrepareJoinIndexes(CompiledRule& cr);
   size_t PartitionCount(size_t rows) const;
+  // Barrier-chase dedup policy carried across barriers: stays true while
+  // worker-side signature dedup pays for itself (see RunItems).
+  bool chase_dedup_hint = true;
   // Runs the items on the pool and drains the staged inserts at the
   // barrier.  Newly appended canonical rows are mirrored into next_delta
   // for recursive predicates.
   Status RunItems(std::deque<WorkItem>& items);
   Status DrainStagedInserts();
+  // Barrier-chase drain: replays the recorded emissions of `items` on the
+  // driver in ascending (item, seq) order — facts insert via the shared
+  // path, candidates re-check head satisfaction against the live database
+  // and mint their existential witnesses in replay order.
+  Status ReplayOrderedOps(std::deque<WorkItem>& items);
   // Folds the deferred aggregate contributions of `items` in submission
   // order: monotonic aggregates re-emit through the shared FactDb,
   // stratified ones are folded into a master group map and emitted by
@@ -512,6 +618,37 @@ Status Engine::Impl::CompileRule(const Rule& rule, int index) {
     }
   }
 
+  // Static bound masks for the restricted-chase head-satisfaction probe.
+  // HeadSatisfied searches head atoms left to right, so at atom i every
+  // position is bound except existential slots not yet fixed by an earlier
+  // atom — which makes the probe masks statically known here.
+  if (!cr.existentials.empty()) {
+    std::set<int> exist_slots;
+    for (const ExistSlot& e : cr.existentials) exist_slots.insert(e.slot);
+    std::set<int> fixed;  // existential slots named by earlier head atoms
+    for (const CompiledLiteral& h : cr.head) {
+      uint64_t m = 0;
+      for (size_t i = 0; i < h.args.size(); ++i) {
+        const ArgSlot& a = h.args[i];
+        if (a.is_const || exist_slots.count(a.slot) == 0 ||
+            fixed.count(a.slot) > 0) {
+          m |= 1ULL << i;
+        }
+      }
+      cr.head_check_masks.push_back(m);
+      for (const ArgSlot& a : h.args) {
+        if (!a.is_const && exist_slots.count(a.slot) > 0) {
+          fixed.insert(a.slot);
+        }
+      }
+    }
+    for (const ExistSlot& e : cr.existentials) {
+      for (int s : e.arg_slots) {
+        if (exist_slots.count(s) > 0) cr.skolem_batch_ok = false;
+      }
+    }
+  }
+
   // Split conditions into pre-/post-aggregation.
   for (const Condition& c : rule.conditions) {
     std::vector<std::string> vars;
@@ -597,6 +734,24 @@ Status Engine::Impl::InsertShared(const std::string& pred, Tuple t) {
 
 Status Engine::Impl::InsertFact(EvalContext& ctx, const std::string& pred,
                                 Tuple t) {
+  if (ctx.replay) {
+    // Barrier chase: record the fact for the ordered replay at the
+    // barrier.  `pred` refers into the compiled rule, so the pointer stays
+    // valid for the replay.  The budget counts recorded emissions (an
+    // overestimate when a barrier derives the same fact twice) so a
+    // runaway chase fails inside the barrier, not only at the replay.
+    ReplayOp op;
+    op.pred = &pred;
+    op.tuple = std::move(t);
+    ctx.replay_ops.push_back(std::move(op));
+    size_t staged = staged_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (ctx.budget_base + staged > options.max_facts) {
+      return ResourceExhausted(
+          "fact budget exceeded (" + std::to_string(options.max_facts) +
+          "); the chase may not terminate on this program");
+    }
+    return OkStatus();
+  }
   if (!ctx.staged) return InsertShared(pred, std::move(t));
   // Parallel work item: dedup-on-insert into the relation's shards.  Every
   // head predicate is pre-created in Run, so the map lookup is read-only
@@ -636,29 +791,38 @@ Status Engine::Impl::Run(FactDb* target) {
     db->GetOrCreate(pred, n);
   }
 
-  // Decide the evaluation mode.  Restricted-chase programs with
-  // existentials are order-dependent (head-satisfaction checks and fresh
-  // nulls), so they stay on the sequential path regardless of num_threads.
+  // Decide the evaluation mode.  Skolem-mode programs (and restricted ones
+  // without existentials) use the staged-insert parallel path when more
+  // than one thread is requested.  Restricted-chase programs with
+  // existentials run the deterministic barrier chase at every thread count
+  // (including one): head-satisfaction screens evaluate against the frozen
+  // pre-barrier database and the driver re-checks candidates and mints
+  // nulls in ascending (item, seq) order, so null ids are a pure function
+  // of the program and input, independent of the worker count.
   bool has_existentials = false;
   for (const CompiledRule& cr : compiled) {
     if (!cr.existentials.empty()) has_existentials = true;
   }
-  bool parallel_ok =
-      options.chase_mode == ChaseMode::kSkolem || !has_existentials;
+  barrier_chase =
+      options.chase_mode == ChaseMode::kRestricted && has_existentials;
   size_t requested = options.num_threads == 0 ? ThreadPool::DefaultThreads()
                                               : options.num_threads;
   stats->requested_threads = requested;
   num_workers = requested;
-  if (num_workers > 1 && parallel_ok) {
-    pool = std::make_unique<ThreadPool>(num_workers);
-  } else {
-    stats->sequential_fallback = requested > 1 && !parallel_ok;
+  if (barrier_chase && options.legacy_sequential_chase) {
+    // Opt-in baseline: the pre-barrier eager chase — live head checks and
+    // inline minting on a single thread.  Same output as the barrier
+    // protocol; kept for benchmarking and differential tests.
+    barrier_chase = false;
     num_workers = 1;
+    stats->sequential_fallback = requested > 1;
   }
+  if (num_workers > 1) pool = std::make_unique<ThreadPool>(num_workers);
   stats->threads_used = num_workers;
-  if (pool != nullptr) {
+  if (pool != nullptr && !barrier_chase) {
     // Spread the dedup tables over enough shards that concurrent StageInsert
-    // calls rarely collide on a lock.
+    // calls rarely collide on a lock.  Barrier-chase runs skip resharding:
+    // every insert happens on the driver during the ordered replay.
     size_t shards = options.num_shards != 0
                         ? options.num_shards
                         : std::min<size_t>(num_workers * 4, 64);
@@ -680,6 +844,7 @@ Status Engine::Impl::Run(FactDb* target) {
     stats->stratum_seconds.push_back(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count());
+    stats->nulls_minted = nulls.count();
     KGM_RETURN_IF_ERROR(status);
   }
   if (pool != nullptr) {
@@ -701,8 +866,12 @@ Status Engine::Impl::Run(FactDb* target) {
 
 Status Engine::Impl::EvalStratum(int stratum,
                                  const std::vector<CompiledRule*>& rules) {
-  return pool != nullptr ? EvalStratumParallel(stratum, rules)
-                         : EvalStratumSequential(stratum, rules);
+  // The barrier chase always uses the parallel driver — with pool == null
+  // its work items run inline, keeping the frozen-iteration semantics (and
+  // hence minted null ids) identical at every thread count.
+  return (pool != nullptr || barrier_chase)
+             ? EvalStratumParallel(stratum, rules)
+             : EvalStratumSequential(stratum, rules);
 }
 
 Status Engine::Impl::EvalStratumSequential(
@@ -772,8 +941,14 @@ void Engine::Impl::FlushCtxStats(EvalContext& ctx, const CompiledRule& cr) {
   stats->join_probes += ctx.probes;
   stats->rule_firings_by_rule[cr.index] += ctx.firings;
   stats->rule_probes_by_rule[cr.index] += ctx.probes;
+  stats->chase_candidates += ctx.chase_candidates;
+  stats->chase_screened += ctx.chase_screened;
+  stats->chase_deduped += ctx.chase_deduped;
   ctx.firings = 0;
   ctx.probes = 0;
+  ctx.chase_candidates = 0;
+  ctx.chase_screened = 0;
+  ctx.chase_deduped = 0;
 }
 
 // Greedy batching in program order: a rule joins the current batch unless
@@ -820,15 +995,33 @@ std::vector<std::vector<CompiledRule*>> Engine::Impl::IndependentBatches(
   return out;
 }
 
-void Engine::Impl::PrepareJoinIndexes(const CompiledRule& cr) {
-  auto prepare = [this](const CompiledLiteral& lit) {
+void Engine::Impl::PrepareJoinIndexes(CompiledRule& cr) {
+  auto prepare = [this](CompiledLiteral& lit) {
+    lit.rel = db->GetMutable(lit.pred);
+    if (lit.rel == nullptr) return;
     size_t n = lit.args.size();
     if (lit.static_mask == 0 || FullyBoundMask(lit.static_mask, n)) return;
-    Relation* rel = db->GetMutable(lit.pred);
-    if (rel != nullptr) rel->EnsureIndex(lit.static_mask);
+    lit.rel->EnsureIndex(lit.static_mask);
   };
-  for (const CompiledLiteral& lit : cr.positives) prepare(lit);
-  for (const CompiledLiteral& lit : cr.negatives) prepare(lit);
+  for (CompiledLiteral& lit : cr.positives) prepare(lit);
+  for (CompiledLiteral& lit : cr.negatives) prepare(lit);
+  // Barrier chase: pre-build the head-satisfaction probe indexes so the
+  // frozen screen in the workers is read-only (if a mask is missing
+  // anyway, HeadSatisfied degrades to a masked scan rather than mutating
+  // shared state), and re-resolve the cached head relations — Relation
+  // addresses are stable (node-based map) but a predicate minted for the
+  // first time last barrier only appears now.
+  if (!cr.head_check_masks.empty()) {
+    cr.head_rels.assign(cr.head.size(), nullptr);
+    for (size_t i = 0; i < cr.head.size(); ++i) {
+      Relation* rel = db->GetMutable(cr.head[i].pred);
+      cr.head_rels[i] = rel;
+      uint64_t mask = cr.head_check_masks[i];
+      size_t n = cr.head[i].args.size();
+      if (!barrier_chase || mask == 0 || FullyBoundMask(mask, n)) continue;
+      if (rel != nullptr) rel->EnsureIndex(mask);
+    }
+  }
 }
 
 size_t Engine::Impl::PartitionCount(size_t rows) const {
@@ -836,27 +1029,54 @@ size_t Engine::Impl::PartitionCount(size_t rows) const {
   // a little so a slow chunk cannot straggle the whole iteration.
   constexpr size_t kMinChunkRows = 64;
   if (rows == 0) return 1;
-  size_t parts = std::min(num_workers * 2,
+  size_t parts = std::min(num_workers,
                           (rows + kMinChunkRows - 1) / kMinChunkRows);
   return std::max<size_t>(parts, 1);
 }
 
 Status Engine::Impl::RunItems(std::deque<WorkItem>& items) {
   staged_total_.store(0, std::memory_order_relaxed);
+  if (barrier_chase) {
+    // Stale entries would still be output-neutral (their signatures are
+    // satisfied in the live database by now, so the frozen screen would
+    // drop the copies anyway), but clearing per barrier keeps the maps
+    // bounded and the tag comparisons meaningful.
+    for (ChaseSeenShard& shard : chase_seen_shared) shard.map.clear();
+  }
   size_t budget_base = db->TotalFacts();
   uint32_t index = 0;
+  auto run_item = [this](WorkItem& item) {
+    item.status = item.body != nullptr
+                      ? item.body(item.ctx)
+                      : EvalRule(item.ctx, *item.rule, item.delta_literal);
+  };
   for (WorkItem& item : items) {
-    item.ctx.staged = true;
+    item.ctx.staged = !barrier_chase;
+    item.ctx.replay = barrier_chase;
     item.ctx.frozen_db = true;
     item.ctx.budget_base = budget_base;
     item.ctx.item_index = index++;
-    pool->Submit([this, &item] {
-      item.status = item.body != nullptr
-                        ? item.body(item.ctx)
-                        : EvalRule(item.ctx, *item.rule, item.delta_literal);
-    });
+    item.ctx.chase_dedup_enabled = chase_dedup_hint;
   }
-  pool->WaitIdle();
+  size_t screened0 = stats->chase_screened;
+  size_t deduped0 = stats->chase_deduped;
+  size_t candidates0 = stats->chase_candidates;
+  size_t recheck_drops0 = stats->chase_recheck_drops;
+  auto eval_start = std::chrono::steady_clock::now();
+  if (pool != nullptr) {
+    for (WorkItem& item : items) {
+      pool->Submit([&run_item, &item] { run_item(item); });
+    }
+    pool->WaitIdle();
+  } else {
+    // Single-threaded barrier chase: same frozen-iteration semantics,
+    // items run inline in submission order.
+    for (WorkItem& item : items) run_item(item);
+  }
+  stats->eval_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    eval_start)
+          .count();
   Status first_error = OkStatus();
   for (WorkItem& item : items) {
     if (item.rule != nullptr) FlushCtxStats(item.ctx, *item.rule);
@@ -864,9 +1084,9 @@ Status Engine::Impl::RunItems(std::deque<WorkItem>& items) {
   }
   if (first_error.ok()) {
     // Monotonic-aggregate contributions fold at the barrier in work-item
-    // order; the emissions are staged under the folding item's tag, so the
-    // drain interleaves them exactly where the sequential evaluation would
-    // have inserted them.
+    // order; the emissions are staged (or recorded) under the folding
+    // item's tag, so the drain interleaves them exactly where the
+    // sequential evaluation would have inserted them.
     first_error = FoldItemContributions(items);
   }
   if (!first_error.ok()) {
@@ -874,14 +1094,81 @@ Status Engine::Impl::RunItems(std::deque<WorkItem>& items) {
         [](const std::string&, Relation& rel) { rel.DiscardStaged(); });
     return first_error;
   }
-  return DrainStagedInserts();
+  Status drained =
+      barrier_chase ? ReplayOrderedOps(items) : DrainStagedInserts();
+  if (barrier_chase && drained.ok()) {
+    // Adapt the worker-side dedup to the program, in both directions:
+    // when few of this barrier's firings were wasted (dropped as
+    // duplicates, screened, or re-check-dropped), the next barrier skips
+    // the per-firing signature probe and lets the frozen screen / barrier
+    // re-check absorb the rare repeats; when waste is high — including
+    // after dedup was switched off, where duplicates surface as screens
+    // and re-check drops instead — it switches back on.  Measured after
+    // the replay so same-barrier duplicates count as waste either way.
+    // Output-neutral by construction (see EmitHead), so the policy is
+    // free to depend on partition- or thread-count-specific counters.
+    size_t fired = (stats->chase_screened - screened0) +
+                   (stats->chase_deduped - deduped0) +
+                   (stats->chase_candidates - candidates0);
+    size_t wasted = (stats->chase_screened - screened0) +
+                    (stats->chase_deduped - deduped0) +
+                    (stats->chase_recheck_drops - recheck_drops0);
+    if (fired >= 4096) chase_dedup_hint = wasted * 4 >= fired;
+  }
+  return drained;
+}
+
+Status Engine::Impl::ReplayOrderedOps(std::deque<WorkItem>& items) {
+  auto t0 = std::chrono::steady_clock::now();
+  // Replay in ascending (item, seq) order: item creation order is rule /
+  // partition order, with partitions covering ascending ranges, so the
+  // concatenated op sequence is independent of how many partitions (and
+  // threads) the iteration used.  Candidates re-check against the live
+  // database, so a head satisfied by a tuple minted earlier in the same
+  // barrier drops instead of minting a redundant null.
+  EvalContext scratch;
+  Status status = OkStatus();
+  size_t tick = 0;
+  for (WorkItem& item : items) {
+    for (ReplayOp& op : item.ctx.replay_ops) {
+      // Replays can insert millions of rows between barriers; poll the
+      // deadline/cancel flag like the join loops do.
+      if (checkpoints_armed && (++tick & 0x3FFF) == 0) {
+        status = Checkpoint();
+        if (!status.ok()) break;
+      }
+      if (op.kind == ReplayOp::Kind::kFact) {
+        status = InsertShared(*op.pred, std::move(op.tuple));
+      } else {
+        CompiledRule& cr = *item.rule;
+        scratch.rule = &cr;
+        scratch.slots = std::move(op.slots);
+        scratch.bound = std::move(op.bound);
+        ++stats->chase_rechecks;
+        if (HeadSatisfied(scratch, cr)) {
+          ++stats->chase_recheck_drops;
+          continue;
+        }
+        status = MintAndEmitHead(scratch, cr);
+      }
+      if (!status.ok()) break;
+    }
+    item.ctx.replay_ops.clear();
+    if (!status.ok()) break;
+  }
+  stats->chase_replay_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return status;
 }
 
 Status Engine::Impl::FoldItemContributions(std::deque<WorkItem>& items) {
   auto t0 = std::chrono::steady_clock::now();
   EvalContext scratch;
-  scratch.staged = true;
+  scratch.staged = !barrier_chase;
+  scratch.replay = barrier_chase;
   scratch.frozen_db = true;
+  size_t tick = 0;
   for (WorkItem& item : items) {
     if (item.ctx.contributions.empty()) continue;
     CompiledRule& cr = *item.rule;
@@ -895,9 +1182,22 @@ Status Engine::Impl::FoldItemContributions(std::deque<WorkItem>& items) {
     scratch.insert_seq = item.ctx.insert_seq;
     scratch.budget_base = item.ctx.budget_base;
     for (const PendingContribution& pc : item.ctx.contributions) {
+      // Folds between barriers can run long; poll the deadline/cancel
+      // flag every ~16k contributions like the join loops do.
+      if (checkpoints_armed && (++tick & 0x3FFF) == 0) {
+        KGM_RETURN_IF_ERROR(Checkpoint());
+      }
       KGM_RETURN_IF_ERROR(FoldPending(cr, scratch, pc));
     }
     item.ctx.contributions.clear();
+    if (barrier_chase && !scratch.replay_ops.empty()) {
+      // Splice the fold's emissions into the owning item's log so the
+      // barrier replay interleaves them exactly where the staged drain
+      // would have placed them.
+      std::move(scratch.replay_ops.begin(), scratch.replay_ops.end(),
+                std::back_inserter(item.ctx.replay_ops));
+      scratch.replay_ops.clear();
+    }
   }
   stats->agg_finalize_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -980,9 +1280,15 @@ Status Engine::Impl::FoldAndEmitStratified(CompiledRule& cr,
   // contribution order (float sums are bit-identical).
   std::unordered_map<Tuple, GroupState, TupleHashFn> groups;
   std::vector<Tuple> order;
+  size_t tick = 0;
   for (WorkItem& item : items) {
     if (item.rule != &cr || item.ctx.contributions.empty()) continue;
     for (const PendingContribution& pc : item.ctx.contributions) {
+      // Stratified folds can dominate a barrier (one contribution per
+      // firing); keep them cancellable like the join loops.
+      if (checkpoints_armed && (++tick & 0x3FFF) == 0) {
+        KGM_RETURN_IF_ERROR(Checkpoint());
+      }
       auto [it, inserted] = groups.try_emplace(pc.group_key);
       GroupState& state = it->second;
       if (inserted) {
@@ -1022,6 +1328,9 @@ Status Engine::Impl::FoldAndEmitStratified(CompiledRule& cr,
       ctx.rule = &cr;
       ctx.slots.assign(cr.slot_names.size(), Value());
       for (size_t g = begin; g < end; ++g) {
+        if (checkpoints_armed && (++ctx.checkpoint_tick & 0x3FFF) == 0) {
+          KGM_RETURN_IF_ERROR(Checkpoint());
+        }
         ctx.bound.assign(cr.slot_names.size(), 0);
         auto it = groups.find(order[g]);
         KGM_CHECK(it != groups.end());
@@ -1221,14 +1530,30 @@ Status Engine::Impl::Join(EvalContext& ctx, CompiledRule& cr,
     auto it = cur_delta->find(lit.pred);
     if (it == cur_delta->end()) return OkStatus();
     source = &it->second;
+  } else if (ctx.frozen_db) {
+    // Frozen phase: no relation can appear mid-phase, so the pointer
+    // cached by PrepareJoinIndexes at the barrier is authoritative — this
+    // skips a string-map lookup per recursive Join call, which profiles as
+    // a top cost of delta-heavy joins.
+    source = lit.rel;
+    if (source == nullptr) return OkStatus();
   } else {
     source = db->GetMutable(lit.pred);
     if (source == nullptr) return OkStatus();
   }
-  // Build the bound mask and probe.
+  // Build the bound mask and probe.  The probe is per-literal scratch: the
+  // recursion touches one depth per literal, and a fresh Tuple here costs
+  // an allocation per outer-row visit.  Sized to the full literal count up
+  // front so deeper recursion never reallocates the vector under a
+  // shallower frame's reference.
   size_t n = lit.args.size();
   uint64_t mask = 0;
-  Tuple probe(n);
+  if (ctx.join_probes.size() < cr.positives.size()) {
+    ctx.join_probes.resize(cr.positives.size());
+  }
+  Tuple& probe = ctx.join_probes[literal_index];
+  probe.clear();
+  probe.resize(n);
   for (size_t i = 0; i < n; ++i) {
     const ArgSlot& a = lit.args[i];
     if (a.is_const) {
@@ -1245,17 +1570,23 @@ Status Engine::Impl::Join(EvalContext& ctx, CompiledRule& cr,
   size_t range_begin = is_ranged ? ctx.delta_begin : 0;
   size_t range_end = is_ranged ? ctx.delta_end : static_cast<size_t>(-1);
 
-  // Takes the row by value: head emission may insert into `source` itself,
-  // reallocating its tuple storage under us.
-  auto try_row = [&](Tuple row) -> Status {
+  // Frozen contexts (parallel / barrier-chase work items) never mutate
+  // relations mid-join, so rows bind by reference; the mutating sequential
+  // path copies each row first because head emission may insert into
+  // `source` itself, reallocating its tuple storage under us.
+  auto try_row = [&](const Tuple& row) -> Status {
     // A single fixpoint iteration can run for minutes on a bad join order;
     // poll the deadline/cancel flag every ~16k candidate rows so such
     // iterations stay cancellable.
     if (checkpoints_armed && (++ctx.checkpoint_tick & 0x3FFF) == 0) {
       KGM_RETURN_IF_ERROR(Checkpoint());
     }
-    // Bind free positions, checking intra-atom repeated variables.
-    std::vector<int> bound_here;
+    // Bind free positions, checking intra-atom repeated variables.  The
+    // bound-slot scratch is a fixed array: arity is capped at 64 by the
+    // uint64_t position masks, and a heap vector here costs an allocation
+    // per candidate row.
+    std::array<int, 64> bound_here;
+    size_t bound_count = 0;
     bool ok = true;
     for (size_t i = 0; i < n && ok; ++i) {
       const ArgSlot& a = lit.args[i];
@@ -1268,12 +1599,12 @@ Status Engine::Impl::Join(EvalContext& ctx, CompiledRule& cr,
       } else {
         ctx.slots[a.slot] = row[i];
         ctx.bound[a.slot] = 1;
-        bound_here.push_back(a.slot);
+        bound_here[bound_count++] = a.slot;
       }
     }
     Status status = OkStatus();
     if (ok) status = Join(ctx, cr, literal_index + 1, delta_literal);
-    for (int s : bound_here) ctx.bound[s] = 0;
+    for (size_t i = 0; i < bound_count; ++i) ctx.bound[bound_here[i]] = 0;
     return status;
   };
 
@@ -1299,14 +1630,24 @@ Status Engine::Impl::Join(EvalContext& ctx, CompiledRule& cr,
       if (rowi < range_begin || rowi >= range_end) continue;
       ++ctx.probes;
       if (!source->MatchesMasked(rowi, mask, probe)) continue;
-      KGM_RETURN_IF_ERROR(try_row(source->tuple(rowi)));
+      if (ctx.frozen_db) {
+        KGM_RETURN_IF_ERROR(try_row(source->tuple(rowi)));
+      } else {
+        Tuple row = source->tuple(rowi);
+        KGM_RETURN_IF_ERROR(try_row(row));
+      }
     }
     return OkStatus();
   }
   size_t scan_end = std::min(source->size(), range_end);
   for (size_t k = range_begin; k < scan_end; ++k) {
     ++ctx.probes;
-    KGM_RETURN_IF_ERROR(try_row(source->tuple(k)));
+    if (ctx.frozen_db) {
+      KGM_RETURN_IF_ERROR(try_row(source->tuple(k)));
+    } else {
+      Tuple row = source->tuple(k);
+      KGM_RETURN_IF_ERROR(try_row(row));
+    }
   }
   return OkStatus();
 }
@@ -1569,6 +1910,11 @@ Status Engine::Impl::EmitWithAggregates(EvalContext& ctx, CompiledRule& cr,
 Status Engine::Impl::FinalizeStratifiedAggregates(EvalContext& ctx,
                                                   CompiledRule& cr) {
   for (const Tuple& key : ctx.eval_group_order) {
+    // Finalize loops emit one head per group and can run long between
+    // barriers; poll the deadline/cancel flag like the join loops do.
+    if (checkpoints_armed && (++ctx.checkpoint_tick & 0x3FFF) == 0) {
+      KGM_RETURN_IF_ERROR(Checkpoint());
+    }
     auto it = ctx.eval_groups.find(key);
     KGM_CHECK(it != ctx.eval_groups.end());
     // Clear all slots: only group + results are meaningful now.
@@ -1593,11 +1939,78 @@ Status Engine::Impl::EmitHeadWithPostConditions(EvalContext& ctx,
 }
 
 bool Engine::Impl::HeadSatisfied(EvalContext& ctx, CompiledRule& cr) {
-  // Restricted-chase programs never run on the parallel path, so lazily
-  // built lookup indexes are safe here.
-  KGM_CHECK(!ctx.frozen_db);
-  // Backtracking search for an assignment of the existential slots such that
-  // every head atom is already present in the database.
+  // Backtracking search for an assignment of the existential slots such
+  // that every head atom is already present in the database.  With a
+  // frozen context (barrier-chase workers) every probe is read-only: the
+  // dynamic masks below coincide with CompiledRule::head_check_masks,
+  // whose indexes PrepareJoinIndexes pre-builds; should an index be
+  // missing anyway, the probe degrades to a masked scan instead of
+  // building one on shared state.
+  // Single-atom heads (the common case) skip the backtracking machinery:
+  // one masked probe decides satisfaction, with repeated existential slots
+  // within the atom checked directly on each candidate row.
+  if (cr.head.size() == 1 && cr.head[0].args.size() <= 64) {
+    const CompiledLiteral& h = cr.head[0];
+    // Prefer the relation pointer cached at the last PrepareJoinIndexes; a
+    // nullptr entry means the predicate may have been created mid-barrier
+    // (first mint during replay), so re-resolve it.
+    Relation* rel = cr.head_rels.size() == 1 ? cr.head_rels[0] : nullptr;
+    if (rel == nullptr) rel = db->GetMutable(h.pred);
+    if (rel == nullptr) return false;
+    size_t n = h.args.size();
+    uint64_t mask = 0;
+    Tuple& probe = ctx.head_probe;
+    probe.clear();
+    probe.resize(n);
+    // (position, slot) pairs left free for the existential witness.
+    size_t free_count = 0;
+    std::array<std::pair<size_t, int>, 64> free_positions;
+    for (size_t i = 0; i < n; ++i) {
+      const ArgSlot& a = h.args[i];
+      if (a.is_const) {
+        mask |= 1ULL << i;
+        probe[i] = a.constant;
+      } else if (ctx.bound[a.slot]) {
+        mask |= 1ULL << i;
+        probe[i] = ctx.slots[a.slot];
+      } else {
+        free_positions[free_count++] = {i, a.slot};
+      }
+    }
+    if (free_count == 0) return rel->Contains(probe);
+    auto row_ok = [&](uint32_t rowi) -> bool {
+      if (mask != 0 && !rel->MatchesMasked(rowi, mask, probe)) return false;
+      const Tuple& row = rel->tuple(rowi);
+      // A repeated existential slot must take one value across positions.
+      for (size_t i = 1; i < free_count; ++i) {
+        for (size_t j = 0; j < i; ++j) {
+          if (free_positions[i].second == free_positions[j].second &&
+              !(row[free_positions[i].first] == row[free_positions[j].first])) {
+            return false;
+          }
+        }
+      }
+      return true;
+    };
+    if (mask != 0) {
+      const std::vector<uint32_t>* rows = nullptr;
+      if (ctx.frozen_db) {
+        rows = rel->TryLookupBuilt(mask, probe);
+      } else {
+        rows = &rel->Lookup(mask, probe);
+      }
+      if (rows != nullptr) {
+        for (uint32_t rowi : *rows) {
+          if (row_ok(rowi)) return true;
+        }
+        return false;
+      }
+    }
+    for (size_t i = 0; i < rel->size(); ++i) {
+      if (row_ok(static_cast<uint32_t>(i))) return true;
+    }
+    return false;
+  }
   std::unordered_map<int, Value> assignment;
   std::function<bool(size_t)> solve = [&](size_t atom_index) -> bool {
     if (atom_index == cr.head.size()) return true;
@@ -1651,7 +2064,12 @@ bool Engine::Impl::HeadSatisfied(EvalContext& ctx, CompiledRule& cr) {
       return false;
     };
     if (mask != 0) {
-      return try_rows(rel->Lookup(mask, probe));
+      if (ctx.frozen_db) {
+        const std::vector<uint32_t>* rows = rel->TryLookupBuilt(mask, probe);
+        if (rows != nullptr) return try_rows(*rows);
+      } else {
+        return try_rows(rel->Lookup(mask, probe));
+      }
     }
     std::vector<uint32_t> all(rel->size());
     for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<uint32_t>(i);
@@ -1661,34 +2079,157 @@ bool Engine::Impl::HeadSatisfied(EvalContext& ctx, CompiledRule& cr) {
 }
 
 Status Engine::Impl::EmitHead(EvalContext& ctx, CompiledRule& cr) {
+  if (!cr.existentials.empty() &&
+      options.chase_mode == ChaseMode::kRestricted) {
+    if (ctx.replay) {
+      // Dedup before anything else: both the frozen screen's verdict and
+      // the barrier re-check's fate are functions of the bound-head-
+      // argument signature alone (the screen reads only the frozen
+      // database; a duplicate of a recorded candidate re-checks after the
+      // earlier copy either minted a witness for exactly this head or was
+      // itself found satisfied), so a repeated signature within this work
+      // item can only ever drop.  Dense chases fire the same head many
+      // times per barrier — one hash probe here replaces a screen (and
+      // possibly a recorded op plus a replay re-check) per repeat, without
+      // changing the surviving-candidate order or the minted null ids.
+      // Dropping a duplicate is output-neutral either way, so whether to
+      // pay for the dedup set is purely a cost heuristic: RunItems turns
+      // it off for later barriers when the observed duplicate rate is low,
+      // and the screen / re-check absorb the (rare) repeats instead.
+      if (ctx.chase_dedup_enabled) {
+        // The signature carries the rule index so two rules whose heads
+        // happen to bind equal values never collide in the shared map.
+        Tuple& signature = ctx.sig_scratch;
+        signature.clear();
+        signature.push_back(Value(static_cast<int64_t>(cr.index)));
+        for (const CompiledLiteral& h : cr.head) {
+          for (const ArgSlot& a : h.args) {
+            if (!a.is_const && a.slot >= 0 && ctx.bound[a.slot]) {
+              signature.push_back(ctx.slots[a.slot]);
+            }
+          }
+        }
+        if (ctx.chase_seen.find(signature) != ctx.chase_seen.end()) {
+          ++ctx.chase_deduped;
+          return OkStatus();
+        }
+        ctx.chase_seen.insert(signature);
+        // Cross-item level (multi-threaded runs only — a single worker's
+        // local sets already see every firing): drop only against a
+        // strictly smaller (item, seq) tag.  The minimum-tag copy of a
+        // signature can never observe a smaller tag, so it is always
+        // recorded no matter how the pool schedules items; any larger-tag
+        // copy that records before the minimum arrives is dropped by the
+        // barrier re-check.  Future copies within this item drop on the
+        // local set above.
+        if (pool != nullptr) {
+          uint64_t tag = (static_cast<uint64_t>(ctx.item_index) << 32) |
+                         (ctx.replay_ops.size() & 0xFFFFFFFFull);
+          ChaseSeenShard& shard =
+              chase_seen_shared[TupleHashFn{}(signature) % kChaseSeenShards];
+          bool drop = false;
+          {
+            // try_lock: a contended shard is skipped rather than waited
+            // on — the copy is recorded and the barrier re-check drops
+            // it, so blocking (and on an oversubscribed host, a futex
+            // sleep) would buy nothing correctness needs.
+            std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+            if (lock.owns_lock()) {
+              auto [it, inserted] = shard.map.try_emplace(signature, tag);
+              if (!inserted) {
+                if (it->second < tag) {
+                  drop = true;
+                } else {
+                  it->second = tag;
+                }
+              }
+            }
+          }
+          if (drop) {
+            ++ctx.chase_deduped;
+            return OkStatus();
+          }
+        }
+      }
+      // Screen against the frozen pre-barrier database.  Satisfaction is
+      // monotone (facts are never retracted), so a head satisfied here
+      // stays satisfied at the barrier and the firing drops immediately;
+      // unsatisfied heads become candidates the driver re-checks against
+      // the live database in replay order.
+      if (HeadSatisfied(ctx, cr)) {
+        ++ctx.chase_screened;
+        return OkStatus();
+      }
+      ++ctx.chase_candidates;
+      ReplayOp op;
+      op.kind = ReplayOp::Kind::kCandidate;
+      op.slots = ctx.slots;
+      op.bound = ctx.bound;
+      ctx.replay_ops.push_back(std::move(op));
+      size_t staged =
+          staged_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (ctx.budget_base + staged > options.max_facts) {
+        return ResourceExhausted(
+            "fact budget exceeded (" + std::to_string(options.max_facts) +
+            "); the chase may not terminate on this program");
+      }
+      return OkStatus();
+    }
+    // Driver-side (candidate replay): live head-satisfaction check.
+    if (HeadSatisfied(ctx, cr)) return OkStatus();
+  }
+  return MintAndEmitHead(ctx, cr);
+}
+
+// Binds the existential slots — fresh labeled nulls for restricted-chase
+// automatic existentials, interned Skolem terms otherwise — and inserts
+// the head atoms.  The caller has already decided the head must fire.
+Status Engine::Impl::MintAndEmitHead(EvalContext& ctx, CompiledRule& cr) {
   std::vector<int> bound_here;
   auto cleanup = [&]() {
     for (int s : bound_here) ctx.bound[s] = 0;
   };
   if (!cr.existentials.empty()) {
-    if (options.chase_mode == ChaseMode::kRestricted &&
-        HeadSatisfied(ctx, cr)) {
-      return OkStatus();
-    }
-    for (const ExistSlot& e : cr.existentials) {
-      Value v;
-      if (options.chase_mode == ChaseMode::kRestricted &&
-          cr.rule->existentials[&e - cr.existentials.data()]
-              .skolem_functor.empty()) {
-        v = nulls.Fresh();
-      } else {
-        std::vector<Value> args;
-        args.reserve(e.arg_slots.size());
-        for (int s : e.arg_slots) {
-          KGM_CHECK(ctx.bound[s]);
-          args.push_back(ctx.slots[s]);
-        }
-        v = SkolemTable::Global().Intern(e.functor, args);
+    auto bind = [&](int slot, Value v) {
+      KGM_CHECK(!ctx.bound[slot]);
+      ctx.slots[slot] = std::move(v);
+      ctx.bound[slot] = 1;
+      bound_here.push_back(slot);
+    };
+    auto gather_args = [&](const ExistSlot& e) {
+      std::vector<Value> args;
+      args.reserve(e.arg_slots.size());
+      for (int s : e.arg_slots) {
+        KGM_CHECK(ctx.bound[s]);
+        args.push_back(ctx.slots[s]);
       }
-      KGM_CHECK(!ctx.bound[e.slot]);
-      ctx.slots[e.slot] = std::move(v);
-      ctx.bound[e.slot] = 1;
-      bound_here.push_back(e.slot);
+      return args;
+    };
+    // One firing's Skolem terms intern as a single ordered batch (one lock
+    // acquisition) unless an existential's arguments name another
+    // existential of the rule, which forces in-order interleaving.
+    std::vector<std::pair<std::string, std::vector<Value>>> batch;
+    std::vector<int> batch_slots;
+    for (const ExistSlot& e : cr.existentials) {
+      bool fresh_null =
+          options.chase_mode == ChaseMode::kRestricted &&
+          cr.rule->existentials[&e - cr.existentials.data()]
+              .skolem_functor.empty();
+      if (fresh_null) {
+        bind(e.slot, nulls.Fresh());
+      } else if (cr.skolem_batch_ok) {
+        batch.emplace_back(e.functor, gather_args(e));
+        batch_slots.push_back(e.slot);
+      } else {
+        bind(e.slot,
+             SkolemTable::Global().Intern(e.functor, gather_args(e)));
+      }
+    }
+    if (!batch.empty()) {
+      std::vector<Value> interned = SkolemTable::Global().InternBatch(batch);
+      for (size_t i = 0; i < batch_slots.size(); ++i) {
+        bind(batch_slots[i], std::move(interned[i]));
+      }
     }
   }
   for (const CompiledLiteral& h : cr.head) {

@@ -51,18 +51,32 @@ struct EngineOptions {
   // Hard ceiling on fixpoint iterations per stratum.
   size_t max_iterations = 10'000'000;
   // Worker threads for rule evaluation.  0 = hardware_concurrency.
-  // 1 = the exact legacy single-threaded evaluation order.  With more than
-  // one thread the engine evaluates Phase-A (rule x scan-partition) and
-  // Phase-B (rule x delta-literal x delta-partition) work items
-  // concurrently.  Work items insert derived facts directly into the
-  // sharded FactDb (dedup-on-insert under per-shard locks, tagged with the
-  // work-item submission order); at the iteration barrier the shards are
-  // drained into the canonical store in tag order, so results are
-  // deterministic for any worker count (see DESIGN.md, "Sharded FactDb &
-  // deterministic merge").  Falls back to single-threaded evaluation for
-  // restricted-chase programs with existentials, whose semantics depend on
-  // insertion order.
+  // 1 = single-threaded evaluation.  With more than one thread the engine
+  // evaluates Phase-A (rule x scan-partition) and Phase-B (rule x
+  // delta-literal x delta-partition) work items concurrently.  Work items
+  // insert derived facts directly into the sharded FactDb (dedup-on-insert
+  // under per-shard locks, tagged with the work-item submission order); at
+  // the iteration barrier the shards are drained into the canonical store
+  // in tag order, so results are deterministic for any worker count (see
+  // DESIGN.md, "Sharded FactDb & deterministic merge").  Restricted-chase
+  // programs with existentials instead run the deterministic barrier
+  // chase at every thread count, including 1: workers record candidate
+  // firings against the frozen pre-barrier database and the driver
+  // re-checks head satisfaction and mints nulls in ascending (item, seq)
+  // order, so minted null ids — and all downstream tuples — are
+  // bit-identical for any worker count (see DESIGN.md, "Deterministic
+  // parallel restricted chase").
   size_t num_threads = 0;
+  // Opt back into the pre-barrier eager restricted chase: single-threaded,
+  // with a live head-satisfaction check and null minting inline at each
+  // firing.  Output is identical to the barrier chase (the differential
+  // test asserts it); the engine forces one worker and reports
+  // sequential_fallback = true.  Exists as an in-binary baseline for
+  // benchmarking and differential testing — not recommended otherwise:
+  // the barrier chase screens and dedups firings in bulk and is faster
+  // even single-threaded.  Ignored unless the program has existentials
+  // under ChaseMode::kRestricted.
+  bool legacy_sequential_chase = false;
   // Shards per relation for the parallel path (rounded up to a power of
   // two).  0 = auto: scales with the worker count.  Ignored by sequential
   // runs, which keep single-shard relations.
@@ -88,12 +102,27 @@ struct EngineStats {
   size_t iterations = 0;       // fixpoint rounds across all strata
   int strata = 0;
   size_t join_probes = 0;      // candidate rows examined by joins
-  // Effective worker count of the run: 1 whenever the engine took the
-  // sequential legacy path (num_threads <= 1, or the restricted-chase
-  // fallback), regardless of the requested pool size.
+  // Effective worker count of the run: equals requested_threads unless the
+  // engine had to force a smaller count.  A user-requested num_threads=1 is
+  // NOT a fallback — see sequential_fallback.
   size_t threads_used = 1;
-  size_t requested_threads = 1;      // pool size the options asked for
-  bool sequential_fallback = false;  // restricted-chase forced num_threads=1
+  size_t requested_threads = 1;  // pool size the options asked for
+  // True only when the engine forced fewer threads than requested.  Since
+  // the deterministic barrier chase landed this happens only when the
+  // caller opts into EngineOptions::legacy_sequential_chase; restricted-
+  // chase programs with existentials otherwise run multi-threaded.
+  bool sequential_fallback = false;
+  // Deterministic restricted chase (barrier protocol) observability.
+  size_t chase_candidates = 0;     // firings recorded for barrier re-check
+  size_t chase_screened = 0;       // firings dropped by the frozen pre-check
+  size_t chase_deduped = 0;        // duplicate firings dropped worker-side
+  size_t chase_rechecks = 0;       // candidates re-checked at barriers
+  size_t chase_recheck_drops = 0;  // dropped: satisfied by same-barrier facts
+  size_t nulls_minted = 0;         // fresh labeled nulls created by the run
+  double chase_replay_seconds = 0; // ordered candidate replay at barriers
+  // Wall-clock seconds spent in the (possibly pooled) join phase between
+  // barriers — the part of an iteration that scales with worker count.
+  double eval_seconds = 0;
   // Sharded-insert observability (parallel runs only).
   size_t shard_count = 1;         // shards per relation
   size_t staged_inserts = 0;      // concurrent inserts accepted by shards

@@ -90,6 +90,50 @@ TEST(EngineDeadlineTest, CancelFlagStopsRun) {
   EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s.ToString();
 }
 
+TEST(EngineDeadlineTest, ShortDeadlineStopsAggregateFinalization) {
+  // One stratified aggregation over many groups: the bulk of the run is
+  // the group fold + finalize loop between barriers, which polls the
+  // deadline every ~16k group emissions like the join loops do.
+  std::ostringstream src;
+  src << "w(g, v), t = sum(v, <g>) -> total(g, t).\n";
+  auto program = ParseProgram(src.str());
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  FactDb db;
+  for (int64_t i = 0; i < 400000; ++i) {
+    db.Add("w", {Value(i), Value(0.5)});
+  }
+  EngineOptions options;
+  options.deadline = Clock::now() + std::chrono::milliseconds(1);
+  Engine engine(std::move(*program), options);
+  ASSERT_TRUE(engine.status().ok());
+  Status s = engine.Run(&db);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s.ToString();
+}
+
+TEST(EngineDeadlineTest, ShortDeadlineStopsRestrictedChase) {
+  // Barrier chase: the ordered replay between barriers polls the deadline
+  // too, so existential programs stay cancellable at every thread count.
+  std::ostringstream src;
+  for (int i = 0; i < 400; ++i) {
+    src << "@fact edge(" << i << ", " << (i + 1) % 400 << ").\n";
+  }
+  src << "edge(x, y) -> exists w rel(x, y, w).\n";
+  src << "rel(x, y, w), edge(y, z) -> exists v rel(x, z, v).\n";
+  auto program = ParseProgram(src.str());
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EngineOptions options;
+  options.chase_mode = ChaseMode::kRestricted;
+  options.num_threads = 4;
+  options.deadline = Clock::now() + std::chrono::milliseconds(1);
+  Engine engine(std::move(*program), options);
+  ASSERT_TRUE(engine.status().ok());
+  FactDb db;
+  Status s = engine.Run(&db);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s.ToString();
+}
+
 TEST(EngineDeadlineTest, NoDeadlineRunsToFixpoint) {
   FactDb db;
   Status s = RunProgram(CycleClosure(20), &db);

@@ -178,7 +178,7 @@ TEST(EngineParallelTest, SkolemExistentialsMatchSequential) {
   ExpectSameFacts(seq, par);
 }
 
-TEST(EngineParallelTest, RestrictedChaseFallsBackToSequential) {
+TEST(EngineParallelTest, RestrictedChaseRunsParallel) {
   FactDb db;
   db.Add("node", {Value(int64_t{1})});
   auto parsed = ParseProgram("node(x) -> exists e edge_of(e, x).");
@@ -190,12 +190,15 @@ TEST(EngineParallelTest, RestrictedChaseFallsBackToSequential) {
   Engine engine(std::move(program), options);
   ASSERT_TRUE(engine.status().ok());
   ASSERT_TRUE(engine.Run(&db).ok());
-  // Order-dependent restricted chase: the engine must not go parallel, and
-  // the stats must report the fallback rather than the requested pool size.
-  EXPECT_EQ(engine.stats().threads_used, 1u);
+  // The deterministic barrier chase keeps the requested pool: no forced
+  // sequential fallback, and no resharding (every insert happens on the
+  // driver during the ordered replay).
+  EXPECT_EQ(engine.stats().threads_used, 8u);
   EXPECT_EQ(engine.stats().requested_threads, 8u);
-  EXPECT_TRUE(engine.stats().sequential_fallback);
+  EXPECT_FALSE(engine.stats().sequential_fallback);
   EXPECT_EQ(engine.stats().shard_count, 1u);
+  EXPECT_EQ(engine.stats().nulls_minted, 1u);
+  EXPECT_EQ(engine.stats().chase_candidates, 1u);
 }
 
 TEST(EngineParallelTest, SkolemChaseDoesNotReportFallback) {

@@ -34,7 +34,10 @@ fi
 
 # The sanitizer runs focus on the suites that exercise the concurrent
 # engine and serving paths; everything else is covered by the regular
-# build above.
+# build above.  vadalog_ includes the deterministic-chase suites
+# (vadalog_engine_chase_parallel_test and the engine parallel tests),
+# whose frozen-screen + shared-dedup + ordered-replay protocol is the
+# main thing TSan needs to see.
 SANITIZER_TESTS='vadalog_|base_thread_pool|service_'
 
 run cmake -B build-asan -S . \
