@@ -17,6 +17,10 @@
 //         publish [companies persons seed]   generate + publish an epoch
 //         query <output> <m|v> <program>     MetaLog (m) or Vadalog (v)
 //         stats | epoch | quit
+//   kgmctl lint [--json] [--vadalog|--metalog] [--schema company|none] <file>...
+//       Run the static-analysis pipeline over MetaLog/Vadalog programs and
+//       print source-located diagnostics.  Exit code is the worst severity:
+//       0 clean/notes, 1 warnings, 2 errors.
 //
 // Run: build/examples/kgmctl <command> ...
 
@@ -38,6 +42,7 @@
 #include "finkg/company_kg.h"
 #include "finkg/generator.h"
 #include "instance/pipeline.h"
+#include "lint/lint.h"
 #include "metalog/prepared.h"
 #include "rel/relational.h"
 #include "service/service.h"
@@ -58,7 +63,9 @@ int Usage() {
                "  kgmctl export <dir> [companies persons seed]\n"
                "  kgmctl materialize <dir> "
                "<owns|control|stakeholders|family|closelinks|all>\n"
-               "  kgmctl serve [--port N]\n");
+               "  kgmctl serve [--port N]\n"
+               "  kgmctl lint [--json] [--vadalog|--metalog] "
+               "[--schema company|none] <file>...\n");
   return 2;
 }
 
@@ -384,6 +391,82 @@ int CmdServe(int argc, char** argv) {
   return 0;
 }
 
+// kgmctl lint [--json] [--vadalog|--metalog] [--schema company|none] <file>...
+//
+// Lints each program and prints its diagnostics (text by default, one JSON
+// object per file with --json).  Language is picked per file from the
+// extension (.vlog/.vdl → Vadalog, anything else → MetaLog) unless forced
+// by a flag.  --schema company checks label/property names against the
+// Company KG super-schema catalog.  Exit code is the worst severity seen:
+// 0 clean (or notes only), 1 warnings, 2 errors.
+int CmdLint(int argc, char** argv) {
+  bool json = false;
+  int forced_language = 0;  // 0 = by extension, 1 = vadalog, 2 = metalog
+  std::string schema = "none";
+  std::vector<std::string> files;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--vadalog") {
+      forced_language = 1;
+    } else if (arg == "--metalog") {
+      forced_language = 2;
+    } else if (arg == "--schema") {
+      if (i + 1 >= argc) return Usage();
+      schema = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "kgmctl lint: unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return Usage();
+  if (schema != "none" && schema != "company") {
+    std::fprintf(stderr, "kgmctl lint: unknown schema %s\n", schema.c_str());
+    return Usage();
+  }
+
+  metalog::GraphCatalog company_catalog;
+  const metalog::GraphCatalog* base_catalog = nullptr;
+  if (schema == "company") {
+    company_catalog = instance::SchemaCatalog(finkg::CompanyKgSchema());
+    base_catalog = &company_catalog;
+  }
+
+  lint::Severity worst = lint::Severity::kNote;
+  bool any = false;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "kgmctl lint: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string source = buffer.str();
+
+    const bool vadalog =
+        forced_language == 1 ||
+        (forced_language == 0 &&
+         (path.ends_with(".vlog") || path.ends_with(".vdl")));
+    lint::LintResult result =
+        vadalog ? lint::LintVadalogSource(source)
+                : lint::LintMetaLogSource(source, base_catalog);
+    std::cout << (json ? lint::RenderJson(result, path)
+                       : lint::RenderText(result, path));
+    if (!result.empty()) {
+      any = true;
+      worst = std::max(worst, result.max_severity());
+    }
+  }
+  if (!any) return 0;
+  if (worst == lint::Severity::kError) return 2;
+  if (worst == lint::Severity::kWarning) return 1;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -396,5 +479,6 @@ int main(int argc, char** argv) {
   if (command == "export") return CmdExport(argc, argv);
   if (command == "materialize") return CmdMaterialize(argc, argv);
   if (command == "serve") return CmdServe(argc, argv);
+  if (command == "lint") return CmdLint(argc, argv);
   return Usage();
 }

@@ -1,0 +1,44 @@
+// Source positions for program text.
+//
+// SourceLoc anchors a construct (token, atom, rule, annotation) to the
+// user's source: 1-based line and column plus the 0-based byte offset of
+// the construct's first character.  A default-constructed SourceLoc is
+// "unknown" (line 0) — programs built programmatically instead of parsed
+// carry unknown locations and diagnostics fall back to rule labels.
+
+#ifndef KGM_BASE_SOURCE_LOC_H_
+#define KGM_BASE_SOURCE_LOC_H_
+
+#include <cstddef>
+#include <string>
+
+namespace kgm {
+
+struct SourceLoc {
+  int line = 0;         // 1-based; 0 = unknown
+  int column = 0;       // 1-based
+  size_t offset = 0;    // byte offset into the source text
+
+  bool valid() const { return line > 0; }
+
+  // "<line>:<column>", or "?" when unknown.
+  std::string ToString() const {
+    if (!valid()) return "?";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+
+  bool operator==(const SourceLoc& o) const {
+    return line == o.line && column == o.column && offset == o.offset;
+  }
+
+  // Orders by position in the source; unknown locations sort last.
+  bool operator<(const SourceLoc& o) const {
+    if (valid() != o.valid()) return valid();
+    if (line != o.line) return line < o.line;
+    return column < o.column;
+  }
+};
+
+}  // namespace kgm
+
+#endif  // KGM_BASE_SOURCE_LOC_H_

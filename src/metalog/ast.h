@@ -43,6 +43,8 @@ struct PgAtom {
   std::string label;    // empty = no label constraint
   std::vector<PgProperty> properties;
   std::string spread_var;  // empty = no spread
+  // Position of the opening '(' or '[' in the source.
+  SourceLoc loc;
 
   std::string ToString() const;
 };
@@ -96,6 +98,8 @@ struct MetaRule {
   std::vector<vadalog::ExistentialSpec> existentials;
   std::vector<GraphPattern> head_patterns;
   std::string label;
+  // Start of the rule in the source.
+  SourceLoc loc;
 
   std::string ToString() const;
 };

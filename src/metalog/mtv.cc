@@ -95,6 +95,14 @@ class Translator {
     Literal closure_literal;  // beta(left, right, params...)
   };
 
+  // All generated rules go through here: every rule carries the source
+  // location of the MetaLog rule it came from and a provenance entry.
+  void AppendRule(Rule rule) {
+    rule.loc = rule_loc_;
+    result_.program.rules.push_back(std::move(rule));
+    result_.rule_origin.push_back(rule_index_);
+  }
+
   std::string FreshVar() { return "_mtv" + std::to_string(++var_counter_); }
   std::string FreshHelper(const char* kind) {
     return std::string("_") + kind + "_r" + std::to_string(rule_index_) +
@@ -155,6 +163,7 @@ class Translator {
   std::map<std::string, int> var_counts_;   // across the whole MetaLog rule
   std::vector<StarUse> stars_;
   std::string rule_label_;
+  SourceLoc rule_loc_;  // of the MetaLog rule being translated
 };
 
 void Translator::CountPatternVars(const GraphPattern& pattern,
@@ -321,7 +330,7 @@ Result<Literal> Translator::BuildAlt(const PathPtr& alt,
     head.args.push_back(Term::Var(q));
     for (const std::string& p : params) head.args.push_back(Term::Var(p));
     helper.head.push_back(std::move(head));
-    result_.program.rules.push_back(std::move(helper));
+    AppendRule(std::move(helper));
   }
   Atom use;
   use.predicate = pred;
@@ -352,7 +361,7 @@ Result<Literal> Translator::BuildClosure(const PathPtr& inner,
     head.args.push_back(Term::Var(q));
     for (const std::string& p : params) head.args.push_back(Term::Var(p));
     base.head.push_back(std::move(head));
-    result_.program.rules.push_back(std::move(base));
+    AppendRule(std::move(base));
   }
   // Step rule: beta(v, h, params), tau(S)(h, q) -> beta(v, q, params).
   {
@@ -375,7 +384,7 @@ Result<Literal> Translator::BuildClosure(const PathPtr& inner,
     head.args.push_back(Term::Var(q));
     for (const std::string& p : params) head.args.push_back(Term::Var(p));
     step.head.push_back(std::move(head));
-    result_.program.rules.push_back(std::move(step));
+    AppendRule(std::move(step));
   }
   Atom use;
   use.predicate = pred;
@@ -574,6 +583,7 @@ Status Translator::TranslateRule(const MetaRule& rule, int rule_index) {
   stars_.clear();
   rule_label_ = rule.label.empty() ? "rule " + std::to_string(rule_index + 1)
                                    : rule.label;
+  rule_loc_ = rule.loc;
   CountRuleVars(rule);
 
   Rule main;
@@ -683,7 +693,7 @@ Status Translator::TranslateRule(const MetaRule& rule, int rule_index) {
         RenameVar(&variant, star.right_var, star.left_var);
       }
     }
-    result_.program.rules.push_back(std::move(variant));
+    AppendRule(std::move(variant));
   }
   return OkStatus();
 }

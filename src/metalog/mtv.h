@@ -53,6 +53,11 @@ struct MtvResult {
   vadalog::Program program;
   // Names of generated helper predicates (alpha / beta of Section 4).
   std::vector<std::string> helper_predicates;
+  // Provenance: for every compiled rule (parallel to program.rules) the
+  // 0-based index of the MetaLog rule it was generated from — helper rules
+  // and star-expansion variants map back to their originating rule, so
+  // diagnostics on compiled rules can report at the MetaLog source line.
+  std::vector<int> rule_origin;
 };
 
 // Translates a whole MetaLog program.  The catalog must already know every

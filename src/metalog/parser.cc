@@ -34,6 +34,7 @@ class MetaParser {
  private:
   Result<MetaRule> ParseRule() {
     MetaRule rule;
+    rule.loc = ts_.Peek().loc();
     // Body elements.
     while (true) {
       KGM_RETURN_IF_ERROR(ParseBodyElement(&rule));
@@ -238,16 +239,20 @@ class MetaParser {
   }
 
   Result<PgAtom> ParseNodeAtom() {
+    const SourceLoc loc = ts_.Peek().loc();
     KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kLParen, "'(' of node atom"));
     KGM_ASSIGN_OR_RETURN(PgAtom atom, ParseAtomInterior(/*is_edge=*/false));
     KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kRParen, "')' of node atom"));
+    atom.loc = loc;
     return atom;
   }
 
   Result<PgAtom> ParseEdgeAtom() {
+    const SourceLoc loc = ts_.Peek().loc();
     KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kLBracket, "'[' of edge atom"));
     KGM_ASSIGN_OR_RETURN(PgAtom atom, ParseAtomInterior(/*is_edge=*/true));
     KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kRBracket, "']' of edge atom"));
+    atom.loc = loc;
     return atom;
   }
 

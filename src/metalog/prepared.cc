@@ -46,6 +46,8 @@ Result<std::shared_ptr<const CompiledMeta>> PreparedCache::Compile(
       TranslateMetaProgram(compiled->meta, compiled->catalog, options));
   compiled->program = std::move(mtv.program);
   compiled->helper_predicates = std::move(mtv.helper_predicates);
+  compiled->rule_origin = std::move(mtv.rule_origin);
+  if (lint_hook_) compiled->lint = lint_hook_(*compiled, catalog);
 
   std::shared_ptr<const CompiledMeta> result = std::move(compiled);
   std::lock_guard<std::mutex> lock(mu_);

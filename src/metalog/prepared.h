@@ -14,6 +14,7 @@
 #ifndef KGM_METALOG_PREPARED_H_
 #define KGM_METALOG_PREPARED_H_
 
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "lint/diagnostic.h"
 #include "metalog/ast.h"
 #include "metalog/catalog.h"
 #include "metalog/mtv.h"
@@ -36,11 +38,24 @@ struct CompiledMeta {
   GraphCatalog catalog;    // base catalog after AbsorbProgram
   vadalog::Program program;
   std::vector<std::string> helper_predicates;
+  // MTV provenance: originating MetaLog rule per compiled rule.
+  std::vector<int> rule_origin;
+  // Diagnostics produced by the lint hook (empty without a hook).  Cached
+  // with the entry, so admission checks on cache hits are free.
+  lint::LintResult lint;
 };
 
 class PreparedCache {
  public:
   explicit PreparedCache(size_t capacity = 128);
+
+  // Runs after every successful compilation, outside the cache lock; the
+  // result is stored in CompiledMeta::lint.  `base` is the catalog handed
+  // to Compile (before AbsorbProgram).  Set once before concurrent use —
+  // typically by the owning service at construction.
+  using LintHook =
+      std::function<lint::LintResult(const CompiledMeta&, const GraphCatalog& base)>;
+  void set_lint_hook(LintHook hook) { lint_hook_ = std::move(hook); }
 
   // Returns the compiled form of `source` against `catalog` (which must
   // NOT yet have the program absorbed — Compile copies and absorbs it),
@@ -72,6 +87,7 @@ class PreparedCache {
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<uint64_t, std::list<Entry>::iterator> by_key_;
   Counters counters_;
+  LintHook lint_hook_;  // immutable after setup; called without mu_ held
 };
 
 }  // namespace kgm::metalog

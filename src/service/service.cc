@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "base/value.h"
+#include "lint/lint.h"
 #include "vadalog/parser.h"
 
 namespace kgm::service {
@@ -40,7 +41,24 @@ KgService::KgService(KgServiceOptions options)
     : options_(options),
       pool_(std::max<size_t>(options.num_workers, 1)),
       prepared_(options.prepared_cache_capacity),
-      results_(options.result_cache_capacity) {}
+      results_(options.result_cache_capacity) {
+  if (options_.lint_admission) {
+    prepared_.set_lint_hook([](const metalog::CompiledMeta& compiled,
+                               const metalog::GraphCatalog& base) {
+      lint::LintOptions lint_options;
+      // Catalog labels are extensional: defined by the graph, not by rules.
+      for (const std::string& l : compiled.catalog.NodeLabels()) {
+        lint_options.external_predicates.push_back(l);
+      }
+      for (const std::string& l : compiled.catalog.EdgeLabels()) {
+        lint_options.external_predicates.push_back(l);
+      }
+      return lint::LintCompiledMeta(compiled.meta, compiled.program,
+                                    compiled.rule_origin, &base,
+                                    lint_options);
+    });
+  }
+}
 
 KgService::~KgService() { pool_.WaitIdle(); }
 
@@ -83,7 +101,35 @@ uint64_t KgService::ResultKey(const QueryRequest& request, uint64_t epoch,
   return key;
 }
 
+Status KgService::LintAdmission(const QueryRequest& request,
+                                AdmittedCompile* admitted) {
+  if (request.language != QueryLanguage::kMetaLog) return OkStatus();
+  std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
+  if (snap == nullptr) return OkStatus();  // Evaluate reports the real error
+  KGM_ASSIGN_OR_RETURN(
+      admitted->compiled,
+      prepared_.Compile(request.program, snap->catalog, options_.mtv));
+  admitted->epoch = snap->epoch;
+  if (admitted->compiled->lint.has_errors()) {
+    return InvalidArgument("program rejected by lint: " +
+                           admitted->compiled->lint.FirstError());
+  }
+  return OkStatus();
+}
+
 Result<QueryResult> KgService::Query(const QueryRequest& request) {
+  const Clock::time_point start = Clock::now();
+  // Lint before queueing: a program that can never run must not occupy a
+  // queue slot or a worker.  The compiled program is carried into
+  // evaluation so admission never adds a second cache lookup.
+  AdmittedCompile admitted;
+  if (options_.lint_admission) {
+    Status ok = LintAdmission(request, &admitted);
+    if (!ok.ok()) {
+      stats_.RecordFailed(Seconds(start, Clock::now()));
+      return ok;
+    }
+  }
   // Admission: reserve a queue slot or reject.  fetch_add + rollback keeps
   // the check race-free without a lock.
   const size_t prev = pending_.fetch_add(1, std::memory_order_acq_rel);
@@ -94,7 +140,6 @@ Result<QueryResult> KgService::Query(const QueryRequest& request) {
         "service queue full (capacity " +
         std::to_string(options_.queue_capacity) + ")");
   }
-  const Clock::time_point start = Clock::now();
   const Clock::time_point deadline =
       request.timeout_ms > 0
           ? start + std::chrono::milliseconds(request.timeout_ms)
@@ -102,8 +147,8 @@ Result<QueryResult> KgService::Query(const QueryRequest& request) {
 
   std::promise<Result<QueryResult>> promise;
   std::future<Result<QueryResult>> future = promise.get_future();
-  pool_.Submit([this, &request, &promise, start, deadline] {
-    Result<QueryResult> result = Evaluate(request, start, deadline);
+  pool_.Submit([this, &request, &promise, start, deadline, admitted] {
+    Result<QueryResult> result = Evaluate(request, start, deadline, admitted);
     pending_.fetch_sub(1, std::memory_order_acq_rel);
     promise.set_value(std::move(result));
   });
@@ -116,12 +161,13 @@ Result<QueryResult> KgService::Execute(const QueryRequest& request) {
       request.timeout_ms > 0
           ? start + std::chrono::milliseconds(request.timeout_ms)
           : Clock::time_point{};
-  return Evaluate(request, start, deadline);
+  return Evaluate(request, start, deadline, AdmittedCompile{});
 }
 
 Result<QueryResult> KgService::Evaluate(const QueryRequest& request,
                                         Clock::time_point start,
-                                        Clock::time_point deadline) {
+                                        Clock::time_point deadline,
+                                        const AdmittedCompile& admitted) {
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     // A request can expire while queued; don't start evaluating it.
     if (deadline != Clock::time_point{} && Clock::now() >= deadline) {
@@ -131,7 +177,7 @@ Result<QueryResult> KgService::Evaluate(const QueryRequest& request,
     if (snap == nullptr) {
       return FailedPrecondition("no graph published yet");
     }
-    return EvaluateOnSnapshot(request, *snap, deadline);
+    return EvaluateOnSnapshot(request, *snap, deadline, admitted);
   }();
 
   const double latency = Seconds(start, Clock::now());
@@ -145,9 +191,9 @@ Result<QueryResult> KgService::Evaluate(const QueryRequest& request,
   return result;
 }
 
-Result<QueryResult> KgService::EvaluateOnSnapshot(const QueryRequest& request,
-                                                  const Snapshot& snap,
-                                                  Clock::time_point deadline) {
+Result<QueryResult> KgService::EvaluateOnSnapshot(
+    const QueryRequest& request, const Snapshot& snap,
+    Clock::time_point deadline, const AdmittedCompile& admitted) {
   const uint64_t key = ResultKey(request, snap.epoch, options_.mtv);
   if (request.use_result_cache) {
     if (std::shared_ptr<const CachedResult> hit = results_.Get(key)) {
@@ -170,9 +216,19 @@ Result<QueryResult> KgService::EvaluateOnSnapshot(const QueryRequest& request,
   vadalog::FactDb db;
   vadalog::Program program;
   if (request.language == QueryLanguage::kMetaLog) {
-    KGM_ASSIGN_OR_RETURN(
-        std::shared_ptr<const metalog::CompiledMeta> compiled,
-        prepared_.Compile(request.program, snap.catalog, options_.mtv));
+    std::shared_ptr<const metalog::CompiledMeta> compiled =
+        admitted.epoch == snap.epoch ? admitted.compiled : nullptr;
+    if (compiled == nullptr) {
+      KGM_ASSIGN_OR_RETURN(compiled, prepared_.Compile(request.program,
+                                                       snap.catalog,
+                                                       options_.mtv));
+    }
+    // Execute() bypasses Query()'s pre-queue check; the lint result is
+    // cached with the compilation, so this re-check costs a flag read.
+    if (options_.lint_admission && compiled->lint.has_errors()) {
+      return InvalidArgument("program rejected by lint: " +
+                             compiled->lint.FirstError());
+    }
     if (EncodingCompatible(snap.catalog, compiled->catalog)) {
       db = snap.facts.Clone();
     } else {
@@ -183,6 +239,22 @@ Result<QueryResult> KgService::EvaluateOnSnapshot(const QueryRequest& request,
     out.columns = ColumnsFor(compiled->catalog, request.output);
   } else {
     KGM_ASSIGN_OR_RETURN(program, vadalog::ParseProgram(request.program));
+    if (options_.lint_admission) {
+      lint::LintOptions lint_options;
+      // The program reads the snapshot's relational encoding: every
+      // catalog label is an extensional predicate.
+      for (const std::string& l : snap.catalog.NodeLabels()) {
+        lint_options.external_predicates.push_back(l);
+      }
+      for (const std::string& l : snap.catalog.EdgeLabels()) {
+        lint_options.external_predicates.push_back(l);
+      }
+      lint::LintResult lint = lint::RunLints(program, lint_options);
+      if (lint.has_errors()) {
+        return InvalidArgument("program rejected by lint: " +
+                               lint.FirstError());
+      }
+    }
     db = snap.facts.Clone();
   }
 

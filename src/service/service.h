@@ -84,6 +84,11 @@ struct KgServiceOptions {
   // evaluation — the pool provides cross-request parallelism.
   vadalog::EngineOptions engine;
   metalog::MtvOptions mtv;
+  // Run the lint pipeline on every program and reject those with
+  // error-severity diagnostics with InvalidArgument — for MetaLog before
+  // the request is even queued (diagnostics are cached with the prepared
+  // program, so the check is free on cache hits).
+  bool lint_admission = true;
 
   KgServiceOptions() { engine.num_threads = 1; }
 };
@@ -131,14 +136,31 @@ class KgService {
   static uint64_t ResultKey(const QueryRequest& request, uint64_t epoch,
                             const metalog::MtvOptions& mtv);
 
+  // Compilation carried from pre-queue admission into evaluation so each
+  // request is compiled (and cache-counted) at most once.  `epoch` is the
+  // snapshot epoch the compile was keyed against; evaluation only reuses
+  // the program if it still runs on that epoch.
+  struct AdmittedCompile {
+    std::shared_ptr<const metalog::CompiledMeta> compiled;
+    uint64_t epoch = 0;
+  };
+
+  // Pre-queue admission: compiles a MetaLog request through the prepared
+  // cache and rejects programs whose cached lint result carries errors.
+  // No-op for Vadalog requests (they are linted during evaluation) and
+  // before the first Publish.
+  Status LintAdmission(const QueryRequest& request, AdmittedCompile* admitted);
+
   // Full evaluation with stats recording; `start` is the admission time.
   Result<QueryResult> Evaluate(const QueryRequest& request,
                                std::chrono::steady_clock::time_point start,
-                               std::chrono::steady_clock::time_point deadline);
+                               std::chrono::steady_clock::time_point deadline,
+                               const AdmittedCompile& admitted);
   // The uninstrumented evaluation pipeline.
   Result<QueryResult> EvaluateOnSnapshot(
       const QueryRequest& request, const Snapshot& snap,
-      std::chrono::steady_clock::time_point deadline);
+      std::chrono::steady_clock::time_point deadline,
+      const AdmittedCompile& admitted);
 
   KgServiceOptions options_;
   ThreadPool pool_;

@@ -23,11 +23,14 @@ std::vector<std::string> CollectPredicates(const Program& program) {
   return {preds.begin(), preds.end()};
 }
 
-struct DepEdge {
-  int from;
-  int to;
-  bool negative;
-};
+// Uniform diagnostic prefix: 1-based rule index plus the first head
+// predicate, so analysis messages are deterministic and greppable.
+std::string RulePrefix(const Rule& r, size_t ri) {
+  std::string pred = r.head.empty()
+                         ? (r.label.empty() ? "?" : r.label)
+                         : r.head[0].predicate;
+  return "rule " + std::to_string(ri + 1) + " (" + pred + "): ";
+}
 
 // Tarjan SCC over the predicate dependency graph (iterative).
 std::vector<int> TarjanScc(int n, const std::vector<std::vector<int>>& adj,
@@ -85,21 +88,19 @@ std::vector<int> TarjanScc(int n, const std::vector<std::vector<int>>& adj,
 
 }  // namespace
 
-Result<Stratification> Stratify(const Program& program) {
+Stratification ComputeStratification(const Program& program,
+                                     std::vector<StratViolation>* violations) {
   std::vector<std::string> preds = CollectPredicates(program);
   std::unordered_map<std::string, int> id;
   for (size_t i = 0; i < preds.size(); ++i) id[preds[i]] = static_cast<int>(i);
   int n = static_cast<int>(preds.size());
 
   std::vector<std::vector<int>> adj(n);
-  std::vector<DepEdge> edges;
   for (const Rule& r : program.rules) {
     for (const Atom& h : r.head) {
       int hid = id[h.predicate];
       for (const Literal& l : r.body) {
-        int bid = id[l.atom.predicate];
-        adj[bid].push_back(hid);
-        edges.push_back({bid, hid, l.negated});
+        adj[id[l.atom.predicate]].push_back(hid);
       }
       // Multi-head rules: their head predicates are produced together, so
       // force them into the same SCC.
@@ -124,15 +125,6 @@ Result<Stratification> Stratify(const Program& program) {
     strat.pred_scc[preds[i]] = renumber[scc_raw[i]];
   }
 
-  // Negation must not occur inside an SCC.
-  for (const DepEdge& e : edges) {
-    if (e.negative && scc_raw[e.from] == scc_raw[e.to]) {
-      return FailedPrecondition(
-          "program is not stratified: negated dependency of " +
-          preds[e.to] + " on " + preds[e.from] + " within a recursive SCC");
-    }
-  }
-
   strat.rule_stratum.resize(program.rules.size(), 0);
   strat.rule_recursive.resize(program.rules.size(), false);
   for (size_t ri = 0; ri < program.rules.size(); ++ri) {
@@ -155,132 +147,171 @@ Result<Stratification> Stratify(const Program& program) {
     // along the way.  Consumers tolerate this because null-valued fields
     // are ignored on decode and facts deduplicate.
   }
+
+  // Negation must not occur inside an SCC.  Violations are reported per rule
+  // in source order so diagnostics are deterministic.
+  if (violations != nullptr) {
+    for (size_t ri = 0; ri < program.rules.size(); ++ri) {
+      const Rule& r = program.rules[ri];
+      if (r.head.empty()) continue;
+      for (const Literal& l : r.body) {
+        if (!l.negated) continue;
+        bool same_scc = false;
+        for (const Atom& h : r.head) {
+          if (strat.pred_scc[l.atom.predicate] ==
+              strat.pred_scc[h.predicate]) {
+            same_scc = true;
+            break;
+          }
+        }
+        if (!same_scc) continue;
+        StratViolation v;
+        v.rule_index = static_cast<int>(ri);
+        v.head_pred = r.head[0].predicate;
+        v.negated_pred = l.atom.predicate;
+        v.message = RulePrefix(r, ri) + "not stratified: negated dependency on " +
+                    l.atom.predicate + " within a recursive SCC";
+        violations->push_back(std::move(v));
+      }
+    }
+  }
   return strat;
+}
+
+Result<Stratification> Stratify(const Program& program) {
+  std::vector<StratViolation> violations;
+  Stratification strat = ComputeStratification(program, &violations);
+  if (!violations.empty()) {
+    return FailedPrecondition("program is not stratified: " +
+                              violations.front().message);
+  }
+  return strat;
+}
+
+Status ValidateRuleSafety(const Rule& r, size_t rule_index) {
+  const std::string where = RulePrefix(r, rule_index);
+  std::unordered_set<std::string> positive_vars;
+  for (const Literal& l : r.body) {
+    if (l.negated) continue;
+    for (const Term& t : l.atom.args) {
+      if (t.is_var() && !t.is_anonymous()) positive_vars.insert(t.var);
+    }
+  }
+  std::unordered_set<std::string> bound = positive_vars;
+  // Assignments may depend on aggregate results (e.g. the get() calls
+  // generated for record spreads); such assignments are evaluated after
+  // aggregation, so validate them against the enlarged binding set.
+  std::unordered_set<std::string> result_names;
+  for (const Aggregate& a : r.aggregates) result_names.insert(a.result_var);
+  std::unordered_set<std::string> post_targets;
+  for (const Assignment& a : r.assignments) {
+    std::vector<std::string> vars;
+    a.expr->CollectVars(&vars);
+    bool post = false;
+    for (const std::string& v : vars) {
+      if (result_names.count(v) > 0 || post_targets.count(v) > 0) {
+        post = true;
+      }
+    }
+    for (const std::string& v : vars) {
+      if (bound.count(v) > 0) continue;
+      if (post &&
+          (result_names.count(v) > 0 || post_targets.count(v) > 0)) {
+        continue;
+      }
+      return FailedPrecondition(where + "unsafe assignment: variable " + v +
+                                " unbound");
+    }
+    if (post) {
+      post_targets.insert(a.var);
+    } else {
+      bound.insert(a.var);
+    }
+  }
+  std::unordered_set<std::string> agg_results;
+  for (const Aggregate& a : r.aggregates) {
+    std::vector<std::string> vars;
+    for (const ExprPtr& e : a.args) e->CollectVars(&vars);
+    for (const std::string& v : a.contributors) vars.push_back(v);
+    for (const std::string& v : vars) {
+      if (bound.count(v) == 0) {
+        return FailedPrecondition(where + "unsafe aggregate: variable " + v +
+                                  " unbound");
+      }
+    }
+    if (!IsAggregateFunction(a.func)) {
+      return FailedPrecondition(where + "unknown aggregate function " +
+                                a.func);
+    }
+    agg_results.insert(a.result_var);
+    bound.insert(a.result_var);
+  }
+  for (const std::string& v : post_targets) bound.insert(v);
+  for (const Condition& c : r.conditions) {
+    std::vector<std::string> vars;
+    c.expr->CollectVars(&vars);
+    for (const std::string& v : vars) {
+      if (bound.count(v) == 0) {
+        return FailedPrecondition(where + "unsafe condition: variable " + v +
+                                  " unbound");
+      }
+    }
+  }
+  for (const Literal& l : r.body) {
+    if (!l.negated) continue;
+    for (const Term& t : l.atom.args) {
+      if (t.is_var() && !t.is_anonymous() && bound.count(t.var) == 0) {
+        return FailedPrecondition(where + "unsafe negation: variable " +
+                                  t.var + " unbound");
+      }
+    }
+  }
+  std::unordered_set<std::string> existential;
+  for (const ExistentialSpec& e : r.existentials) {
+    if (bound.count(e.var) > 0) {
+      return FailedPrecondition(where + "existential variable " + e.var +
+                                " also bound in body");
+    }
+    if (!existential.insert(e.var).second) {
+      return FailedPrecondition(where + "duplicate existential variable " +
+                                e.var);
+    }
+    for (const std::string& a : e.skolem_args) {
+      if (bound.count(a) == 0) {
+        return FailedPrecondition(where + "Skolem argument " + a +
+                                  " unbound");
+      }
+    }
+  }
+  if (r.head.empty()) {
+    return FailedPrecondition(where + "rule has no head");
+  }
+  bool head_uses_existential = r.existentials.empty();
+  for (const Atom& h : r.head) {
+    for (const Term& t : h.args) {
+      if (!t.is_var()) continue;
+      if (t.is_anonymous()) {
+        return FailedPrecondition(where + "anonymous variable in head");
+      }
+      if (existential.count(t.var) > 0) {
+        head_uses_existential = true;
+        continue;
+      }
+      if (bound.count(t.var) == 0) {
+        return FailedPrecondition(where + "unsafe head: variable " + t.var +
+                                  " unbound");
+      }
+    }
+  }
+  if (!head_uses_existential) {
+    return FailedPrecondition(where + "declared existential never used in head");
+  }
+  return OkStatus();
 }
 
 Status ValidateSafety(const Program& program) {
   for (size_t ri = 0; ri < program.rules.size(); ++ri) {
-    const Rule& r = program.rules[ri];
-    std::string where = " (rule " + (r.label.empty()
-                                         ? std::to_string(ri + 1)
-                                         : r.label) + ")";
-    std::unordered_set<std::string> positive_vars;
-    for (const Literal& l : r.body) {
-      if (l.negated) continue;
-      for (const Term& t : l.atom.args) {
-        if (t.is_var() && !t.is_anonymous()) positive_vars.insert(t.var);
-      }
-    }
-    std::unordered_set<std::string> bound = positive_vars;
-    // Assignments may depend on aggregate results (e.g. the get() calls
-    // generated for record spreads); such assignments are evaluated after
-    // aggregation, so validate them against the enlarged binding set.
-    std::unordered_set<std::string> result_names;
-    for (const Aggregate& a : r.aggregates) result_names.insert(a.result_var);
-    std::unordered_set<std::string> post_targets;
-    for (const Assignment& a : r.assignments) {
-      std::vector<std::string> vars;
-      a.expr->CollectVars(&vars);
-      bool post = false;
-      for (const std::string& v : vars) {
-        if (result_names.count(v) > 0 || post_targets.count(v) > 0) {
-          post = true;
-        }
-      }
-      for (const std::string& v : vars) {
-        if (bound.count(v) > 0) continue;
-        if (post &&
-            (result_names.count(v) > 0 || post_targets.count(v) > 0)) {
-          continue;
-        }
-        return FailedPrecondition("unsafe assignment: variable " + v +
-                                  " unbound" + where);
-      }
-      if (post) {
-        post_targets.insert(a.var);
-      } else {
-        bound.insert(a.var);
-      }
-    }
-    std::unordered_set<std::string> agg_results;
-    for (const Aggregate& a : r.aggregates) {
-      std::vector<std::string> vars;
-      for (const ExprPtr& e : a.args) e->CollectVars(&vars);
-      for (const std::string& v : a.contributors) vars.push_back(v);
-      for (const std::string& v : vars) {
-        if (bound.count(v) == 0) {
-          return FailedPrecondition("unsafe aggregate: variable " + v +
-                                    " unbound" + where);
-        }
-      }
-      if (!IsAggregateFunction(a.func)) {
-        return FailedPrecondition("unknown aggregate function " + a.func +
-                                  where);
-      }
-      agg_results.insert(a.result_var);
-      bound.insert(a.result_var);
-    }
-    for (const std::string& v : post_targets) bound.insert(v);
-    for (const Condition& c : r.conditions) {
-      std::vector<std::string> vars;
-      c.expr->CollectVars(&vars);
-      for (const std::string& v : vars) {
-        if (bound.count(v) == 0) {
-          return FailedPrecondition("unsafe condition: variable " + v +
-                                    " unbound" + where);
-        }
-      }
-    }
-    for (const Literal& l : r.body) {
-      if (!l.negated) continue;
-      for (const Term& t : l.atom.args) {
-        if (t.is_var() && !t.is_anonymous() && bound.count(t.var) == 0) {
-          return FailedPrecondition("unsafe negation: variable " + t.var +
-                                    " unbound" + where);
-        }
-      }
-    }
-    std::unordered_set<std::string> existential;
-    for (const ExistentialSpec& e : r.existentials) {
-      if (bound.count(e.var) > 0) {
-        return FailedPrecondition("existential variable " + e.var +
-                                  " also bound in body" + where);
-      }
-      if (!existential.insert(e.var).second) {
-        return FailedPrecondition("duplicate existential variable " + e.var +
-                                  where);
-      }
-      for (const std::string& a : e.skolem_args) {
-        if (bound.count(a) == 0) {
-          return FailedPrecondition("Skolem argument " + a + " unbound" +
-                                    where);
-        }
-      }
-    }
-    if (r.head.empty()) {
-      return FailedPrecondition("rule has no head" + where);
-    }
-    bool head_uses_existential = r.existentials.empty();
-    for (const Atom& h : r.head) {
-      for (const Term& t : h.args) {
-        if (!t.is_var()) continue;
-        if (t.is_anonymous()) {
-          return FailedPrecondition("anonymous variable in head" + where);
-        }
-        if (existential.count(t.var) > 0) {
-          head_uses_existential = true;
-          continue;
-        }
-        if (bound.count(t.var) == 0) {
-          return FailedPrecondition("unsafe head: variable " + t.var +
-                                    " unbound" + where);
-        }
-      }
-    }
-    if (!head_uses_existential) {
-      return FailedPrecondition("declared existential never used in head" +
-                                where);
-    }
+    KGM_RETURN_IF_ERROR(ValidateRuleSafety(program.rules[ri], ri));
   }
   return OkStatus();
 }
@@ -343,7 +374,6 @@ WardednessReport CheckWardedness(const Program& program) {
   // 2. Per-rule ward check.
   for (size_t ri = 0; ri < program.rules.size(); ++ri) {
     const Rule& r = program.rules[ri];
-    std::string label = r.label.empty() ? std::to_string(ri + 1) : r.label;
 
     // Harmful variables: every body occurrence is in an affected position.
     std::unordered_map<std::string, std::pair<int, int>> occ;
@@ -411,8 +441,18 @@ WardednessReport CheckWardedness(const Program& program) {
     }
     if (!found_ward) {
       report.warded = false;
-      report.violations.push_back("rule " + label +
-                                  " has no ward for its dangerous variables");
+      std::vector<std::string> sorted_dangerous(dangerous.begin(),
+                                                dangerous.end());
+      std::sort(sorted_dangerous.begin(), sorted_dangerous.end());
+      std::string vars;
+      for (const std::string& v : sorted_dangerous) {
+        if (!vars.empty()) vars += ", ";
+        vars += v;
+      }
+      report.violations.push_back(RulePrefix(r, ri) +
+                                  "no ward for dangerous variables [" + vars +
+                                  "]");
+      report.violation_rules.push_back(static_cast<int>(ri));
     }
   }
   return report;

@@ -43,13 +43,34 @@ struct Stratification {
   }
 };
 
-// Builds the dependency graph and stratifies the program.  Fails when a
-// negated dependency or a pack() aggregate occurs inside a recursive SCC.
+// A stratification violation: a negated body literal whose predicate sits in
+// the same SCC as the rule's head (negation inside recursion).
+struct StratViolation {
+  int rule_index = -1;       // 0-based index of the offending rule
+  std::string head_pred;     // first head predicate of that rule
+  std::string negated_pred;  // the negated body predicate
+  std::string message;       // "rule N (pred): ..." — deterministic
+};
+
+// Builds the dependency graph and computes SCC condensation, per-rule strata
+// and recursion flags unconditionally.  When `violations` is non-null, any
+// stratification violations are appended in rule order (deterministic)
+// instead of aborting the analysis.
+Stratification ComputeStratification(const Program& program,
+                                     std::vector<StratViolation>* violations);
+
+// Builds the dependency graph and stratifies the program.  Fails on the
+// first stratification violation (negation inside a recursive SCC).
 Result<Stratification> Stratify(const Program& program);
 
-// Validates range restriction: head/condition/assignment/aggregate/negation
-// variables must be bound by positive literals or prior assignments;
-// existential variables must be fresh and appear only in the head.
+// Validates range restriction for one rule: head/condition/assignment/
+// aggregate/negation variables must be bound by positive literals or prior
+// assignments; existential variables must be fresh and appear only in the
+// head.  `rule_index` is 0-based and used for the "rule N (pred):" message
+// prefix.
+Status ValidateRuleSafety(const Rule& r, size_t rule_index);
+
+// Validates every rule; fails with the first violation in rule order.
 Status ValidateSafety(const Program& program);
 
 // A predicate position (predicate name, 0-based argument index).
@@ -69,8 +90,10 @@ struct WardednessReport {
   bool warded = true;
   // Affected positions: those where labeled nulls may appear.
   std::set<Position> affected;
-  // Human-readable violations (empty when warded).
+  // Human-readable violations (empty when warded), in rule order.
   std::vector<std::string> violations;
+  // 0-based rule index per violation, parallel to `violations`.
+  std::vector<int> violation_rules;
 };
 
 // Checks wardedness of the program's rules.

@@ -37,12 +37,19 @@ Result<std::vector<Token>> Tokenize(std::string_view src) {
   int line = 1;
   int col = 1;
   size_t i = 0;
+  // Start position of the token currently being scanned; every token
+  // records where its first character sits (multi-character tokens such as
+  // strings would otherwise report their end position).
+  int tok_line = 1;
+  int tok_col = 1;
+  size_t tok_off = 0;
   auto push = [&](TokKind kind, std::string text) {
     Token t;
     t.kind = kind;
     t.text = std::move(text);
-    t.line = line;
-    t.column = col;
+    t.line = tok_line;
+    t.column = tok_col;
+    t.offset = tok_off;
     out.push_back(std::move(t));
   };
   while (i < src.size()) {
@@ -62,6 +69,9 @@ Result<std::vector<Token>> Tokenize(std::string_view src) {
       while (i < src.size() && src[i] != '\n') ++i;
       continue;
     }
+    tok_line = line;
+    tok_col = col;
+    tok_off = i;
     if (IsIdentStart(c)) {
       size_t start = i;
       while (i < src.size() && IsIdentChar(src[i])) ++i;
@@ -95,8 +105,9 @@ Result<std::vector<Token>> Tokenize(std::string_view src) {
       }
       std::string text(src.substr(start, i - start));
       Token t;
-      t.line = line;
-      t.column = col;
+      t.line = tok_line;
+      t.column = tok_col;
+      t.offset = tok_off;
       t.text = text;
       if (is_double) {
         t.kind = TokKind::kDouble;
@@ -270,6 +281,7 @@ Result<std::vector<Token>> Tokenize(std::string_view src) {
   end.kind = TokKind::kEnd;
   end.line = line;
   end.column = col;
+  end.offset = src.size();
   out.push_back(end);
   return out;
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "base/source_loc.h"
 #include "base/status.h"
 #include "base/value.h"
 
@@ -56,8 +57,12 @@ struct Token {
   std::string text;     // identifier or string contents
   int64_t int_value = 0;
   double double_value = 0;
+  // Position of the token's first character.
   int line = 0;
   int column = 0;
+  size_t offset = 0;
+
+  SourceLoc loc() const { return SourceLoc{line, column, offset}; }
 
   std::string Describe() const;
 };

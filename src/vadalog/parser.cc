@@ -92,13 +92,16 @@ Status Parser::ParseAnnotation(Program* program) {
     if (!ts_.Check(TokKind::kString) && !ts_.Check(TokKind::kIdent)) {
       return ts_.ErrorHere("expected predicate name");
     }
+    const SourceLoc pred_loc = ts_.Peek().loc();
     std::string pred = ts_.Advance().text;
     KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kRParen, "')'"));
     KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kDot, "'.'"));
     if (name == "input") {
       program->inputs.push_back(std::move(pred));
+      program->input_locs.push_back(pred_loc);
     } else {
       program->outputs.push_back(std::move(pred));
+      program->output_locs.push_back(pred_loc);
     }
     return OkStatus();
   }
@@ -107,6 +110,7 @@ Status Parser::ParseAnnotation(Program* program) {
       return ts_.ErrorHere("expected predicate name after '@fact'");
     }
     FactDecl fact;
+    fact.loc = ts_.Peek().loc();
     fact.predicate = ts_.Advance().text;
     KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kLParen, "'('"));
     if (!ts_.Check(TokKind::kRParen)) {
@@ -129,7 +133,9 @@ Result<Rule> Parser::ParseRuleStatement() {
   // complex; instead: parse a body first.  If we then see '->', we had the
   // paper form.  If we see ':-', the "body" we parsed must have been a
   // plain atom list and becomes the head.
+  const SourceLoc rule_loc = ts_.Peek().loc();
   Rule rule;
+  rule.loc = rule_loc;
   KGM_RETURN_IF_ERROR(ParseBody(&rule));
   if (ts_.Match(TokKind::kArrow)) {
     KGM_RETURN_IF_ERROR(ParseHead(&rule));
@@ -143,6 +149,7 @@ Result<Rule> Parser::ParseRuleStatement() {
       return ts_.ErrorHere("rule head must consist of atoms only");
     }
     Rule real;
+    real.loc = rule_loc;
     for (Literal& l : rule.body) {
       if (l.negated) return ts_.ErrorHere("negated atom in rule head");
       real.head.push_back(std::move(l.atom));
@@ -164,6 +171,7 @@ Result<Rule> Parser::ParseRuleStatement() {
       }
       if (all_const) {
         Rule fact_rule;
+        fact_rule.loc = rule_loc;
         for (Literal& l : rule.body) fact_rule.head.push_back(std::move(l.atom));
         return fact_rule;  // body-free rule: unconditional facts
       }
@@ -298,6 +306,7 @@ Result<Atom> Parser::ParseAtom() {
     return ts_.ErrorHere("expected predicate name");
   }
   Atom atom;
+  atom.loc = ts_.Peek().loc();
   atom.predicate = ts_.Advance().text;
   KGM_RETURN_IF_ERROR(ts_.Expect(TokKind::kLParen, "'('"));
   if (!ts_.Check(TokKind::kRParen)) {

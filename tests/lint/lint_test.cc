@@ -1,0 +1,277 @@
+// The lint pipeline: golden diagnostics per pass, the broken-program
+// corpus, MetaLog provenance anchoring, and admission-time rejection
+// through KgService.
+
+#include "lint/lint.h"
+
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "finkg/company_kg.h"
+#include "instance/pipeline.h"
+#include "service/service.h"
+#include "vadalog/parser.h"
+
+namespace kgm::lint {
+namespace {
+
+const Diagnostic* FindPass(const LintResult& result, std::string_view pass) {
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.pass == pass) return &d;
+  }
+  return nullptr;
+}
+
+size_t CountPass(const LintResult& result, std::string_view pass) {
+  size_t n = 0;
+  for (const Diagnostic& d : result.diagnostics) n += d.pass == pass;
+  return n;
+}
+
+// The family program with the Family label atom repeated on f: the join
+// of two affected positions leaves the dangerous variable without a ward.
+const char kBrokenWarded[] =
+    "(p: PhysicalPerson; surname: s)\n"
+    "  -> exists f = skFamily(s)\n"
+    "     (p)[: BELONGS_TO_FAMILY](f: Family; familyName: s).\n"
+    "(p: PhysicalPerson)[: BELONGS_TO_FAMILY](f: Family),\n"
+    "(p)[: OWNS](b: Business)\n"
+    "  -> exists e = skFamOwns(f, b) (f)[e: FAMILY_OWNS](b).\n";
+
+// ---------------------------------------------------------------- Vadalog
+
+TEST(LintVadalogTest, CleanProgramIsClean) {
+  LintResult result = LintVadalogSource(
+      "@input(\"edge\").\n"
+      "edge(x, y) -> reach(x, y).\n"
+      "reach(x, y), edge(y, z) -> reach(x, z).\n"
+      "@output(\"reach\").\n");
+  EXPECT_TRUE(result.empty()) << RenderText(result);
+}
+
+TEST(LintVadalogTest, UnsafeHeadVariableIsError) {
+  LintResult result = LintVadalogSource(
+      "@input(\"p\").\n"
+      "p(x) -> q(x, y).\n"
+      "@output(\"q\").\n");
+  const Diagnostic* d = FindPass(result, "safety");
+  ASSERT_NE(d, nullptr) << RenderText(result);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->loc.line, 2);
+  EXPECT_EQ(d->rule_index, 0);
+  EXPECT_NE(d->message.find("variable y"), std::string::npos) << d->message;
+  EXPECT_TRUE(result.has_errors());
+}
+
+TEST(LintVadalogTest, NegationInRecursiveSccIsError) {
+  LintResult result = LintVadalogSource(
+      "@fact p(\"a\").\n"
+      "p(x), not q(x) -> q(x).\n"
+      "@output(\"q\").\n");
+  const Diagnostic* d = FindPass(result, "stratification");
+  ASSERT_NE(d, nullptr) << RenderText(result);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->loc.line, 2);
+  EXPECT_NE(d->message.find("not stratified"), std::string::npos);
+}
+
+TEST(LintVadalogTest, ArityClashIsError) {
+  LintResult result = LintVadalogSource(
+      "@fact p(\"a\").\n"
+      "p(x) -> q(x).\n"
+      "p(x, y) -> r(x, y).\n"
+      "@output(\"q\").\n"
+      "@output(\"r\").\n");
+  const Diagnostic* d = FindPass(result, "arity");
+  ASSERT_NE(d, nullptr) << RenderText(result);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->loc.line, 3);
+  EXPECT_NE(d->message.find("predicate p"), std::string::npos);
+}
+
+TEST(LintVadalogTest, DeadRuleIsWarnedWhenOutputsDeclared) {
+  LintResult result = LintVadalogSource(
+      "@input(\"edge\").\n"
+      "edge(x, y) -> reach(x, y).\n"
+      "edge(x, y) -> dead(x, y).\n"
+      "@output(\"reach\").\n");
+  const Diagnostic* unused = FindPass(result, "unused-predicate");
+  ASSERT_NE(unused, nullptr) << RenderText(result);
+  EXPECT_EQ(unused->severity, Severity::kWarning);
+  const Diagnostic* unreachable = FindPass(result, "unreachable-rule");
+  ASSERT_NE(unreachable, nullptr) << RenderText(result);
+  EXPECT_EQ(unreachable->loc.line, 3);
+  EXPECT_FALSE(result.has_errors());
+}
+
+TEST(LintVadalogTest, UndefinedPredicateIsWarned) {
+  LintResult result = LintVadalogSource(
+      "ghost(x) -> q(x).\n"
+      "@output(\"q\").\n");
+  const Diagnostic* d = FindPass(result, "undefined-predicate");
+  ASSERT_NE(d, nullptr) << RenderText(result);
+  EXPECT_NE(d->message.find("ghost"), std::string::npos);
+}
+
+TEST(LintVadalogTest, ExternalPredicatesAreExempt) {
+  LintOptions options;
+  options.external_predicates = {"ghost"};
+  vadalog::Program program;
+  auto parsed = vadalog::ParseProgram("ghost(x) -> q(x).\n@output(\"q\").\n");
+  ASSERT_TRUE(parsed.ok());
+  LintResult result = RunLints(*parsed, options);
+  EXPECT_EQ(FindPass(result, "undefined-predicate"), nullptr)
+      << RenderText(result);
+}
+
+TEST(LintVadalogTest, SingletonVariableWarnsUnlessUnderscored) {
+  LintResult dirty = LintVadalogSource(
+      "@input(\"p\").\np(x, y) -> q(x).\n@output(\"q\").\n");
+  const Diagnostic* d = FindPass(dirty, "singleton-variable");
+  ASSERT_NE(d, nullptr) << RenderText(dirty);
+  EXPECT_NE(d->message.find("variable y"), std::string::npos);
+
+  LintResult clean = LintVadalogSource(
+      "@input(\"p\").\np(x, _y) -> q(x).\n@output(\"q\").\n");
+  EXPECT_EQ(FindPass(clean, "singleton-variable"), nullptr)
+      << RenderText(clean);
+}
+
+TEST(LintVadalogTest, ParseErrorBecomesDiagnostic) {
+  LintResult result = LintVadalogSource("p(x ->\n");
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].pass, "parse");
+  EXPECT_EQ(result.diagnostics[0].severity, Severity::kError);
+}
+
+TEST(LintVadalogTest, RenderingIsDeterministic) {
+  const char kSource[] =
+      "@fact p(\"a\").\n"
+      "p(x) -> q(x, y).\n"
+      "p(x, z) -> r(x, z).\n"
+      "@output(\"q\").\n"
+      "@output(\"r\").\n";
+  LintResult a = LintVadalogSource(kSource);
+  LintResult b = LintVadalogSource(kSource);
+  EXPECT_EQ(RenderText(a, "f"), RenderText(b, "f"));
+  EXPECT_EQ(RenderJson(a, "f"), RenderJson(b, "f"));
+  // Errors sort before warnings at the same location.
+  ASSERT_FALSE(a.diagnostics.empty());
+  EXPECT_EQ(a.diagnostics.front().severity, a.max_severity());
+}
+
+// ---------------------------------------------------------------- MetaLog
+
+TEST(LintMetaLogTest, WardednessViolationAnchorsAtMetaLogRule) {
+  metalog::GraphCatalog catalog =
+      instance::SchemaCatalog(finkg::CompanyKgSchema());
+  LintResult result = LintMetaLogSource(kBrokenWarded, &catalog);
+  const Diagnostic* d = FindPass(result, "wardedness");
+  ASSERT_NE(d, nullptr) << RenderText(result);
+  EXPECT_EQ(d->severity, Severity::kError);
+  // The finding is reported at the second MetaLog rule (line 4), not at
+  // whatever compiled Vadalog rule MTV produced from it.
+  EXPECT_EQ(d->loc.line, 4);
+  EXPECT_EQ(d->rule_index, 1);
+  // The 2^k star-variant expansion must not duplicate the finding.
+  EXPECT_EQ(CountPass(result, "wardedness"), 1u);
+}
+
+TEST(LintMetaLogTest, CompanyKgProgramsLintClean) {
+  metalog::GraphCatalog catalog =
+      instance::SchemaCatalog(finkg::CompanyKgSchema());
+  const char* programs[] = {
+      finkg::kOwnsProgram, finkg::kControlProgram,
+      finkg::kStakeholdersProgram, finkg::kFamilyProgram,
+      finkg::kCloseLinksProgram};
+  for (const char* source : programs) {
+    LintResult result = LintMetaLogSource(source, &catalog);
+    EXPECT_TRUE(result.empty()) << source << "\n" << RenderText(result);
+  }
+}
+
+TEST(LintMetaLogTest, UnknownLabelIsCatalogWarning) {
+  metalog::GraphCatalog catalog =
+      instance::SchemaCatalog(finkg::CompanyKgSchema());
+  LintResult result = LintMetaLogSource(
+      "(x: Wat) -> exists c = skC(x) (x)[c: CONTROLS](x).\n", &catalog);
+  const Diagnostic* d = FindPass(result, "catalog");
+  ASSERT_NE(d, nullptr) << RenderText(result);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_NE(d->message.find("Wat"), std::string::npos);
+}
+
+TEST(LintMetaLogTest, ParseErrorBecomesDiagnostic) {
+  LintResult result = LintMetaLogSource("this is not metalog\n", nullptr);
+  ASSERT_FALSE(result.diagnostics.empty());
+  EXPECT_EQ(result.diagnostics[0].pass, "parse");
+  EXPECT_TRUE(result.has_errors());
+}
+
+// ---------------------------------------------------------------- Service
+
+pg::PropertyGraph TinyGraph() {
+  pg::PropertyGraph g;
+  pg::NodeId a = g.AddNode("PhysicalPerson", {{"surname", Value("Rossi")}});
+  pg::NodeId b = g.AddNode("Business", {});
+  g.AddEdge(a, b, "OWNS", {{"percentage", Value(0.6)}});
+  return g;
+}
+
+TEST(LintServiceTest, QueryRejectsWardednessViolationBeforeQueueing) {
+  service::KgService svc;
+  svc.Publish(TinyGraph());
+  service::QueryRequest request;
+  request.program = kBrokenWarded;
+  request.language = service::QueryLanguage::kMetaLog;
+  request.output = "FAMILY_OWNS";
+  auto result = svc.Query(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("rejected by lint"),
+            std::string::npos)
+      << result.status().ToString();
+
+  // Execute() bypasses the queue but not the (cached) lint verdict.
+  auto direct = svc.Execute(request);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(direct.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LintServiceTest, VadalogQueryRejectsUnsafeRule) {
+  service::KgService svc;
+  svc.Publish(TinyGraph());
+  service::QueryRequest request;
+  request.program = "OWNS(e, x, y, w) -> q(x, ghost).";
+  request.language = service::QueryLanguage::kVadalog;
+  request.output = "q";
+  auto result = svc.Query(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+      << result.status().ToString();
+}
+
+TEST(LintServiceTest, AdmissionCanBeDisabled) {
+  service::KgServiceOptions options;
+  options.lint_admission = false;
+  service::KgService svc(options);
+  svc.Publish(TinyGraph());
+  service::QueryRequest request;
+  request.program = kBrokenWarded;
+  request.language = service::QueryLanguage::kMetaLog;
+  request.output = "FAMILY_OWNS";
+  // Without admission the program reaches the engine; whatever the engine
+  // decides, the verdict must not be the lint rejection.
+  auto result = svc.Query(request);
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().message().find("rejected by lint"),
+              std::string::npos)
+        << result.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace kgm::lint

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# One-shot verification: tier-1 ctest on the regular build, then the ASan
-# and TSan builds (KGM_SANITIZE) with the race-sensitive suites.
+# One-shot verification: tier-1 ctest on the regular build, program lint
+# over the shipped examples, then the ASan and TSan builds (KGM_SANITIZE)
+# with the race-sensitive suites.
 #
-#   tools/check.sh            # full run (regular + asan + tsan)
-#   tools/check.sh --fast     # regular build + ctest only
+#   tools/check.sh            # full run (regular + lint + asan + tsan)
+#   tools/check.sh --fast     # regular build + ctest + program lint only
+#   tools/check.sh --tidy     # clang-tidy over src/ (skips if not installed)
 #
 # Sanitizer builds reuse build-asan/ and build-tsan/ so incremental runs
 # are cheap.  Exits non-zero on the first failing step.
@@ -12,12 +14,28 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
+TIDY=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
+[[ "${1:-}" == "--tidy" ]] && TIDY=1
 
 run() {
   echo "== $*"
   "$@"
 }
+
+if [[ "$TIDY" == 1 ]]; then
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy not installed; skipping tidy run"
+    exit 0
+  fi
+  # clang-tidy reads the compile flags from build/compile_commands.json
+  # (CMAKE_EXPORT_COMPILE_COMMANDS is always on).
+  run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+  run clang-tidy -p build --quiet "${SOURCES[@]}"
+  echo "OK (clang-tidy)"
+  exit 0
+fi
 
 # No explicit generator: reconfiguring an existing build dir with a
 # different one is a cmake error, so stick to the platform default.
@@ -26,6 +44,9 @@ run cmake --build build -j
 JOBS="$(nproc)"
 
 run ctest --test-dir build --output-on-failure -j "$JOBS"
+
+# Shipped example programs must lint clean (exit 0 = no warnings/errors).
+run ./build/examples/kgmctl lint --schema company examples/programs/*
 
 if [[ "$FAST" == 1 ]]; then
   echo "OK (fast: sanitizer builds skipped)"
