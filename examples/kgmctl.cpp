@@ -15,6 +15,8 @@
 //       Run a KgService over a line-oriented protocol (stdin, or a TCP
 //       socket with --port; one thread per connection).  Commands:
 //         publish [companies persons seed]   generate + publish an epoch
+//         apply-delta [batch] [seed]         stream a shareholding-update
+//                                            batch into a delta epoch
 //         query <output> <m|v> <program>     MetaLog (m) or Vadalog (v)
 //         stats | epoch | quit
 //   kgmctl lint [--json] [--vadalog|--metalog] [--schema company|none] <file>...
@@ -41,11 +43,13 @@
 #include "core/gsl.h"
 #include "finkg/company_kg.h"
 #include "finkg/generator.h"
+#include "finkg/update_feed.h"
 #include "instance/pipeline.h"
 #include "lint/lint.h"
 #include "metalog/prepared.h"
 #include "rel/relational.h"
 #include "service/service.h"
+#include "service/wire.h"
 #include "translate/csv_io.h"
 #include "translate/enforce.h"
 #include "translate/ssst.h"
@@ -276,6 +280,36 @@ bool HandleServeLine(service::KgService& svc, const std::string& line,
         finkg::ShareholdingNetwork::Generate(config);
     uint64_t epoch = svc.Publish(net.ToInstanceGraph());
     *out = "published epoch " + std::to_string(epoch) + "\n";
+  } else if (cmd == "apply-delta") {
+    // Streams one synthetic shareholding-update batch against the served
+    // encoding: deletes live HOLDS rows, inserts fresh ones, publishes a
+    // delta epoch that shares every untouched relation with the previous
+    // snapshot.
+    finkg::UpdateFeedConfig config;
+    config.edge_pred = "HOLDS";
+    config.seed = svc.CurrentEpoch() + 1;
+    in >> config.batch_size;
+    in >> config.seed;
+    std::shared_ptr<const service::Snapshot> snap = svc.CurrentSnapshot();
+    if (snap == nullptr) {
+      *out = "error no graph published yet\n";
+      return true;
+    }
+    auto rel = snap->facts.find(config.edge_pred);
+    finkg::UpdateFeed feed(
+        rel == snap->facts.end() ? nullptr : rel->second.get(), config);
+    vadalog::EdbDelta delta = feed.NextBatch();
+    size_t dels = 0, inss = 0;
+    for (const auto& [pred, ts] : delta.deletes) dels += ts.size();
+    for (const auto& [pred, ts] : delta.inserts) inss += ts.size();
+    auto epoch = svc.ApplyDelta(delta);
+    if (!epoch.ok()) {
+      *out = "error " + epoch.status().ToString() + "\n";
+      return true;
+    }
+    *out = "delta epoch " + std::to_string(*epoch) + " (-" +
+           std::to_string(dels) + " +" + std::to_string(inss) + " " +
+           config.edge_pred + ")\n";
   } else if (cmd == "query") {
     std::string output, lang;
     in >> output >> lang;
@@ -318,10 +352,17 @@ bool HandleServeLine(service::KgService& svc, const std::string& line,
 }
 
 void ServeConnection(service::KgService& svc, int fd) {
+  // Raw IO through the wire helpers: reads retry on EINTR instead of
+  // treating an interrupted call as connection close, and replies are
+  // written to completion across short writes.
+  auto do_read = [fd](void* buf, size_t len) { return read(fd, buf, len); };
+  auto do_write = [fd](const void* buf, size_t len) {
+    return write(fd, buf, len);
+  };
   std::string buffer;
   char chunk[4096];
   for (;;) {
-    ssize_t n = read(fd, chunk, sizeof(chunk));
+    ssize_t n = service::ReadSomeWith(do_read, chunk, sizeof(chunk));
     if (n <= 0) break;
     buffer.append(chunk, static_cast<size_t>(n));
     size_t pos;
@@ -331,7 +372,7 @@ void ServeConnection(service::KgService& svc, int fd) {
       std::string out;
       bool keep_going = HandleServeLine(svc, line, &out);
       if (!out.empty() &&
-          write(fd, out.data(), out.size()) != static_cast<ssize_t>(out.size())) {
+          !service::WriteAllWith(do_write, out.data(), out.size())) {
         keep_going = false;
       }
       if (!keep_going) {
@@ -347,7 +388,12 @@ int CmdServe(int argc, char** argv) {
   int port = 0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
-      port = std::atoi(argv[++i]);
+      const char* text = argv[++i];
+      if (!service::ParsePort(text, &port)) {
+        std::fprintf(stderr, "kgmctl serve: invalid --port '%s' (want 1-65535)\n",
+                     text);
+        return 2;
+      }
     }
   }
 

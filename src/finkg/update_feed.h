@@ -1,0 +1,58 @@
+// Streaming shareholding-update feed.
+//
+// Simulates the daily churn of the company register (Section 2.1: the
+// Company KG is refreshed as shareholding records change) as a stream of
+// EdbDelta batches against the relational encoding of an ownership graph:
+// each batch deletes a sample of live edge rows and inserts new edges with
+// fresh oids between the known endpoints.  Deterministic given the seed,
+// so differential tests and benchmarks replay identical streams.
+
+#ifndef KGM_FINKG_UPDATE_FEED_H_
+#define KGM_FINKG_UPDATE_FEED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "vadalog/database.h"
+#include "vadalog/incremental.h"
+
+namespace kgm::finkg {
+
+struct UpdateFeedConfig {
+  // Encoded edge relation the feed mutates; rows are
+  // (oid, from, to, props...) per metalog::EncodeGraph.
+  std::string edge_pred = "OWNS";
+  size_t batch_size = 32;
+  // Fraction of each batch that deletes a live edge (the rest inserts).
+  double delete_fraction = 0.3;
+  uint64_t seed = 1;
+};
+
+class UpdateFeed {
+ public:
+  // Reads the current rows of `edges` (may be null/empty: the feed then
+  // yields empty batches).  The relation is not retained; the feed tracks
+  // liveness itself, assuming its batches are applied in order.
+  UpdateFeed(const vadalog::Relation* edges, UpdateFeedConfig config);
+
+  // The next update batch: `delete_fraction` of `batch_size` removals of
+  // live edges, the rest insertions of new edges (fresh oids, endpoints
+  // drawn from the observed node population, fresh percentage).
+  vadalog::EdbDelta NextBatch();
+
+  size_t live_edges() const { return live_.size(); }
+
+ private:
+  UpdateFeedConfig config_;
+  kgm::Rng rng_;
+  size_t arity_ = 0;                  // of the edge relation
+  std::vector<vadalog::Tuple> live_;  // rows currently in the relation
+  std::vector<Value> endpoints_;      // distinct node oids seen in rows
+  int64_t next_oid_ = 0;              // above every oid seen at construction
+};
+
+}  // namespace kgm::finkg
+
+#endif  // KGM_FINKG_UPDATE_FEED_H_

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <map>
+#include <set>
 
 #include "base/check.h"
 #include "metalog/parser.h"
@@ -114,6 +115,9 @@ Result<MaterializeStats> Materialize(const core::SuperSchema& schema,
 
   // --- flush ------------------------------------------------------------------
   const pg::PropertyGraph& dict = loaded.dict;
+  // Labels whose relational encoding this flush changes (see
+  // MaterializeStats::changed_labels).
+  std::set<std::string> changed_labels;
   // 1. Property updates on existing entities.
   for (pg::NodeId u : dict.NodesWithLabel(kOSmPropUpdate)) {
     const Value* name = dict.NodeProperty(u, "name");
@@ -125,6 +129,10 @@ Result<MaterializeStats> Materialize(const core::SuperSchema& schema,
       if (it == loaded.data_of_inode.end()) continue;
       data->SetNodeProperty(it->second, name->AsString(), *value);
       ++stats.updated_properties;
+      // Every label relation of the node re-encodes the updated property.
+      for (const std::string& l : data->node(it->second).labels) {
+        changed_labels.insert(l);
+      }
     }
   }
   // 2. New nodes: label = nodeType plus its ancestors (type accumulation).
@@ -137,6 +145,7 @@ Result<MaterializeStats> Materialize(const core::SuperSchema& schema,
          schema.AncestorsOf(type->AsString())) {
       labels.push_back(ancestor);
     }
+    for (const std::string& l : labels) changed_labels.insert(l);
     pg::NodeId id = data->AddNode(labels, StagedAttributes(dict, o));
     data_of_onode[o] = id;
     ++stats.new_nodes;
@@ -188,7 +197,9 @@ Result<MaterializeStats> Materialize(const core::SuperSchema& schema,
     if (exists) continue;
     data->AddEdge(from, to, type->AsString(), StagedAttributes(dict, o));
     ++stats.new_edges;
+    changed_labels.insert(type->AsString());
   }
+  stats.changed_labels.assign(changed_labels.begin(), changed_labels.end());
   auto t3 = Clock::now();
   stats.flush_seconds = Seconds(t2, t3);
   return stats;

@@ -51,6 +51,12 @@ struct MaterializeStats {
   // Full engine counters of the reasoning phase (threads used, per-rule
   // firings and probes, per-stratum wall times).
   vadalog::EngineStats engine_stats;
+  // Sorted labels whose relational encoding the flush actually changed:
+  // every label of a node that gained a property, the labels of new nodes,
+  // and the labels of new edges.  A serving layer can feed exactly these
+  // relations to KgService::ApplyDelta (or re-encode only them) instead of
+  // re-publishing the whole graph after a re-materialization.
+  std::vector<std::string> changed_labels;
   // The generated views, for inspection.
   std::string input_views;
   std::string output_views;

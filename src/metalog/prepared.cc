@@ -19,18 +19,55 @@ uint64_t PreparedCache::KeyOf(std::string_view source,
   return key;
 }
 
+std::string PreparedCache::CanonicalKey(std::string_view source,
+                                        const GraphCatalog& catalog,
+                                        const MtvOptions& options) {
+  // '\x1f' (unit separator) cannot appear in label/property identifiers or
+  // meaningfully in program text, so the concatenation is unambiguous.
+  std::string key(source);
+  for (const std::string& label : catalog.NodeLabels()) {
+    key += '\x1f';
+    key += 'N';
+    key += label;
+    for (const std::string& p : catalog.NodeProps(label)) {
+      key += '\x1e';
+      key += p;
+    }
+  }
+  for (const std::string& label : catalog.EdgeLabels()) {
+    key += '\x1f';
+    key += 'E';
+    key += label;
+    for (const std::string& p : catalog.EdgeProps(label)) {
+      key += '\x1e';
+      key += p;
+    }
+  }
+  key += '\x1f';
+  key += options.reflexive_star ? '1' : '0';
+  key += '\x1f';
+  key += std::to_string(options.max_stars_per_rule);
+  return key;
+}
+
 Result<std::shared_ptr<const CompiledMeta>> PreparedCache::Compile(
     std::string_view source, const GraphCatalog& catalog,
     const MtvOptions& options) {
   const uint64_t key = KeyOf(source, catalog, options);
+  std::string full_key = CanonicalKey(source, catalog, options);
 
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = by_key_.find(key);
     if (it != by_key_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      ++counters_.hits;
-      return it->second->second;
+      if (it->second->full_key == full_key) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++counters_.hits;
+        return it->second->value;
+      }
+      // Hash collision between distinct key material: a miss, never the
+      // other key's program.
+      ++counters_.key_collisions;
     }
     ++counters_.misses;
   }
@@ -53,14 +90,22 @@ Result<std::shared_ptr<const CompiledMeta>> PreparedCache::Compile(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_key_.find(key);
   if (it != by_key_.end()) {
-    // Another thread compiled the same key first; keep its copy.
+    if (it->second->full_key == full_key) {
+      // Another thread compiled the same key first; keep its copy.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->value;
+    }
+    // Colliding entry for different key material: the newcomer displaces
+    // it (the cache holds at most one entry per hash value).
+    it->second->full_key = std::move(full_key);
+    it->second->value = result;
     lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->second;
+    return result;
   }
-  lru_.emplace_front(key, result);
+  lru_.push_front(Entry{key, std::move(full_key), result});
   by_key_[key] = lru_.begin();
   while (capacity_ > 0 && lru_.size() > capacity_) {
-    by_key_.erase(lru_.back().first);
+    by_key_.erase(lru_.back().hash);
     lru_.pop_back();
     ++counters_.evictions;
   }

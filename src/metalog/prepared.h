@@ -67,8 +67,9 @@ class PreparedCache {
 
   struct Counters {
     size_t hits = 0;
-    size_t misses = 0;
-    size_t evictions = 0;
+    size_t misses = 0;          // includes collision misses
+    size_t key_collisions = 0;  // hash matched, full key material did not
+    size_t evictions = 0;       // capacity evictions only
   };
   Counters counters() const;
   size_t size() const;
@@ -79,8 +80,22 @@ class PreparedCache {
   static uint64_t KeyOf(std::string_view source, const GraphCatalog& catalog,
                         const MtvOptions& options);
 
+  // The full key material behind KeyOf: a canonical string of the source
+  // text, the catalog's labels with their property lists, and the options.
+  // Entries store it and verify it on every hit, so a 64-bit hash
+  // collision between two distinct (source, catalog, options) triples is
+  // counted in `key_collisions` and served as a miss — never as the wrong
+  // compiled program.
+  static std::string CanonicalKey(std::string_view source,
+                                  const GraphCatalog& catalog,
+                                  const MtvOptions& options);
+
  private:
-  using Entry = std::pair<uint64_t, std::shared_ptr<const CompiledMeta>>;
+  struct Entry {
+    uint64_t hash = 0;
+    std::string full_key;  // CanonicalKey(...); verified on hit
+    std::shared_ptr<const CompiledMeta> value;
+  };
 
   mutable std::mutex mu_;
   size_t capacity_;

@@ -2,6 +2,13 @@
 // shared_ptrs to immutable payloads, so a Get returns a handle that stays
 // valid after eviction.  All operations take one mutex briefly; payloads
 // are never copied under the lock.
+//
+// Entries are indexed by the key's 64-bit hash but store the FULL key and
+// verify equality on every hit: two distinct keys that collide on the hash
+// can never serve each other's payload.  A verified mismatch counts as a
+// miss (and as a `key_collisions` counter tick); a Put whose hash lands on
+// a different key's slot evicts that entry — the cache holds at most one
+// entry per hash value.
 
 #ifndef KGM_SERVICE_CACHE_H_
 #define KGM_SERVICE_CACHE_H_
@@ -15,41 +22,76 @@
 
 namespace kgm::service {
 
-template <typename V>
+// K must provide `uint64_t Hash() const` and `operator==`.
+template <typename K, typename V>
 class LruCache {
  public:
+  struct Counters {
+    size_t hits = 0;
+    size_t misses = 0;          // includes collision misses
+    size_t key_collisions = 0;  // hash matched, full key did not
+    size_t evictions = 0;       // capacity evictions only
+  };
+
   explicit LruCache(size_t capacity) : capacity_(capacity) {}
 
-  // nullptr on miss; promotes the entry on hit.
-  std::shared_ptr<const V> Get(uint64_t key) {
+  // nullptr on miss; promotes the entry on hit.  A hash match with a
+  // different full key is a miss, not a hit.
+  std::shared_ptr<const V> Get(const K& key) {
+    const uint64_t hash = key.Hash();
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = by_key_.find(key);
-    if (it == by_key_.end()) return nullptr;
+    auto it = by_hash_.find(hash);
+    if (it == by_hash_.end()) {
+      ++counters_.misses;
+      return nullptr;
+    }
+    if (!(it->second->key == key)) {
+      ++counters_.key_collisions;
+      ++counters_.misses;
+      return nullptr;
+    }
+    ++counters_.hits;
     lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->second;
+    return it->second->value;
   }
 
-  void Put(uint64_t key, std::shared_ptr<const V> value) {
+  void Put(K key, std::shared_ptr<const V> value) {
     if (capacity_ == 0) return;
+    const uint64_t hash = key.Hash();
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = by_key_.find(key);
-    if (it != by_key_.end()) {
-      it->second->second = std::move(value);
+    auto it = by_hash_.find(hash);
+    if (it != by_hash_.end()) {
+      if (!(it->second->key == key)) {
+        // A different key hashes here; the newcomer displaces it.
+        ++counters_.key_collisions;
+        it->second->key = std::move(key);
+      }
+      it->second->value = std::move(value);
       lru_.splice(lru_.begin(), lru_, it->second);
       return;
     }
-    lru_.emplace_front(key, std::move(value));
-    by_key_[key] = lru_.begin();
+    lru_.push_front(Entry{hash, std::move(key), std::move(value)});
+    by_hash_[hash] = lru_.begin();
     while (lru_.size() > capacity_) {
-      by_key_.erase(lru_.back().first);
+      by_hash_.erase(lru_.back().hash);
       lru_.pop_back();
+      ++counters_.evictions;
     }
   }
 
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);
     lru_.clear();
-    by_key_.clear();
+    by_hash_.clear();
+  }
+
+  // Visits every entry, most recently used first, without promoting.
+  // `fn(const K&, const std::shared_ptr<const V>&)`.  Used by the serving
+  // layer to carry result entries across delta publications.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& e : lru_) fn(e.key, e.value);
   }
 
   size_t size() const {
@@ -57,13 +99,23 @@ class LruCache {
     return lru_.size();
   }
 
+  Counters counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+  }
+
  private:
-  using Entry = std::pair<uint64_t, std::shared_ptr<const V>>;
+  struct Entry {
+    uint64_t hash;
+    K key;
+    std::shared_ptr<const V> value;
+  };
 
   mutable std::mutex mu_;
   size_t capacity_;
   std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<uint64_t, typename std::list<Entry>::iterator> by_key_;
+  std::unordered_map<uint64_t, typename std::list<Entry>::iterator> by_hash_;
+  Counters counters_;
 };
 
 }  // namespace kgm::service

@@ -19,6 +19,26 @@ double Seconds(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
+// Sorted predicates of `program` that exist in the snapshot encoding —
+// the extensional inputs of the evaluation.  Head-only predicates that
+// shadow a snapshot relation count too: the engine seeds them from the
+// existing rows.
+std::vector<std::string> InputPredicates(const vadalog::Program& program,
+                                         const Snapshot& snap) {
+  std::vector<std::string> preds;
+  auto consider = [&](const std::string& pred) {
+    if (snap.facts.count(pred) > 0) preds.push_back(pred);
+  };
+  for (const vadalog::Rule& rule : program.rules) {
+    for (const vadalog::Literal& lit : rule.body) consider(lit.atom.predicate);
+    for (const vadalog::Atom& head : rule.head) consider(head.predicate);
+  }
+  for (const vadalog::FactDecl& fact : program.facts) consider(fact.predicate);
+  std::sort(preds.begin(), preds.end());
+  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  return preds;
+}
+
 // Column names of a label's relational encoding; empty for non-labels.
 std::vector<std::string> ColumnsFor(const metalog::GraphCatalog& catalog,
                                     const std::string& output) {
@@ -80,6 +100,98 @@ uint64_t KgService::Publish(pg::PropertyGraph graph) {
   return epoch;
 }
 
+Result<uint64_t> KgService::ApplyDelta(const vadalog::EdbDelta& delta) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  std::shared_ptr<const Snapshot> prev = CurrentSnapshot();
+  if (prev == nullptr) {
+    return FailedPrecondition("no graph published yet");
+  }
+
+  // Validate before touching anything: every delta predicate must name an
+  // existing relation and every tuple must match its arity.
+  auto validate = [&](const std::map<std::string, std::vector<vadalog::Tuple>>&
+                          by_pred) -> Status {
+    for (const auto& [pred, tuples] : by_pred) {
+      auto it = prev->facts.find(pred);
+      if (it == prev->facts.end()) {
+        return InvalidArgument("delta names unknown relation '" + pred + "'");
+      }
+      for (const vadalog::Tuple& t : tuples) {
+        if (t.size() != it->second->arity()) {
+          return InvalidArgument(
+              "delta tuple arity " + std::to_string(t.size()) +
+              " != " + std::to_string(it->second->arity()) + " for '" + pred +
+              "'");
+        }
+      }
+    }
+    return OkStatus();
+  };
+  KGM_RETURN_IF_ERROR(validate(delta.deletes));
+  KGM_RETURN_IF_ERROR(validate(delta.inserts));
+
+  const uint64_t epoch = next_epoch_++;
+  auto snap = std::make_shared<Snapshot>();
+  snap->epoch = epoch;
+  snap->published_at = Clock::now();
+  snap->graph = prev->graph;  // shared: the delta lives in the encoding
+  snap->catalog = prev->catalog;
+  snap->catalog_fingerprint = prev->catalog_fingerprint;
+  snap->is_delta = true;
+  snap->num_nodes = prev->num_nodes;
+  snap->num_edges = prev->num_edges;
+
+  // Re-materialize only the touched relations; alias the rest.  `changed`
+  // records relations whose contents actually moved (a delete of an
+  // absent tuple or an insert of a present one is a no-op).
+  std::set<std::string> changed;
+  for (const auto& [pred, rel] : prev->facts) {
+    auto del = delta.deletes.find(pred);
+    auto ins = delta.inserts.find(pred);
+    if (del == delta.deletes.end() && ins == delta.inserts.end()) {
+      snap->facts.emplace(pred, rel);  // structural sharing
+      continue;
+    }
+    vadalog::Relation next = rel->Clone();
+    if (del != delta.deletes.end()) next.EraseTuples(del->second);
+    if (ins != delta.inserts.end()) {
+      for (const vadalog::Tuple& t : ins->second) next.Insert(t);
+    }
+    if (next.version() != rel->version()) changed.insert(pred);
+    snap->facts.emplace(
+        pred, std::make_shared<const vadalog::Relation>(std::move(next)));
+  }
+
+  {
+    std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+    snapshot_ = snap;
+  }
+
+  // Carry forward result-cache entries of the previous epoch whose inputs
+  // are untouched by the delta: same program + same relation contents =>
+  // same rows, so the cached entry is re-keyed to the new epoch.  All
+  // other entries age out via their stale epoch key.
+  std::vector<std::pair<ResultKeyMaterial, std::shared_ptr<const CachedResult>>>
+      carried;
+  results_.ForEach([&](const ResultKeyMaterial& key,
+                       const std::shared_ptr<const CachedResult>& value) {
+    if (key.epoch != prev->epoch) return;
+    for (const std::string& pred : value->input_preds) {
+      if (changed.count(pred) > 0) return;
+    }
+    ResultKeyMaterial forwarded = key;
+    forwarded.epoch = epoch;
+    carried.emplace_back(std::move(forwarded), value);
+  });
+  results_.Clear();
+  for (auto& [key, value] : carried) {
+    results_.Put(std::move(key), std::move(value));
+  }
+
+  stats_.RecordPublish(epoch, /*delta=*/true);
+  return epoch;
+}
+
 std::shared_ptr<const Snapshot> KgService::CurrentSnapshot() const {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   return snapshot_;
@@ -90,14 +202,34 @@ uint64_t KgService::CurrentEpoch() const {
   return snap == nullptr ? 0 : snap->epoch;
 }
 
-uint64_t KgService::ResultKey(const QueryRequest& request, uint64_t epoch,
-                              const metalog::MtvOptions& mtv) {
-  uint64_t key = std::hash<std::string>{}(request.program);
-  key = HashCombine(key, std::hash<std::string>{}(request.output));
-  key = HashCombine(key, static_cast<uint64_t>(request.language));
+bool KgService::ResultKeyMaterial::operator==(
+    const ResultKeyMaterial& other) const {
+  return program == other.program && output == other.output &&
+         language == other.language && epoch == other.epoch &&
+         reflexive_star == other.reflexive_star &&
+         max_stars_per_rule == other.max_stars_per_rule;
+}
+
+uint64_t KgService::ResultKeyMaterial::Hash() const {
+  uint64_t key = std::hash<std::string>{}(program);
+  key = HashCombine(key, std::hash<std::string>{}(output));
+  key = HashCombine(key, static_cast<uint64_t>(language));
   key = HashCombine(key, epoch);
-  key = HashCombine(key, mtv.reflexive_star ? 1u : 0u);
-  key = HashCombine(key, static_cast<uint64_t>(mtv.max_stars_per_rule));
+  key = HashCombine(key, reflexive_star ? 1u : 0u);
+  key = HashCombine(key, static_cast<uint64_t>(max_stars_per_rule));
+  return key;
+}
+
+KgService::ResultKeyMaterial KgService::ResultKey(
+    const QueryRequest& request, uint64_t epoch,
+    const metalog::MtvOptions& mtv) {
+  ResultKeyMaterial key;
+  key.program = request.program;
+  key.output = request.output;
+  key.language = request.language;
+  key.epoch = epoch;
+  key.reflexive_star = mtv.reflexive_star;
+  key.max_stars_per_rule = mtv.max_stars_per_rule;
   return key;
 }
 
@@ -194,7 +326,7 @@ Result<QueryResult> KgService::Evaluate(const QueryRequest& request,
 Result<QueryResult> KgService::EvaluateOnSnapshot(
     const QueryRequest& request, const Snapshot& snap,
     Clock::time_point deadline, const AdmittedCompile& admitted) {
-  const uint64_t key = ResultKey(request, snap.epoch, options_.mtv);
+  const ResultKeyMaterial key = ResultKey(request, snap.epoch, options_.mtv);
   if (request.use_result_cache) {
     if (std::shared_ptr<const CachedResult> hit = results_.Get(key)) {
       stats_.RecordResultCache(true);
@@ -230,9 +362,15 @@ Result<QueryResult> KgService::EvaluateOnSnapshot(
                              compiled->lint.FirstError());
     }
     if (EncodingCompatible(snap.catalog, compiled->catalog)) {
-      db = snap.facts.Clone();
+      db = snap.CloneFacts();
+    } else if (snap.is_delta) {
+      // The delta lives only in the encoding; re-encoding the (stale)
+      // graph would silently drop it.
+      return FailedPrecondition(
+          "program widens an extensional label but the current epoch is a "
+          "delta snapshot; publish a full graph to run it");
     } else {
-      db = metalog::EncodeGraph(snap.graph, compiled->catalog);
+      db = metalog::EncodeGraph(*snap.graph, compiled->catalog);
       out.fresh_encoding = true;
     }
     program = compiled->program;
@@ -255,8 +393,9 @@ Result<QueryResult> KgService::EvaluateOnSnapshot(
                                lint.FirstError());
       }
     }
-    db = snap.facts.Clone();
+    db = snap.CloneFacts();
   }
+  const std::vector<std::string> input_preds = InputPredicates(program, snap);
 
   vadalog::EngineOptions engine_options = options_.engine;
   engine_options.deadline = deadline;
@@ -276,6 +415,7 @@ Result<QueryResult> KgService::EvaluateOnSnapshot(
     cached->columns = out.columns;
     cached->rows = out.rows;
     cached->eval_seconds = out.eval_seconds;
+    cached->input_preds = input_preds;
     results_.Put(key, std::move(cached));
   }
   return out;
@@ -283,8 +423,12 @@ Result<QueryResult> KgService::EvaluateOnSnapshot(
 
 StatsSnapshot KgService::Stats() const {
   const metalog::PreparedCache::Counters prepared = prepared_.counters();
-  return stats_.Snapshot(pending_.load(std::memory_order_relaxed),
-                         prepared.hits, prepared.misses);
+  ServiceStats::ExternalCounters external;
+  external.prepared_hits = prepared.hits;
+  external.prepared_misses = prepared.misses;
+  external.prepared_key_collisions = prepared.key_collisions;
+  external.result_key_collisions = results_.counters().key_collisions;
+  return stats_.Snapshot(pending_.load(std::memory_order_relaxed), external);
 }
 
 }  // namespace kgm::service

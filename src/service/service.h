@@ -42,6 +42,7 @@
 #include "service/snapshot.h"
 #include "service/stats.h"
 #include "vadalog/engine.h"
+#include "vadalog/incremental.h"
 
 namespace kgm::service {
 
@@ -108,6 +109,22 @@ class KgService {
   // readers only ever contend on the O(1) pointer swap.
   uint64_t Publish(pg::PropertyGraph graph);
 
+  // Publishes a DELTA snapshot: applies `delta` (deletes before inserts,
+  // both idempotent) to the current epoch's relational encoding, cloning
+  // only the touched relations and sharing every other relation — plus the
+  // graph and the catalog — with the previous snapshot by pointer.  Result
+  // cache entries whose recorded input predicates are disjoint from the
+  // relations the delta actually changed are carried forward to the new
+  // epoch instead of being dropped.  Delta predicates must name existing
+  // relations with matching arity (InvalidArgument otherwise); requires a
+  // prior Publish (FailedPrecondition).  Returns the new epoch.
+  //
+  // The snapshot's property graph is NOT updated — queries that would need
+  // a fresh graph encoding (an extensional label widened by the program)
+  // fail with FailedPrecondition on delta snapshots instead of reading
+  // stale data; publish a full graph to clear the condition.
+  Result<uint64_t> ApplyDelta(const vadalog::EdbDelta& delta);
+
   // The current epoch's snapshot (nullptr before the first Publish).
   std::shared_ptr<const Snapshot> CurrentSnapshot() const;
   uint64_t CurrentEpoch() const;
@@ -131,10 +148,31 @@ class KgService {
     std::vector<std::string> columns;
     std::shared_ptr<const std::vector<vadalog::Tuple>> rows;
     double eval_seconds = 0;
+    // Sorted snapshot predicates the evaluation read (every program
+    // predicate present in the snapshot encoding).  ApplyDelta carries an
+    // entry forward only when this set is disjoint from the delta's
+    // changed relations.
+    std::vector<std::string> input_preds;
   };
 
-  static uint64_t ResultKey(const QueryRequest& request, uint64_t epoch,
-                            const metalog::MtvOptions& mtv);
+  // Full key material of one result-cache entry.  The cache indexes by
+  // Hash() but verifies the whole struct on hit, so hash collisions are
+  // misses, never wrong rows.
+  struct ResultKeyMaterial {
+    std::string program;
+    std::string output;
+    QueryLanguage language = QueryLanguage::kMetaLog;
+    uint64_t epoch = 0;
+    bool reflexive_star = false;
+    int max_stars_per_rule = 0;
+
+    bool operator==(const ResultKeyMaterial& other) const;
+    uint64_t Hash() const;
+  };
+
+  static ResultKeyMaterial ResultKey(const QueryRequest& request,
+                                     uint64_t epoch,
+                                     const metalog::MtvOptions& mtv);
 
   // Compilation carried from pre-queue admission into evaluation so each
   // request is compiled (and cache-counted) at most once.  `epoch` is the
@@ -173,7 +211,7 @@ class KgService {
   std::mutex publish_mu_;
   uint64_t next_epoch_ = 1;  // guarded by publish_mu_
   metalog::PreparedCache prepared_;
-  LruCache<CachedResult> results_;
+  LruCache<ResultKeyMaterial, CachedResult> results_;
   std::atomic<size_t> pending_{0};  // queued + running requests
   ServiceStats stats_;
 };

@@ -4,17 +4,33 @@
 
 namespace kgm::service {
 
+vadalog::FactDb Snapshot::CloneFacts() const {
+  vadalog::FactDb db;
+  for (const auto& [pred, rel] : facts) db.Adopt(pred, rel->Clone());
+  return db;
+}
+
+size_t Snapshot::TotalFacts() const {
+  size_t total = 0;
+  for (const auto& [pred, rel] : facts) total += rel->size();
+  return total;
+}
+
 std::shared_ptr<const Snapshot> BuildSnapshot(pg::PropertyGraph graph,
                                               uint64_t epoch) {
   auto snap = std::make_shared<Snapshot>();
   snap->epoch = epoch;
   snap->published_at = std::chrono::steady_clock::now();
-  snap->graph = std::move(graph);
-  snap->catalog = metalog::GraphCatalog::FromGraph(snap->graph);
+  snap->graph = std::make_shared<const pg::PropertyGraph>(std::move(graph));
+  snap->catalog = metalog::GraphCatalog::FromGraph(*snap->graph);
   snap->catalog_fingerprint = snap->catalog.Fingerprint();
-  snap->facts = metalog::EncodeGraph(snap->graph, snap->catalog);
-  snap->num_nodes = snap->graph.num_nodes();
-  snap->num_edges = snap->graph.num_edges();
+  vadalog::FactDb encoded = metalog::EncodeGraph(*snap->graph, snap->catalog);
+  encoded.ForEachRelation([&](const std::string& pred, vadalog::Relation& rel) {
+    snap->facts.emplace(
+        pred, std::make_shared<const vadalog::Relation>(std::move(rel)));
+  });
+  snap->num_nodes = snap->graph->num_nodes();
+  snap->num_edges = snap->graph->num_edges();
   return snap;
 }
 

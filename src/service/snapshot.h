@@ -6,13 +6,21 @@
 // `shared_ptr<const Snapshot>` and never mutated after publication, so
 // readers pin one with a single atomic load and evaluate against it
 // without locks while writers materialize the next epoch off to the side.
+//
+// The relational encoding is held as one immutable `shared_ptr<const
+// Relation>` per predicate, so a *delta* snapshot (KgService::ApplyDelta)
+// re-encodes only the relations the delta touched and shares every other
+// relation — and the graph, and the catalog — with the previous epoch by
+// pointer.  Full publications own every relation exclusively.
 
 #ifndef KGM_SERVICE_SNAPSHOT_H_
 #define KGM_SERVICE_SNAPSHOT_H_
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 
 #include "base/status.h"
 #include "metalog/catalog.h"
@@ -25,16 +33,30 @@ struct Snapshot {
   uint64_t epoch = 0;
   std::chrono::steady_clock::time_point published_at{};
 
-  pg::PropertyGraph graph;
+  // Shared with delta descendants; never null after BuildSnapshot.
+  std::shared_ptr<const pg::PropertyGraph> graph;
   // Catalog scanned from `graph` (FromGraph); queries compile against it.
   metalog::GraphCatalog catalog;
   uint64_t catalog_fingerprint = 0;
-  // Relational encoding of `graph` per `catalog`, precomputed so queries
-  // clone facts instead of re-encoding the graph per request.
-  vadalog::FactDb facts;
+  // Relational encoding of `graph` per `catalog`, one immutable relation
+  // per predicate, precomputed so queries clone facts instead of
+  // re-encoding the graph per request.  Delta snapshots alias unchanged
+  // relations with the previous epoch.
+  std::map<std::string, std::shared_ptr<const vadalog::Relation>> facts;
 
+  // True when this epoch was produced by ApplyDelta: `facts` has diverged
+  // from `graph` (the graph still describes the base publication), so
+  // queries that would need a fresh graph encoding must be rejected
+  // instead of silently reading stale data.
+  bool is_delta = false;
+
+  // Sizes of `graph` (stale on delta snapshots, like the graph itself).
   size_t num_nodes = 0;
   size_t num_edges = 0;
+
+  // Deep-copies the encoding into a mutable database for one evaluation.
+  vadalog::FactDb CloneFacts() const;
+  size_t TotalFacts() const;
 };
 
 // Builds a snapshot from a graph (taken by value; callers Clone() first if

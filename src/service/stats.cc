@@ -28,9 +28,13 @@ std::string StatsSnapshot::ToJson() const {
   out << ",\"deadline_exceeded\":" << deadline_exceeded;
   out << ",\"result_cache_hits\":" << result_cache_hits;
   out << ",\"result_cache_misses\":" << result_cache_misses;
+  out << ",\"result_cache_key_collisions\":" << result_cache_key_collisions;
   out << ",\"prepared_cache_hits\":" << prepared_cache_hits;
   out << ",\"prepared_cache_misses\":" << prepared_cache_misses;
+  out << ",\"prepared_cache_key_collisions\":"
+      << prepared_cache_key_collisions;
   out << ",\"publishes\":" << publishes;
+  out << ",\"delta_publishes\":" << delta_publishes;
   out << ",\"epoch\":" << epoch;
   out << ",\"epoch_age_seconds\":" << epoch_age_seconds;
   out << ",\"queue_depth\":" << queue_depth;
@@ -88,29 +92,34 @@ void ServiceStats::RecordResultCache(bool hit) {
   }
 }
 
-void ServiceStats::RecordPublish(uint64_t epoch) {
+void ServiceStats::RecordPublish(uint64_t epoch, bool delta) {
   std::lock_guard<std::mutex> lock(mu_);
   ++publishes_;
+  if (delta) ++delta_publishes_;
   epoch_ = epoch;
   last_publish_ = std::chrono::steady_clock::now();
 }
 
 StatsSnapshot ServiceStats::Snapshot(size_t queue_depth,
-                                     uint64_t prepared_hits,
-                                     uint64_t prepared_misses) const {
+                                     const ExternalCounters& external) const {
   std::lock_guard<std::mutex> lock(mu_);
   StatsSnapshot s;
   s.queries_ok = queries_ok_;
   s.queries_failed = queries_failed_;
   s.queue_rejected = queue_rejected_;
   s.deadline_exceeded = deadline_exceeded_;
-  s.queries_total =
-      queries_ok_ + queries_failed_ + deadline_exceeded_ + queue_rejected_;
+  // Completed queries only; queue rejections are reported separately (see
+  // the StatsSnapshot contract in stats.h) so queries_total and qps share
+  // one definition.
+  s.queries_total = queries_ok_ + queries_failed_ + deadline_exceeded_;
   s.result_cache_hits = result_cache_hits_;
   s.result_cache_misses = result_cache_misses_;
-  s.prepared_cache_hits = prepared_hits;
-  s.prepared_cache_misses = prepared_misses;
+  s.result_cache_key_collisions = external.result_key_collisions;
+  s.prepared_cache_hits = external.prepared_hits;
+  s.prepared_cache_misses = external.prepared_misses;
+  s.prepared_cache_key_collisions = external.prepared_key_collisions;
   s.publishes = publishes_;
+  s.delta_publishes = delta_publishes_;
   s.epoch = epoch_;
   s.queue_depth = queue_depth;
 
@@ -120,9 +129,8 @@ StatsSnapshot ServiceStats::Snapshot(size_t queue_depth,
     s.epoch_age_seconds =
         std::chrono::duration<double>(now - last_publish_).count();
   }
-  const uint64_t completed = queries_ok_ + queries_failed_ + deadline_exceeded_;
   s.qps = s.uptime_seconds > 0
-              ? static_cast<double>(completed) / s.uptime_seconds
+              ? static_cast<double>(s.queries_total) / s.uptime_seconds
               : 0;
 
   std::vector<double> window(

@@ -14,25 +14,37 @@
 namespace kgm::service {
 
 // Point-in-time copy of the service counters.
+//
+// Counting contract: `queries_total` counts COMPLETED queries — exactly
+// queries_ok + queries_failed + deadline_exceeded — and `qps` is
+// queries_total / uptime_seconds, so the two always agree.  Requests
+// bounced by admission control never reach evaluation and are reported
+// only in `queue_rejected`; they are in neither queries_total nor qps.
 struct StatsSnapshot {
-  uint64_t queries_total = 0;
+  uint64_t queries_total = 0;       // completed: ok + failed + deadline
   uint64_t queries_ok = 0;
   uint64_t queries_failed = 0;      // compile/eval errors
-  uint64_t queue_rejected = 0;      // admission control (Unavailable)
+  uint64_t queue_rejected = 0;      // admission control (Unavailable);
+                                    // NOT included in queries_total
   uint64_t deadline_exceeded = 0;
 
   uint64_t result_cache_hits = 0;
   uint64_t result_cache_misses = 0;
+  // Hash matched a cached entry but the full key material did not (see
+  // LruCache / PreparedCache): served as a miss, never as wrong data.
+  uint64_t result_cache_key_collisions = 0;
   uint64_t prepared_cache_hits = 0;
   uint64_t prepared_cache_misses = 0;
+  uint64_t prepared_cache_key_collisions = 0;
 
-  uint64_t publishes = 0;
+  uint64_t publishes = 0;           // full + delta publications
+  uint64_t delta_publishes = 0;     // ApplyDelta publications only
   uint64_t epoch = 0;
   double epoch_age_seconds = 0;     // since last publish; 0 if never
 
   size_t queue_depth = 0;           // in-flight + queued requests
   double uptime_seconds = 0;
-  double qps = 0;                   // completed queries / uptime
+  double qps = 0;                   // queries_total / uptime_seconds
 
   // Latency percentiles (seconds) over the most recent window.
   size_t latency_samples = 0;
@@ -55,12 +67,20 @@ class ServiceStats {
   void RecordDeadlineExceeded(double latency_seconds);
   void RecordQueueRejected();
   void RecordResultCache(bool hit);
-  void RecordPublish(uint64_t epoch);
+  void RecordPublish(uint64_t epoch, bool delta = false);
 
-  // `queue_depth` and the prepared-cache counters live elsewhere; the
-  // service passes current values when snapshotting.
-  StatsSnapshot Snapshot(size_t queue_depth, uint64_t prepared_hits,
-                         uint64_t prepared_misses) const;
+  // Cache counters owned elsewhere, passed in when snapshotting.
+  struct ExternalCounters {
+    uint64_t prepared_hits = 0;
+    uint64_t prepared_misses = 0;
+    uint64_t prepared_key_collisions = 0;
+    uint64_t result_key_collisions = 0;
+  };
+
+  // `queue_depth` and the cache counters live elsewhere; the service
+  // passes current values when snapshotting.
+  StatsSnapshot Snapshot(size_t queue_depth,
+                         const ExternalCounters& external) const;
 
  private:
   void RecordLatencyLocked(double latency_seconds);
@@ -75,6 +95,7 @@ class ServiceStats {
   uint64_t result_cache_hits_ = 0;
   uint64_t result_cache_misses_ = 0;
   uint64_t publishes_ = 0;
+  uint64_t delta_publishes_ = 0;
   uint64_t epoch_ = 0;
   std::vector<double> latencies_;  // ring buffer
   size_t latency_next_ = 0;

@@ -1,0 +1,66 @@
+// POSIX-robust byte IO for the line-oriented serve protocol.
+//
+// The helpers are templated on the raw IO callable so tests can inject
+// EINTR storms and short reads/writes without a real socket; production
+// callers pass thin lambdas over read(2)/write(2).
+
+#ifndef KGM_SERVICE_WIRE_H_
+#define KGM_SERVICE_WIRE_H_
+
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <string>
+
+namespace kgm::service {
+
+// Reads up to `len` bytes via `do_read(buf, len)`, retrying on EINTR.
+// Returns >0 bytes read, 0 on EOF, -1 on a real error — an interrupted
+// call is never mistaken for connection close.
+template <typename ReadFn>
+ssize_t ReadSomeWith(ReadFn&& do_read, void* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = do_read(buf, len);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+// Writes all `len` bytes via `do_write(p, remaining)`, retrying on EINTR
+// and continuing after short writes.  Returns true when every byte went
+// out, false on a real error (a short write alone is never fatal).
+template <typename WriteFn>
+bool WriteAllWith(WriteFn&& do_write, const void* buf, size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    const ssize_t n = do_write(p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // no progress possible
+    p += static_cast<size_t>(n);
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Strict TCP port parse: all-digit string in [1, 65535].  Rejects what
+// atoi silently maps to 0 (garbage, empty, trailing junk, out of range).
+inline bool ParsePort(const std::string& text, int* port) {
+  if (text.empty() || text.size() > 5) return false;
+  long value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  if (value < 1 || value > 65535) return false;
+  *port = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace kgm::service
+
+#endif  // KGM_SERVICE_WIRE_H_

@@ -71,6 +71,8 @@ Relation::Relation(size_t arity, size_t shard_count) : arity_(arity) {
 Relation Relation::Clone() const {
   KGM_CHECK(StagedCount() == 0);
   Relation out(arity_, shards_.size());
+  out.version_ = version_;
+  out.fingerprint_ = fingerprint_;
   out.tuples_ = tuples_;
   // Dedup buckets are keyed by full-tuple hash and the shard layout is
   // identical, so they copy wholesale — nothing is rehashed.
@@ -119,7 +121,64 @@ bool Relation::Insert(Tuple t) {
     index[hasher.Masked(mask)].rows.push_back(row);
   }
   tuples_.push_back(std::move(t));
+  ++version_;
+  fingerprint_ ^= h;
   return true;
+}
+
+size_t Relation::EraseTuples(const std::vector<Tuple>& ts) {
+  KGM_CHECK(StagedCount() == 0);
+  std::vector<char> dead(tuples_.size(), 0);
+  size_t erased = 0;
+  for (const Tuple& t : ts) {
+    if (t.size() != arity_) continue;
+    size_t row = FindRow(t);
+    if (row == kNoRow || dead[row]) continue;
+    dead[row] = 1;
+    fingerprint_ ^= HashTuple(t);
+    ++erased;
+  }
+  if (erased == 0) return 0;
+  // Order-preserving compaction shifts the surviving row ids, but every
+  // content hash stays the same, so the dedup shards and built indexes are
+  // patched in place: drop dead entries, remap the rest.  This keeps a
+  // deletion at O(entries) integer work instead of rehashing every tuple —
+  // the difference dominates incremental maintenance, which erases from
+  // large relations on every delta batch.
+  std::vector<uint32_t> remap(tuples_.size());
+  uint32_t next = 0;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    remap[i] = next;
+    if (!dead[i]) ++next;
+  }
+  std::vector<Tuple> kept;
+  kept.reserve(tuples_.size() - erased);
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (!dead[i]) kept.push_back(std::move(tuples_[i]));
+  }
+  tuples_ = std::move(kept);
+  auto patch_rows = [&](std::vector<uint32_t>& rows) {
+    size_t w = 0;
+    for (uint32_t row : rows) {
+      if (!dead[row]) rows[w++] = remap[row];
+    }
+    rows.resize(w);
+  };
+  for (auto& shard : shards_) {
+    for (auto it = shard->dedup.begin(); it != shard->dedup.end();) {
+      patch_rows(it->second.rows);
+      it = it->second.rows.empty() ? shard->dedup.erase(it) : std::next(it);
+    }
+  }
+  for (auto& [mask, index] : indexes_) {
+    (void)mask;
+    for (auto it = index.begin(); it != index.end();) {
+      patch_rows(it->second.rows);
+      it = it->second.rows.empty() ? index.erase(it) : std::next(it);
+    }
+  }
+  ++version_;
+  return erased;
 }
 
 bool Relation::Contains(const Tuple& t) const {
@@ -287,11 +346,13 @@ size_t Relation::DrainPrepared() {
       index[e.index_hashes[ii++]].rows.push_back(row);
     }
     tuples_.push_back(std::move(e.tuple));
+    fingerprint_ ^= e.hash;
     ++appended;
   }
   for (auto& shard : shards_) {
     shard->staged.clear();
   }
+  if (appended > 0) ++version_;
   return appended;
 }
 
@@ -353,6 +414,11 @@ Relation* FactDb::GetMutable(const std::string& pred) {
 
 bool FactDb::Add(const std::string& pred, Tuple t) {
   return GetOrCreate(pred, t.size()).Insert(std::move(t));
+}
+
+void FactDb::Adopt(const std::string& pred, Relation rel) {
+  const bool inserted = relations_.emplace(pred, std::move(rel)).second;
+  KGM_CHECK(inserted);
 }
 
 std::vector<std::string> FactDb::Predicates() const {

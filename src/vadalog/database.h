@@ -102,7 +102,31 @@ class Relation {
   // thread-safe; must not run while staged tuples are pending.
   bool Insert(Tuple t);
 
+  // Removes every listed tuple that is present; returns the number actually
+  // removed (duplicates in `ts` and absent tuples are ignored).  Surviving
+  // rows keep their relative order — row ids compact downwards — and the
+  // dedup table plus every built index are rebuilt.  Not thread-safe; must
+  // not run while staged tuples are pending.  Erasure is the one mutation
+  // that invalidates previously observed row ids; it exists for incremental
+  // maintenance (DRed overdeletion), not for the engine's fixpoint loop,
+  // which remains append-only.
+  size_t EraseTuples(const std::vector<Tuple>& ts);
+
   bool Contains(const Tuple& t) const;
+
+  // Monotonic mutation counter: bumped every time the canonical store gains
+  // or loses rows (an Insert that was new, a drain that appended, an erase
+  // that removed).  Lets callers detect "relation unchanged" without
+  // comparing contents.  Clone preserves the counter.
+  uint64_t version() const { return version_; }
+
+  // Order-independent content fingerprint: XOR of the full-tuple hashes of
+  // the canonical rows, maintained incrementally by Insert / drains /
+  // EraseTuples.  Two relations holding the same set of tuples have equal
+  // fingerprints regardless of insertion order; unequal fingerprints imply
+  // different contents (equal fingerprints can collide and callers needing
+  // certainty must compare tuples).
+  uint64_t content_hash() const { return fingerprint_; }
 
   // Row index of `t`, or kNoRow if absent.
   static constexpr size_t kNoRow = static_cast<size_t>(-1);
@@ -232,6 +256,8 @@ class Relation {
                          const Tuple& t) const;
 
   size_t arity_;
+  uint64_t version_ = 0;
+  uint64_t fingerprint_ = 0;
   std::vector<Tuple> tuples_;
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t shard_mask_ = 0;
@@ -260,6 +286,11 @@ class FactDb {
 
   // Convenience: insert one fact.
   bool Add(const std::string& pred, Tuple t);
+
+  // Moves a whole relation in under `pred`; aborts if the predicate
+  // already exists.  Used to assemble a database from independently built
+  // relations (e.g. cloning a snapshot's shared per-relation encoding).
+  void Adopt(const std::string& pred, Relation rel);
 
   std::vector<std::string> Predicates() const;
   size_t TotalFacts() const;

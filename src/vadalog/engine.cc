@@ -335,6 +335,15 @@ struct Engine::Impl {
   std::map<std::string, Relation>* next_delta = nullptr;
   std::map<std::string, Relation>* cur_delta = nullptr;
 
+  // When set, Run evaluates only the strata whose id is in the filter
+  // (Engine::RunStrata).
+  const std::set<int>* stratum_filter = nullptr;
+
+  // When set, derived facts are handed to the callback instead of being
+  // inserted (DeltaEvaluator).  Only meaningful on the sequential
+  // InsertShared path — staged/replay contexts never coexist with it.
+  std::function<void(const std::string&, Tuple)> emit_override;
+
   explicit Impl(Engine* e) : engine(e), options(e->options_),
                              stats(&e->stats_) {}
 
@@ -712,6 +721,10 @@ Status Engine::Impl::CompileRule(const Rule& rule, int index) {
 }
 
 Status Engine::Impl::InsertShared(const std::string& pred, Tuple t) {
+  if (emit_override) {
+    emit_override(pred, std::move(t));
+    return OkStatus();
+  }
   Relation& rel = db->GetOrCreate(pred, t.size());
   if (rel.Insert(t)) {
     ++stats->facts_derived;
@@ -839,6 +852,9 @@ Status Engine::Impl::Run(FactDb* target) {
   }
   stats->strata = static_cast<int>(by_stratum.size());
   for (auto& [stratum, rules] : by_stratum) {
+    if (stratum_filter != nullptr && stratum_filter->count(stratum) == 0) {
+      continue;
+    }
     auto t0 = std::chrono::steady_clock::now();
     Status status = EvalStratum(stratum, rules);
     stats->stratum_seconds.push_back(
@@ -2293,6 +2309,133 @@ Status Engine::Run(FactDb* db) {
   Impl impl(this);
   KGM_RETURN_IF_ERROR(impl.CompileAll());
   return impl.Run(db);
+}
+
+Status Engine::RunStrata(FactDb* db, const std::set<int>& strata) {
+  KGM_RETURN_IF_ERROR(init_status_);
+  Impl impl(this);
+  KGM_RETURN_IF_ERROR(impl.CompileAll());
+  impl.stratum_filter = &strata;
+  return impl.Run(db);
+}
+
+// --- DeltaEvaluator -----------------------------------------------------------
+
+struct DeltaEvaluator::State {
+  Engine::Impl impl;
+  Status init;
+
+  explicit State(Engine* engine) : impl(engine) {}
+};
+
+DeltaEvaluator::DeltaEvaluator(Engine* engine, FactDb* db)
+    : state_(std::make_unique<State>(engine)) {
+  state_->init = engine->status();
+  if (state_->init.ok()) state_->init = state_->impl.CompileAll();
+  // Sequential, mutating evaluation: no pool, no staging, no barrier chase.
+  state_->impl.db = db;
+  state_->impl.num_workers = 1;
+}
+
+DeltaEvaluator::~DeltaEvaluator() = default;
+
+const Status& DeltaEvaluator::status() const { return state_->init; }
+
+Status DeltaEvaluator::EvalRuleDelta(size_t rule_index, size_t literal_index,
+                                     std::map<std::string, Relation>& delta_rels,
+                                     const EmitFn& emit) {
+  KGM_RETURN_IF_ERROR(state_->init);
+  Engine::Impl& impl = state_->impl;
+  KGM_CHECK(rule_index < impl.compiled.size());
+  CompiledRule& cr = impl.compiled[rule_index];
+  KGM_CHECK(literal_index < cr.positives.size());
+  const CompiledLiteral& lit = cr.positives[literal_index];
+  auto it = delta_rels.find(lit.pred);
+  if (it == delta_rels.end()) return OkStatus();
+  const Relation& delta_rel = it->second;
+
+  impl.cur_delta = &delta_rels;
+  impl.emit_override = emit;
+  Status status = OkStatus();
+  // Enumerate the delta outermost, pre-binding the delta literal's
+  // variables, so Join probes the other literals through their indexes on
+  // the shared variables instead of scanning an unrestricted first literal.
+  // With a small delta this makes the evaluation cost proportional to the
+  // delta's join partners, not to the database.  The delta literal itself
+  // stays range-restricted inside Join (a fully bound containment probe);
+  // anonymous positions in it are left free, which can revisit a sibling
+  // delta row — emissions are idempotent for every caller, so that costs
+  // duplicate work, never duplicate facts.
+  for (size_t row = 0; row < delta_rel.size() && status.ok(); ++row) {
+    const Tuple& t = delta_rel.tuple(row);
+    EvalContext ctx;
+    ctx.rule = &cr;
+    ctx.slots.assign(cr.slot_names.size(), Value());
+    ctx.bound.assign(cr.slot_names.size(), 0);
+    bool ok = true;
+    for (size_t i = 0; i < lit.args.size() && ok; ++i) {
+      const ArgSlot& a = lit.args[i];
+      if (a.is_const) {
+        ok = a.constant == t[i];
+      } else if (a.slot < 0) {
+        // anonymous: matches anything
+      } else if (ctx.bound[a.slot]) {
+        ok = ctx.slots[a.slot] == t[i];
+      } else {
+        ctx.slots[a.slot] = t[i];
+        ctx.bound[a.slot] = 1;
+      }
+    }
+    if (!ok) continue;
+    status = impl.Join(ctx, cr, 0, static_cast<int>(literal_index));
+  }
+  impl.emit_override = nullptr;
+  impl.cur_delta = nullptr;
+  return status;
+}
+
+Status DeltaEvaluator::EvalRuleSeeded(size_t rule_index, size_t head_index,
+                                      const Tuple& target, const EmitFn& emit) {
+  KGM_RETURN_IF_ERROR(state_->init);
+  Engine::Impl& impl = state_->impl;
+  KGM_CHECK(rule_index < impl.compiled.size());
+  CompiledRule& cr = impl.compiled[rule_index];
+  KGM_CHECK(head_index < cr.head.size());
+  const CompiledLiteral& head = cr.head[head_index];
+  KGM_CHECK(target.size() == head.args.size());
+
+  // Existential slots stay free: MintAndEmitHead re-interns their Skolem
+  // terms, which are content-addressed, so a matching body reproduces the
+  // original values.
+  std::set<int> existential_slots;
+  for (const ExistSlot& e : cr.existentials) existential_slots.insert(e.slot);
+
+  EvalContext ctx;
+  ctx.rule = &cr;
+  ctx.slots.assign(cr.slot_names.size(), Value());
+  ctx.bound.assign(cr.slot_names.size(), 0);
+  for (size_t i = 0; i < head.args.size(); ++i) {
+    const ArgSlot& a = head.args[i];
+    if (a.is_const) {
+      if (!(a.constant == target[i])) return OkStatus();
+      continue;
+    }
+    if (a.slot < 0 || existential_slots.count(a.slot) > 0) continue;
+    if (ctx.bound[a.slot]) {
+      // Repeated head variable: the target must agree with itself.
+      if (!(ctx.slots[a.slot] == target[i])) return OkStatus();
+    } else {
+      ctx.slots[a.slot] = target[i];
+      ctx.bound[a.slot] = 1;
+    }
+  }
+  // Join builds probe masks from the live bound-state, so the pre-bound
+  // head variables restrict every literal they appear in — this is a
+  // targeted derivability probe, not a full rule evaluation.
+  impl.emit_override = emit;
+  Status status = impl.Join(ctx, cr, 0, /*delta_literal=*/-1);
+  impl.emit_override = nullptr;
+  return status;
 }
 
 Status RunProgram(std::string_view source, FactDb* db,

@@ -25,7 +25,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -156,9 +159,20 @@ class Engine {
   // program text are inserted first.  Derived facts are added in place.
   Status Run(FactDb* db);
 
+  // Evaluates only the strata whose SCC ids appear in `strata` (see
+  // stratification()), assuming every lower stratum is already materialized
+  // in `db`.  Program facts are (re-)inserted first; inserts are
+  // deduplicated, so re-running a stratum whose head relations were reset
+  // to their EDB base reproduces exactly the evaluation a full Run would
+  // perform at that stratum.  Used by incremental maintenance
+  // (vadalog/incremental.h) to recompute a suffix of the program after a
+  // delta.
+  Status RunStrata(FactDb* db, const std::set<int>& strata);
+
   const EngineStats& stats() const { return stats_; }
 
  private:
+  friend class DeltaEvaluator;
   struct Impl;
 
   Program program_;
@@ -171,6 +185,58 @@ class Engine {
 // Convenience: parse, validate and run `source` against `db`.
 Status RunProgram(std::string_view source, FactDb* db,
                   EngineOptions options = {});
+
+// Rule-at-a-time evaluation over a validated engine's compiled program,
+// built for the DRed incremental maintainer (vadalog/incremental.h).
+// Instead of inserting derived facts into the database, every head
+// derivation is reported through an emit callback, so the caller can run
+// overdeletion (collect heads reachable from deleted tuples), rederivation
+// (probe whether a specific tuple is still derivable) and semi-naive insert
+// rounds without the engine's fixpoint driver.
+//
+// Evaluation is sequential and reuses the engine's own join/binding/emit
+// machinery — assignments-as-equality-constraints, condition splits and
+// Skolem interning behave exactly as in Engine::Run, which is what makes
+// the maintained database converge to the from-scratch result.  The
+// database may be mutated between calls (the maintainer erases and inserts
+// tuples as phases complete); it must not be mutated during a call.
+class DeltaEvaluator {
+ public:
+  // `engine` must have ok status and outlive the evaluator; `db` is the
+  // database joins read.  Compiles the program once.
+  DeltaEvaluator(Engine* engine, FactDb* db);
+  ~DeltaEvaluator();
+
+  DeltaEvaluator(const DeltaEvaluator&) = delete;
+  DeltaEvaluator& operator=(const DeltaEvaluator&) = delete;
+
+  // Construction-time compilation outcome.
+  const Status& status() const;
+
+  using EmitFn = std::function<void(const std::string& pred, Tuple t)>;
+
+  // Evaluates rule `rule_index` with its `literal_index`-th *positive* body
+  // literal restricted to the tuples of `delta_rels[pred]` (the literal's
+  // predicate; absent predicate = no matches); every other literal joins
+  // against the live database.  Calls `emit` once per derived head atom.
+  Status EvalRuleDelta(size_t rule_index, size_t literal_index,
+                       std::map<std::string, Relation>& delta_rels,
+                       const EmitFn& emit);
+
+  // Evaluates rule `rule_index` with the universal variables of head atom
+  // `head_index` pre-bound from `target` (a tuple of that head predicate's
+  // arity).  Existential head positions are left free — their Skolem terms
+  // re-intern to the original values when the body matches.  Calls `emit`
+  // for every derivation; the caller checks whether any emission equals
+  // `target` to decide rederivability.  A constant head position that
+  // conflicts with `target` simply produces no emissions.
+  Status EvalRuleSeeded(size_t rule_index, size_t head_index,
+                        const Tuple& target, const EmitFn& emit);
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
 
 }  // namespace kgm::vadalog
 

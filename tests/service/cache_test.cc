@@ -1,0 +1,157 @@
+// LruCache key-collision behavior: entries store their full key material
+// and verify it on every hit, so two distinct keys whose 64-bit hashes
+// collide can never serve each other's values — a forced collision is a
+// miss (counted in key_collisions), not wrong data.
+
+#include "service/cache.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "metalog/prepared.h"
+
+namespace kgm::service {
+namespace {
+
+// Every key hashes to the same bucket; equality is by payload.  This is
+// the adversarial case: without full-key verification, any two keys would
+// alias each other's cached values.
+struct CollidingKey {
+  std::string payload;
+  uint64_t Hash() const { return 42; }
+  bool operator==(const CollidingKey& other) const {
+    return payload == other.payload;
+  }
+};
+
+TEST(LruCacheTest, BasicHitAndMiss) {
+  LruCache<CollidingKey, std::string> cache(4);
+  EXPECT_EQ(cache.Get(CollidingKey{"a"}), nullptr);
+  cache.Put(CollidingKey{"a"}, std::make_shared<const std::string>("va"));
+  auto hit = cache.Get(CollidingKey{"a"});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "va");
+  EXPECT_EQ(cache.counters().hits, 1u);
+  EXPECT_EQ(cache.counters().misses, 1u);
+  EXPECT_EQ(cache.counters().key_collisions, 0u);
+}
+
+TEST(LruCacheTest, ForcedCollisionIsAMissNotWrongData) {
+  LruCache<CollidingKey, std::string> cache(4);
+  cache.Put(CollidingKey{"a"}, std::make_shared<const std::string>("va"));
+
+  // Same hash, different key: must NOT return "va".
+  auto other = cache.Get(CollidingKey{"b"});
+  EXPECT_EQ(other, nullptr);
+  EXPECT_EQ(cache.counters().key_collisions, 1u);
+  EXPECT_EQ(cache.counters().misses, 1u);
+
+  // The original entry still serves its own key.
+  auto hit = cache.Get(CollidingKey{"a"});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "va");
+}
+
+TEST(LruCacheTest, CollidingPutDisplacesInsteadOfAliasing) {
+  LruCache<CollidingKey, std::string> cache(4);
+  cache.Put(CollidingKey{"a"}, std::make_shared<const std::string>("va"));
+  cache.Put(CollidingKey{"b"}, std::make_shared<const std::string>("vb"));
+  EXPECT_EQ(cache.counters().key_collisions, 1u);
+
+  // "b" displaced "a" (one entry per hash slot); each key only ever sees
+  // its own value.
+  auto b = cache.Get(CollidingKey{"b"});
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(*b, "vb");
+  EXPECT_EQ(cache.Get(CollidingKey{"a"}), nullptr);
+}
+
+TEST(LruCacheTest, SameKeyPutReplacesValue) {
+  LruCache<CollidingKey, std::string> cache(4);
+  cache.Put(CollidingKey{"a"}, std::make_shared<const std::string>("v1"));
+  cache.Put(CollidingKey{"a"}, std::make_shared<const std::string>("v2"));
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.Get(CollidingKey{"a"});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "v2");
+  EXPECT_EQ(cache.counters().key_collisions, 0u);
+}
+
+struct DistinctKey {
+  int id = 0;
+  uint64_t Hash() const { return static_cast<uint64_t>(id) * 0x9E3779B9; }
+  bool operator==(const DistinctKey& other) const { return id == other.id; }
+};
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<DistinctKey, int> cache(2);
+  cache.Put(DistinctKey{1}, std::make_shared<const int>(1));
+  cache.Put(DistinctKey{2}, std::make_shared<const int>(2));
+  ASSERT_NE(cache.Get(DistinctKey{1}), nullptr);  // 1 is now MRU
+  cache.Put(DistinctKey{3}, std::make_shared<const int>(3));
+  EXPECT_EQ(cache.Get(DistinctKey{2}), nullptr);  // 2 was LRU, evicted
+  EXPECT_NE(cache.Get(DistinctKey{1}), nullptr);
+  EXPECT_NE(cache.Get(DistinctKey{3}), nullptr);
+  EXPECT_EQ(cache.counters().evictions, 1u);
+}
+
+TEST(LruCacheTest, ForEachVisitsEntriesForCarryForward) {
+  LruCache<DistinctKey, int> cache(4);
+  cache.Put(DistinctKey{1}, std::make_shared<const int>(10));
+  cache.Put(DistinctKey{2}, std::make_shared<const int>(20));
+  int sum = 0;
+  cache.ForEach([&](const DistinctKey& key,
+                    const std::shared_ptr<const int>& value) {
+    sum += key.id + *value;
+  });
+  EXPECT_EQ(sum, 33);
+}
+
+// PreparedCache canonical keys: the full key material covers the source
+// text, the catalog's labels/properties, and the translation options, so
+// two compilations that differ in any of them can never verify as equal —
+// regardless of what their fingerprints hash to.
+TEST(PreparedCacheTest, CanonicalKeySeparatesSourceCatalogAndOptions) {
+  metalog::GraphCatalog catalog;
+  catalog.AddNodeLabel("Item", {"n"});
+  catalog.AddEdgeLabel("LINK", {});
+  metalog::GraphCatalog wider = catalog;
+  wider.AddNodeLabel("Other", {});
+
+  metalog::MtvOptions options;
+  const std::string base =
+      metalog::PreparedCache::CanonicalKey("src", catalog, options);
+  EXPECT_NE(base,
+            metalog::PreparedCache::CanonicalKey("src2", catalog, options));
+  EXPECT_NE(base,
+            metalog::PreparedCache::CanonicalKey("src", wider, options));
+  metalog::MtvOptions other_options;
+  other_options.max_stars_per_rule = 7;
+  EXPECT_NE(base, metalog::PreparedCache::CanonicalKey("src", catalog,
+                                                       other_options));
+  EXPECT_EQ(base,
+            metalog::PreparedCache::CanonicalKey("src", catalog, options));
+}
+
+TEST(PreparedCacheTest, HitsVerifyFullKeyAndCountCollisions) {
+  metalog::GraphCatalog catalog;
+  catalog.AddNodeLabel("Item", {"n"});
+  catalog.AddEdgeLabel("LINK", {});
+  metalog::PreparedCache cache(8);
+  const char* program =
+      "(x: Item)[: LINK](y: Item) -> exists e (x)[e: LINK2](y).";
+  auto first = cache.Compile(program, catalog, {});
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = cache.Compile(program, catalog, {});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // same shared entry
+  EXPECT_EQ(cache.counters().hits, 1u);
+  EXPECT_EQ(cache.counters().misses, 1u);
+  // No collision occurred; the counter exists and stays zero.
+  EXPECT_EQ(cache.counters().key_collisions, 0u);
+}
+
+}  // namespace
+}  // namespace kgm::service

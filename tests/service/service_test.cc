@@ -219,6 +219,187 @@ TEST(ServiceTest, StatsJsonIsWellFormed) {
   EXPECT_NE(json.find("\"latency_p50\":"), std::string::npos) << json;
 }
 
+// Builds a one-delete + one-insert LINK delta from the snapshot's own
+// encoding: the deleted tuple is the first LINK row; the inserted tuple
+// recombines existing oids/endpoints into a row the relation doesn't have.
+vadalog::EdbDelta OneLinkDelta(const Snapshot& snap,
+                               vadalog::Tuple* removed_out = nullptr,
+                               vadalog::Tuple* added_out = nullptr) {
+  const vadalog::Relation& link = *snap.facts.at("LINK");
+  vadalog::Tuple removed = link.tuple(0);
+  // (oid of edge 1, source of edge 0, target of edge 1): a fresh row on any
+  // chain of >= 3 nodes.
+  vadalog::Tuple added = {link.tuple(1)[0], link.tuple(0)[1],
+                          link.tuple(1)[2]};
+  EXPECT_FALSE(link.Contains(added));
+  vadalog::EdbDelta delta;
+  delta.deletes["LINK"].push_back(removed);
+  delta.inserts["LINK"].push_back(added);
+  if (removed_out != nullptr) *removed_out = std::move(removed);
+  if (added_out != nullptr) *added_out = std::move(added);
+  return delta;
+}
+
+TEST(ServiceTest, ApplyDeltaPublishesStructurallySharedSnapshot) {
+  KgService svc;
+  svc.Publish(ChainGraph(5));
+  std::shared_ptr<const Snapshot> snap1 = svc.CurrentSnapshot();
+  ASSERT_NE(snap1, nullptr);
+
+  vadalog::Tuple removed, added;
+  auto epoch = svc.ApplyDelta(OneLinkDelta(*snap1, &removed, &added));
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_EQ(*epoch, 2u);
+
+  std::shared_ptr<const Snapshot> snap2 = svc.CurrentSnapshot();
+  ASSERT_NE(snap2, nullptr);
+  EXPECT_TRUE(snap2->is_delta);
+  // Only the touched relation is re-materialized; everything else — the
+  // Item relation, the property graph — is shared with epoch 1 by pointer.
+  EXPECT_EQ(snap2->facts.at("Item").get(), snap1->facts.at("Item").get());
+  EXPECT_NE(snap2->facts.at("LINK").get(), snap1->facts.at("LINK").get());
+  EXPECT_EQ(snap2->graph.get(), snap1->graph.get());
+  EXPECT_FALSE(snap2->facts.at("LINK")->Contains(removed));
+  EXPECT_TRUE(snap2->facts.at("LINK")->Contains(added));
+  // The old snapshot is untouched: a pinned reader still sees epoch 1.
+  EXPECT_TRUE(snap1->facts.at("LINK")->Contains(removed));
+
+  // Queries run against the delta-applied encoding (4 - 1 + 1 edges).
+  auto result = svc.Query(CopyLinksRequest());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->epoch, 2u);
+  EXPECT_EQ(result->rows->size(), 4u);
+
+  StatsSnapshot stats = svc.Stats();
+  EXPECT_EQ(stats.publishes, 2u);       // full + delta
+  EXPECT_EQ(stats.delta_publishes, 1u);
+  EXPECT_EQ(stats.epoch, 2u);
+}
+
+TEST(ServiceTest, ApplyDeltaCarriesForwardUntouchedResults) {
+  KgService svc;
+  svc.Publish(ChainGraph(5));
+
+  // One query that reads only Item, one that reads LINK.
+  QueryRequest items;
+  items.program = "Item(o, n) -> item_copy(o, n).";
+  items.language = QueryLanguage::kVadalog;
+  items.output = "item_copy";
+  auto items_before = svc.Query(items);
+  ASSERT_TRUE(items_before.ok()) << items_before.status().ToString();
+  EXPECT_FALSE(items_before->result_cache_hit);
+  ASSERT_TRUE(svc.Query(CopyLinksRequest()).ok());
+
+  auto epoch = svc.ApplyDelta(OneLinkDelta(*svc.CurrentSnapshot()));
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+
+  // The Item-only entry was carried to the new epoch: hit, shared rows.
+  auto items_after = svc.Query(items);
+  ASSERT_TRUE(items_after.ok()) << items_after.status().ToString();
+  EXPECT_TRUE(items_after->result_cache_hit);
+  EXPECT_EQ(items_after->epoch, 2u);
+  EXPECT_EQ(items_after->rows.get(), items_before->rows.get());
+
+  // The LINK-reading entry was not: the delta changed its input relation.
+  auto links_after = svc.Query(CopyLinksRequest());
+  ASSERT_TRUE(links_after.ok()) << links_after.status().ToString();
+  EXPECT_FALSE(links_after->result_cache_hit);
+  EXPECT_EQ(links_after->epoch, 2u);
+}
+
+TEST(ServiceTest, DeltaSnapshotRejectsEncodingWideningQueries) {
+  KgService svc;
+  svc.Publish(ChainGraph(4));
+  ASSERT_TRUE(svc.ApplyDelta(OneLinkDelta(*svc.CurrentSnapshot())).ok());
+
+  // Mentions an unseen Item property: on a full snapshot this falls back
+  // to re-encoding the graph, but a delta snapshot's graph is stale — the
+  // service must refuse rather than silently dropping the delta.
+  QueryRequest request;
+  request.program =
+      "(x: Item; extra: v)[: LINK](y: Item) -> exists e (x)[e: LINK3](y).";
+  request.output = "LINK3";
+  auto result = svc.Query(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition)
+      << result.status().ToString();
+
+  // Publishing a full graph clears the condition.
+  svc.Publish(ChainGraph(4));
+  auto retried = svc.Query(request);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_TRUE(retried->fresh_encoding);
+}
+
+TEST(ServiceTest, ApplyDeltaValidatesPredicatesAndArity) {
+  KgService svc;
+
+  vadalog::EdbDelta delta;
+  delta.inserts["LINK"].push_back({Value(int64_t{1})});
+  auto before_publish = svc.ApplyDelta(delta);
+  ASSERT_FALSE(before_publish.ok());
+  EXPECT_EQ(before_publish.status().code(), StatusCode::kFailedPrecondition);
+
+  svc.Publish(ChainGraph(3));
+
+  vadalog::EdbDelta unknown;
+  unknown.inserts["NO_SUCH_RELATION"].push_back({Value(int64_t{1})});
+  auto unknown_result = svc.ApplyDelta(unknown);
+  ASSERT_FALSE(unknown_result.ok());
+  EXPECT_EQ(unknown_result.status().code(), StatusCode::kInvalidArgument);
+
+  vadalog::EdbDelta bad_arity;
+  bad_arity.deletes["LINK"].push_back({Value(int64_t{1})});  // LINK is arity 3
+  auto arity_result = svc.ApplyDelta(bad_arity);
+  ASSERT_FALSE(arity_result.ok());
+  EXPECT_EQ(arity_result.status().code(), StatusCode::kInvalidArgument);
+
+  // Rejected deltas publish nothing.
+  EXPECT_EQ(svc.CurrentEpoch(), 1u);
+  EXPECT_EQ(svc.Stats().delta_publishes, 0u);
+}
+
+TEST(ServiceTest, StatsCountRejectionsSeparatelyFromCompletedQueries) {
+  KgServiceOptions options;
+  options.queue_capacity = 0;  // every Query() is bounced at admission
+  KgService svc(options);
+  svc.Publish(ChainGraph(4));
+
+  // Two completed-ok, one completed-failed (all via Execute, which bypasses
+  // admission), and three admission rejections.
+  ASSERT_TRUE(svc.Execute(CopyLinksRequest()).ok());
+  QueryRequest uncached = CopyLinksRequest();
+  uncached.use_result_cache = false;
+  ASSERT_TRUE(svc.Execute(uncached).ok());
+  QueryRequest bad;
+  bad.program = "this is not metalog";
+  bad.output = "X";
+  ASSERT_FALSE(svc.Execute(bad).ok());
+  for (int i = 0; i < 3; ++i) {
+    auto rejected = svc.Query(CopyLinksRequest());
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  }
+
+  StatsSnapshot stats = svc.Stats();
+  EXPECT_EQ(stats.queries_ok, 2u);
+  EXPECT_EQ(stats.queries_failed, 1u);
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+  EXPECT_EQ(stats.queue_rejected, 3u);
+  // The contract: queries_total counts completed queries only — rejections
+  // are reported separately and never inflate throughput.
+  EXPECT_EQ(stats.queries_total,
+            stats.queries_ok + stats.queries_failed + stats.deadline_exceeded);
+  EXPECT_EQ(stats.queries_total, 3u);
+  ASSERT_GT(stats.uptime_seconds, 0.0);
+  EXPECT_NEAR(stats.qps * stats.uptime_seconds,
+              static_cast<double>(stats.queries_total), 1e-6);
+
+  std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"queries_total\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"queue_rejected\":3"), std::string::npos) << json;
+}
+
 TEST(ServiceTest, WidenedCatalogFallsBackToFreshEncoding) {
   KgService svc;
   svc.Publish(ChainGraph(4));

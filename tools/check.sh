@@ -58,8 +58,11 @@ fi
 # build above.  vadalog_ includes the deterministic-chase suites
 # (vadalog_engine_chase_parallel_test and the engine parallel tests),
 # whose frozen-screen + shared-dedup + ordered-replay protocol is the
-# main thing TSan needs to see.
-SANITIZER_TESTS='vadalog_|base_thread_pool|service_'
+# main thing TSan needs to see.  finkg_incremental runs the
+# incremental-vs-rebuild differential at 1 and 4 engine threads, which
+# exercises delta maintenance (DRed + stratum recompute) under both
+# sanitizers.
+SANITIZER_TESTS='vadalog_|base_thread_pool|service_|finkg_incremental'
 
 run cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DKGM_SANITIZE=address
