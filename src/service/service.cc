@@ -402,6 +402,7 @@ Result<QueryResult> KgService::EvaluateOnSnapshot(
   vadalog::Engine engine(std::move(program), engine_options);
   KGM_RETURN_IF_ERROR(engine.status());
   KGM_RETURN_IF_ERROR(engine.Run(&db));
+  stats_.RecordPlanner(engine.stats());
 
   auto rows = std::make_shared<std::vector<vadalog::Tuple>>();
   if (const vadalog::Relation* rel = db.Get(request.output)) {

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "vadalog/engine.h"
+
 namespace kgm::service {
 
 // Point-in-time copy of the service counters.
@@ -53,6 +55,16 @@ struct StatsSnapshot {
   double latency_p99 = 0;
   double latency_max = 0;
 
+  // Cost-based join planning (vadalog::EngineOptions::plan_mode),
+  // accumulated over every evaluation that ran with the planner enabled.
+  // Rendered as a nested "planner" object in ToJson.
+  uint64_t planner_runs = 0;        // engine runs with planning enabled
+  uint64_t plans_built = 0;         // plans constructed (incl. replans)
+  uint64_t plans_reordered = 0;     // built plans that changed the order
+  uint64_t plan_cache_hits = 0;     // PlanFor calls served from cache
+  uint64_t plan_replans = 0;        // rebuilds on stats drift / erase
+  double est_probes_saved = 0;      // estimator's account of avoided probes
+
   std::string ToJson() const;
 };
 
@@ -68,6 +80,9 @@ class ServiceStats {
   void RecordQueueRejected();
   void RecordResultCache(bool hit);
   void RecordPublish(uint64_t epoch, bool delta = false);
+  // Folds one engine run's planner counters into the service aggregates;
+  // a no-op unless the run had planning enabled.
+  void RecordPlanner(const vadalog::EngineStats& engine_stats);
 
   // Cache counters owned elsewhere, passed in when snapshotting.
   struct ExternalCounters {
@@ -97,6 +112,12 @@ class ServiceStats {
   uint64_t publishes_ = 0;
   uint64_t delta_publishes_ = 0;
   uint64_t epoch_ = 0;
+  uint64_t planner_runs_ = 0;
+  uint64_t plans_built_ = 0;
+  uint64_t plans_reordered_ = 0;
+  uint64_t plan_cache_hits_ = 0;
+  uint64_t plan_replans_ = 0;
+  double est_probes_saved_ = 0;
   std::vector<double> latencies_;  // ring buffer
   size_t latency_next_ = 0;
   size_t latency_count_ = 0;       // total ever recorded

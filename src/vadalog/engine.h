@@ -36,6 +36,7 @@
 #include "vadalog/analysis.h"
 #include "vadalog/ast.h"
 #include "vadalog/database.h"
+#include "vadalog/planner.h"
 
 namespace kgm::vadalog {
 
@@ -97,6 +98,13 @@ struct EngineOptions {
   // flag is read with relaxed ordering, so it may take one checkpoint for
   // a store from another thread to be observed.
   std::shared_ptr<const std::atomic<bool>> cancel;
+  // Cost-based join planning (vadalog/planner.h).  kGreedy reorders rule
+  // bodies by estimated selectivity and picks index-vs-scan per literal;
+  // materialized output stays bit-identical to kOff at every thread count
+  // (reordered rules collect firings and flush them in written-literal row
+  // order, restoring the exact off-mode emission sequence).  Ignored for
+  // legacy_sequential_chase runs.
+  PlanMode plan_mode = PlanMode::kOff;
 };
 
 struct EngineStats {
@@ -139,6 +147,18 @@ struct EngineStats {
   std::vector<size_t> rule_probes_by_rule;
   // Wall-clock seconds per stratum, in evaluation order.
   std::vector<double> stratum_seconds;
+  // Cost-based join planning observability (EngineOptions::plan_mode).
+  bool planner_enabled = false;
+  size_t plans_built = 0;      // plans constructed (incl. replans)
+  size_t plans_reordered = 0;  // built plans whose order differs from text
+  size_t plan_cache_hits = 0;  // PlanFor calls served from cache
+  size_t plan_replans = 0;     // rebuilds triggered by stats drift / erase
+  // Sum over cached plans of (est_probes_written - est_probes) * uses:
+  // the estimator's own account of probes avoided by reordering.
+  double est_probes_saved = 0;
+  // Every cached plan (per rule / regime / delta literal) with estimates
+  // and usage counters.
+  std::vector<PlanSnapshot> rule_plans;
 };
 
 class Engine {

@@ -48,6 +48,18 @@ run ctest --test-dir build --output-on-failure -j "$JOBS"
 # Shipped example programs must lint clean (exit 0 = no warnings/errors).
 run ./build/examples/kgmctl lint --schema company examples/programs/*
 
+# Cost-based join planning must never change results: `kgmctl explain`
+# materializes every shipped program twice — plan_mode off and greedy —
+# and exits non-zero unless the outputs hash-match bit for bit.  The
+# plan listing itself is noise here, so stdout is dropped; set -e still
+# fails the script on a mismatch.
+echo "== kgmctl explain (planner off-vs-greedy differential)"
+./build/examples/kgmctl explain \
+  examples/programs/owns.mlog examples/programs/control.mlog \
+  examples/programs/stakeholders.mlog examples/programs/family.mlog \
+  examples/programs/closelinks.mlog examples/programs/reach.vlog \
+  > /dev/null
+
 if [[ "$FAST" == 1 ]]; then
   echo "OK (fast: sanitizer builds skipped)"
   exit 0
@@ -61,7 +73,9 @@ fi
 # main thing TSan needs to see.  finkg_incremental runs the
 # incremental-vs-rebuild differential at 1 and 4 engine threads, which
 # exercises delta maintenance (DRed + stratum recompute) under both
-# sanitizers.
+# sanitizers.  vadalog_ also matches vadalog_planner_test (greedy-vs-off
+# bit-identity at 1/4/16 threads) and vadalog_database_test (the
+# cardinality-statistics registers the planner reads).
 SANITIZER_TESTS='vadalog_|base_thread_pool|service_|finkg_incremental'
 
 run cmake -B build-asan -S . \
