@@ -181,6 +181,16 @@ int main(int argc, char** argv) {
   w.Field("bench", "service");
   w.Field("clients", clients);
   w.Field("phase_seconds", phase_seconds);
+  // Interpreting this file across runs: qps/latency depend on the host.
+  // On a 1-CPU CI runner the closed-loop clients time-share one core with
+  // the worker pool, so absolute numbers there are indicative only —
+  // compare phases within a single run, not across machines.
+  w.Field("host_cpus",
+          static_cast<size_t>(std::thread::hardware_concurrency()));
+  w.Field("note",
+          "qps and latency are host-dependent; on a 1-cpu CI runner "
+          "clients contend with the worker pool, compare only within "
+          "this run");
   w.Field("companies", static_cast<size_t>(config.num_companies));
   w.Field("persons", static_cast<size_t>(config.num_persons));
   w.Field("epoch", static_cast<size_t>(epoch));

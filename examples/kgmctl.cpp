@@ -18,6 +18,10 @@
 //         apply-delta [batch] [seed]         stream a shareholding-update
 //                                            batch into a delta epoch
 //         query <output> <m|v> <program>     MetaLog (m) or Vadalog (v)
+//         pquery <output> <m|v> <bound> <program>
+//                                            point query: <bound> is a CSV
+//                                            binding (`_` = free position)
+//                                            routed through magic sets
 //         stats | epoch | quit
 //   kgmctl lint [--json] [--vadalog|--metalog] [--schema company|none] <file>...
 //       Run the static-analysis pipeline over MetaLog/Vadalog programs and
@@ -31,6 +35,13 @@
 //       run in the given order against one shared instance, so
 //       prerequisites compose (e.g. `explain owns.mlog closelinks.mlog`).
 //       Exit code 1 if any differential fails.
+//   kgmctl query [--json] [--threads N] [--output PRED] --bound a1,a2,... <program>
+//       Answer a point query against the same demo instance `explain`
+//       uses: the binding (CSV of constants, `_` = free position) routes
+//       the evaluation through the magic-sets rewrite / QSQR dispatcher.
+//       Prints the chosen route, the rewrite summary (adorned and magic
+//       predicates, full-evaluation predicates) and the probe cost next
+//       to the materialize-then-filter baseline.
 //
 // Run: build/examples/kgmctl <command> ...
 
@@ -55,6 +66,8 @@
 #include "instance/pipeline.h"
 #include "lint/lint.h"
 #include "metalog/catalog.h"
+#include "metalog/mtv.h"
+#include "metalog/parser.h"
 #include "metalog/prepared.h"
 #include "rel/relational.h"
 #include "service/service.h"
@@ -63,6 +76,7 @@
 #include "translate/enforce.h"
 #include "translate/ssst.h"
 #include "translate/validate.h"
+#include "vadalog/magic/point_query.h"
 #include "vadalog/parser.h"
 #include "vadalog/planner.h"
 
@@ -81,7 +95,9 @@ int Usage() {
                "  kgmctl serve [--port N]\n"
                "  kgmctl lint [--json] [--vadalog|--metalog] "
                "[--schema company|none] <file>...\n"
-               "  kgmctl explain [--json] [--threads N] <program>...\n");
+               "  kgmctl explain [--json] [--threads N] <program>...\n"
+               "  kgmctl query [--json] [--threads N] [--output PRED] "
+               "--bound a1,a2,... <program>\n");
   return 2;
 }
 
@@ -343,6 +359,57 @@ bool HandleServeLine(service::KgService& svc, const std::string& line,
     }
     std::ostringstream reply;
     reply << "ok epoch=" << result->epoch << " rows=" << result->rows->size()
+          << " cache=" << (result->result_cache_hit ? "hit" : "miss")
+          << " eval=" << result->eval_seconds << "\n";
+    constexpr size_t kMaxRows = 20;
+    for (size_t i = 0; i < result->rows->size() && i < kMaxRows; ++i) {
+      const vadalog::Tuple& t = (*result->rows)[i];
+      for (size_t j = 0; j < t.size(); ++j) {
+        reply << (j == 0 ? "" : "\t") << t[j].ToString();
+      }
+      reply << "\n";
+    }
+    if (result->rows->size() > kMaxRows) {
+      reply << "... (" << result->rows->size() - kMaxRows << " more)\n";
+    }
+    *out = reply.str();
+  } else if (cmd == "pquery") {
+    // Point query: like `query`, but with an argument binding routed
+    // through the magic-sets / QSQR dispatcher.  The binding is a CSV of
+    // constants with `_` for free positions (no spaces inside values over
+    // this whitespace-split protocol; use `kgmctl query` for those).
+    std::string output, lang, bound;
+    in >> output >> lang >> bound;
+    std::string program;
+    std::getline(in, program);
+    if (output.empty() || (lang != "m" && lang != "v") || bound.empty() ||
+        program.empty()) {
+      *out = "error usage: pquery <output> <m|v> <bound-csv> <program>\n";
+      return true;
+    }
+    auto args = vadalog::magic::ParseBoundArgs(bound);
+    if (!args.ok()) {
+      *out = "error " + args.status().ToString() + "\n";
+      return true;
+    }
+    service::QueryRequest request;
+    request.program = program;
+    request.language = lang == "m" ? service::QueryLanguage::kMetaLog
+                                   : service::QueryLanguage::kVadalog;
+    request.output = output;
+    request.bound_args = std::move(*args);
+    auto result = svc.Query(request);
+    if (!result.ok()) {
+      *out = "error " + result.status().ToString() + "\n";
+      return true;
+    }
+    std::ostringstream reply;
+    reply << "ok epoch=" << result->epoch << " rows=" << result->rows->size()
+          << " mode=" << vadalog::magic::PointQueryModeName(result->point_mode)
+          << (result->point_fallback.empty()
+                  ? ""
+                  : " fallback=" + result->point_fallback)
+          << " probes=" << result->join_probes
           << " cache=" << (result->result_cache_hit ? "hit" : "miss")
           << " eval=" << result->eval_seconds << "\n";
     constexpr size_t kMaxRows = 20;
@@ -796,6 +863,238 @@ int CmdExplain(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// query: answer one bound-argument (point) query against a demo instance,
+// showing which route the dispatcher picked and — when the magic-sets
+// rewrite ran — an explain-style summary of the rewrite (adorned
+// predicates, magic predicates, predicates forced to full evaluation) and
+// the probe cost next to the materialize-then-filter baseline.
+
+int CmdQuery(int argc, char** argv) {
+  bool json = false;
+  size_t threads = 1;
+  std::string bound;
+  std::string output;
+  std::vector<std::string> files;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--bound") {
+      if (i + 1 >= argc) return Usage();
+      bound = argv[++i];
+    } else if (arg == "--output") {
+      if (i + 1 >= argc) return Usage();
+      output = argv[++i];
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) return Usage();
+      threads = std::strtoul(argv[++i], nullptr, 10);
+      if (threads == 0) threads = 1;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "kgmctl query: unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 1 || bound.empty()) return Usage();
+  const std::string& path = files[0];
+
+  auto bound_args = vadalog::magic::ParseBoundArgs(bound);
+  if (!bound_args.ok()) {
+    std::fprintf(stderr, "kgmctl query: bad --bound: %s\n",
+                 bound_args.status().ToString().c_str());
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "kgmctl query: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string source = buffer.str();
+  const bool vlog = path.ends_with(".vlog") || path.ends_with(".vdl");
+
+  // The same demo instance `kgmctl explain` uses, with the aggregated
+  // OWNS layer merged in so ownership-closure programs (reach.vlog,
+  // control, close links) have their extensional input without a prior
+  // owns materialization.
+  finkg::GeneratorConfig config;
+  config.num_companies = 100;
+  config.num_persons = 150;
+  config.seed = 2022;
+  finkg::ShareholdingNetwork net =
+      finkg::ShareholdingNetwork::Generate(config);
+  pg::PropertyGraph graph = net.ToInstanceGraph();
+  pg::PropertyGraph owns_graph = net.ToOwnershipGraph(/*include_persons=*/true);
+  auto merge_owns = [&owns_graph](vadalog::FactDb db,
+                                  const metalog::GraphCatalog& catalog) {
+    vadalog::FactDb owns = metalog::EncodeGraph(owns_graph, catalog);
+    for (const std::string& pred : owns.Predicates()) {
+      const vadalog::Relation* rel = owns.Get(pred);
+      vadalog::Relation& dst = db.GetOrCreate(pred, rel->arity());
+      for (const vadalog::Tuple& t : rel->tuples()) dst.Insert(t);
+    }
+    return db;
+  };
+
+  vadalog::Program program;
+  vadalog::FactDb db;
+  if (vlog) {
+    auto parsed = vadalog::ParseProgram(source);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "kgmctl query: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    program = std::move(*parsed);
+    metalog::GraphCatalog catalog =
+        instance::SchemaCatalog(finkg::CompanyKgSchema());
+    db = merge_owns(metalog::EncodeGraph(graph, catalog), catalog);
+  } else {
+    auto meta = metalog::ParseMetaProgram(source);
+    if (!meta.ok()) {
+      std::fprintf(stderr, "kgmctl query: %s\n",
+                   meta.status().ToString().c_str());
+      return 1;
+    }
+    metalog::GraphCatalog catalog =
+        instance::SchemaCatalog(finkg::CompanyKgSchema());
+    Status absorbed = catalog.AbsorbProgram(*meta);
+    if (!absorbed.ok()) {
+      std::fprintf(stderr, "kgmctl query: %s\n", absorbed.ToString().c_str());
+      return 1;
+    }
+    auto mtv = metalog::TranslateMetaProgram(*meta, catalog);
+    if (!mtv.ok()) {
+      std::fprintf(stderr, "kgmctl query: %s\n",
+                   mtv.status().ToString().c_str());
+      return 1;
+    }
+    program = std::move(mtv->program);
+    db = merge_owns(metalog::EncodeGraph(graph, catalog), catalog);
+  }
+
+  if (output.empty()) {
+    if (!program.outputs.empty()) {
+      output = program.outputs[0];
+    } else if (!program.rules.empty() && !program.rules.back().head.empty()) {
+      output = program.rules.back().head.back().predicate;
+    } else {
+      std::fprintf(stderr,
+                   "kgmctl query: no @output and no rules; use --output\n");
+      return 2;
+    }
+  }
+
+  vadalog::magic::QueryBinding query{output, *bound_args};
+  vadalog::magic::PointQueryOptions pq_options;
+  pq_options.engine.num_threads = threads;
+
+  // The dispatcher's pick, then the materialize-then-filter baseline on a
+  // fresh clone for the probe comparison.
+  vadalog::FactDb point_db = db.Clone();
+  vadalog::magic::PointQueryStats stats;
+  auto answers = vadalog::magic::EvalPointQuery(program, query, &point_db,
+                                                pq_options, &stats);
+  if (!answers.ok()) {
+    std::fprintf(stderr, "kgmctl query: %s\n",
+                 answers.status().ToString().c_str());
+    return 1;
+  }
+  vadalog::magic::PointQueryOptions base_options = pq_options;
+  base_options.force_materialize = true;
+  vadalog::magic::PointQueryStats base_stats;
+  auto baseline = vadalog::magic::EvalPointQuery(program, query, &db,
+                                                 base_options, &base_stats);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "kgmctl query: baseline failed: %s\n",
+                 baseline.status().ToString().c_str());
+    return 1;
+  }
+  const double ratio =
+      stats.engine.join_probes > 0
+          ? static_cast<double>(base_stats.engine.join_probes) /
+                static_cast<double>(stats.engine.join_probes)
+          : 0;
+
+  if (json) {
+    std::ostringstream out;
+    out << "{\"file\":\"" << JsonEscape(path) << "\"";
+    out << ",\"query\":\"" << JsonEscape(query.Render()) << "\"";
+    out << ",\"mode\":\""
+        << vadalog::magic::PointQueryModeName(stats.mode) << "\"";
+    out << ",\"fallback\":\""
+        << vadalog::magic::FallbackReasonName(stats.fallback) << "\"";
+    if (!stats.fallback_detail.empty()) {
+      out << ",\"fallback_detail\":\"" << JsonEscape(stats.fallback_detail)
+          << "\"";
+    }
+    out << ",\"answers\":" << stats.answers;
+    out << ",\"adorned\":[";
+    for (size_t i = 0; i < stats.adorned.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"pred\":\"" << JsonEscape(stats.adorned[i].pred)
+          << "\",\"adornment\":\"" << stats.adorned[i].adornment
+          << "\",\"magic\":\"" << JsonEscape(stats.adorned[i].magic_pred)
+          << "\"}";
+    }
+    out << "]";
+    out << ",\"full_required\":[";
+    for (size_t i = 0; i < stats.full_required.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << JsonEscape(stats.full_required[i]) << "\"";
+    }
+    out << "]";
+    out << ",\"rewrites\":" << stats.engine.magic_rewrites;
+    out << ",\"subqueries\":" << stats.engine.magic_subqueries;
+    out << ",\"magic_rules\":" << stats.engine.magic_rules;
+    out << ",\"probes\":{\"point\":" << stats.engine.join_probes
+        << ",\"materialize\":" << base_stats.engine.join_probes
+        << ",\"reduction_factor\":" << ratio << "}";
+    out << "}";
+    std::printf("%s\n", out.str().c_str());
+  } else {
+    std::printf("== %s  %s ==\n", path.c_str(), query.Render().c_str());
+    std::printf("mode: %s", vadalog::magic::PointQueryModeName(stats.mode));
+    if (stats.fallback != vadalog::magic::FallbackReason::kNone) {
+      std::printf("  (fallback: %s — %s)",
+                  vadalog::magic::FallbackReasonName(stats.fallback),
+                  stats.fallback_detail.c_str());
+    }
+    std::printf("\n");
+    if (!stats.adorned.empty()) {
+      std::printf("rewrite: %zu adorned predicate(s), %zu rewritten rule(s)\n",
+                  stats.adorned.size(), stats.engine.magic_rules);
+      for (const auto& a : stats.adorned) {
+        std::printf("  %s@%s   seeded by %s\n", a.pred.c_str(),
+                    a.adornment.c_str(), a.magic_pred.c_str());
+      }
+      for (const auto& p : stats.full_required) {
+        std::printf("  %s   (full evaluation required)\n", p.c_str());
+      }
+    }
+    std::printf("probes: point=%zu materialize=%zu (%.1fx fewer)\n",
+                stats.engine.join_probes, base_stats.engine.join_probes,
+                ratio);
+    std::printf("answers: %zu\n", stats.answers);
+    constexpr size_t kMaxRows = 20;
+    for (size_t i = 0; i < answers->size() && i < kMaxRows; ++i) {
+      const vadalog::Tuple& t = (*answers)[i];
+      for (size_t j = 0; j < t.size(); ++j) {
+        std::printf("%s%s", j == 0 ? "  " : "\t", t[j].ToString().c_str());
+      }
+      std::printf("\n");
+    }
+    if (answers->size() > kMaxRows) {
+      std::printf("  ... (%zu more)\n", answers->size() - kMaxRows);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -810,5 +1109,6 @@ int main(int argc, char** argv) {
   if (command == "serve") return CmdServe(argc, argv);
   if (command == "lint") return CmdLint(argc, argv);
   if (command == "explain") return CmdExplain(argc, argv);
+  if (command == "query") return CmdQuery(argc, argv);
   return Usage();
 }

@@ -10,6 +10,7 @@
 
 #include "metalog/parser.h"
 #include "vadalog/analysis.h"
+#include "vadalog/magic/magic.h"
 #include "vadalog/parser.h"
 
 namespace kgm::lint {
@@ -272,6 +273,29 @@ void SingletonPass(const Program& program, LintResult* out) {
   }
 }
 
+// Serve-time advice: an @output whose bound queries can never benefit from
+// the magic-sets rewrite (see vadalog/magic) always pays the full
+// materialization at point-query time — either because no bound argument
+// reaches a recursive predicate, or because the output's cone forces a
+// fallback (aggregates, restricted-chase existentials).  Only meaningful
+// against declared outputs, like the unused/unreachable passes.
+void MagicFutilityPass(const Program& program, LintResult* out) {
+  for (size_t i = 0; i < program.outputs.size(); ++i) {
+    const std::string& pred = program.outputs[i];
+    vadalog::magic::MagicOpportunity opp =
+        vadalog::magic::AnalyzeMagicOpportunity(program, pred);
+    SourceLoc loc =
+        i < program.output_locs.size() ? program.output_locs[i] : SourceLoc{};
+    if (opp.fallback != vadalog::magic::FallbackReason::kNone) {
+      out->Add(Severity::kWarning, "magic-futility", loc, -1,
+               "bound queries on " + pred +
+                   " always fall back to full materialization: " + opp.detail);
+    } else if (opp.recursive_cone && !opp.beneficial) {
+      out->Add(Severity::kWarning, "magic-futility", loc, -1, opp.detail);
+    }
+  }
+}
+
 // --- MetaLog-level passes ----------------------------------------------------
 
 using metalog::GraphCatalog;
@@ -448,6 +472,11 @@ LintResult RunLintsImpl(const Program& program, const LintOptions& options) {
     DefinedUsePasses(program, options, &result);
   }
   if (options.singleton_variables) SingletonPass(program, &result);
+  // Futility analysis runs the adornment machinery; skip it on programs
+  // the error passes already rejected.
+  if (options.magic_futility && !result.has_errors()) {
+    MagicFutilityPass(program, &result);
+  }
   return result;
 }
 

@@ -14,6 +14,13 @@
 //                        the program declares outputs (warning)
 //   * singleton-variable — variable occurring exactly once in a rule;
 //                        names starting with '_' are exempt (warning)
+//   * magic-futility   — @output whose bound (point) queries can never
+//                        benefit from the magic-sets rewrite: either no
+//                        bound argument reaches a recursive predicate, or
+//                        the output's cone forces a materialize fallback
+//                        (aggregates / restricted-chase existentials);
+//                        only when the program declares outputs and has
+//                        no errors (warning)
 //
 // MetaLog-level passes (run on the MetaProgram before/independent of MTV):
 //   * catalog          — labels/properties absent from the base graph
@@ -51,6 +58,7 @@ struct LintOptions {
   bool unused_predicates = true;
   bool unreachable_rules = true;
   bool singleton_variables = true;
+  bool magic_futility = true;
   // MetaLog-only passes.
   bool catalog = true;
   bool path_unbound = true;

@@ -114,10 +114,8 @@ class Translator {
   static void CountPatternVars(const GraphPattern& pattern,
                                std::map<std::string, int>* counts);
 
-  // Appends the literal for a node atom to `rule` and returns the endpoint
-  // variable.  Missing identifiers get fresh variables.
-  Result<std::string> EmitNodeAtom(const PgAtom& atom, Rule* rule);
-  // Emits the literal only, with the endpoint variable already chosen.
+  // Appends the literal for a node atom to `rule`, with the endpoint
+  // variable already chosen.
   Status EmitNodeLiteral(const PgAtom& atom, const std::string& var,
                          Rule* rule);
 
@@ -214,14 +212,6 @@ void Translator::CountRuleVars(const MetaRule& rule) {
   for (const vadalog::ExistentialSpec& e : rule.existentials) {
     for (const std::string& v : e.skolem_args) ++var_counts_[v];
   }
-}
-
-Result<std::string> Translator::EmitNodeAtom(const PgAtom& atom, Rule* rule) {
-  std::string var = atom.id_var.empty() || atom.id_var == "_"
-                        ? FreshVar()
-                        : atom.id_var;
-  KGM_RETURN_IF_ERROR(EmitNodeLiteral(atom, var, rule));
-  return var;
 }
 
 Status Translator::EmitNodeLiteral(const PgAtom& atom, const std::string& var,

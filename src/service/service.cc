@@ -207,7 +207,8 @@ bool KgService::ResultKeyMaterial::operator==(
   return program == other.program && output == other.output &&
          language == other.language && epoch == other.epoch &&
          reflexive_star == other.reflexive_star &&
-         max_stars_per_rule == other.max_stars_per_rule;
+         max_stars_per_rule == other.max_stars_per_rule &&
+         binding == other.binding && point_query == other.point_query;
 }
 
 uint64_t KgService::ResultKeyMaterial::Hash() const {
@@ -217,6 +218,8 @@ uint64_t KgService::ResultKeyMaterial::Hash() const {
   key = HashCombine(key, epoch);
   key = HashCombine(key, reflexive_star ? 1u : 0u);
   key = HashCombine(key, static_cast<uint64_t>(max_stars_per_rule));
+  key = HashCombine(key, std::hash<std::string>{}(binding));
+  key = HashCombine(key, point_query ? 1u : 0u);
   return key;
 }
 
@@ -230,6 +233,12 @@ KgService::ResultKeyMaterial KgService::ResultKey(
   key.epoch = epoch;
   key.reflexive_star = mtv.reflexive_star;
   key.max_stars_per_rule = mtv.max_stars_per_rule;
+  if (!request.bound_args.empty()) {
+    key.binding =
+        vadalog::magic::QueryBinding{request.output, request.bound_args}
+            .Render();
+    key.point_query = request.use_point_query;
+  }
   return key;
 }
 
@@ -335,6 +344,9 @@ Result<QueryResult> KgService::EvaluateOnSnapshot(
       out.result_cache_hit = true;
       out.eval_seconds = hit->eval_seconds;
       out.columns = hit->columns;
+      out.point_mode = hit->point_mode;
+      out.point_fallback = hit->point_fallback;
+      out.join_probes = hit->join_probes;
       out.rows = hit->rows;
       return out;
     }
@@ -399,14 +411,40 @@ Result<QueryResult> KgService::EvaluateOnSnapshot(
 
   vadalog::EngineOptions engine_options = options_.engine;
   engine_options.deadline = deadline;
-  vadalog::Engine engine(std::move(program), engine_options);
-  KGM_RETURN_IF_ERROR(engine.status());
-  KGM_RETURN_IF_ERROR(engine.Run(&db));
-  stats_.RecordPlanner(engine.stats());
 
   auto rows = std::make_shared<std::vector<vadalog::Tuple>>();
-  if (const vadalog::Relation* rel = db.Get(request.output)) {
-    *rows = rel->tuples();
+  if (!request.bound_args.empty()) {
+    // Point query: route through the magic-sets / QSQR dispatcher against
+    // this request's private clone of the pinned snapshot.  With
+    // use_point_query=false the dispatcher is forced onto the materialize
+    // route, giving benchmarks an apples-to-apples baseline (same entry
+    // point, same filter semantics, full bottom-up evaluation).
+    vadalog::magic::QueryBinding binding{request.output, request.bound_args};
+    vadalog::magic::PointQueryOptions pq_options;
+    pq_options.engine = engine_options;
+    pq_options.force_materialize = !request.use_point_query;
+    vadalog::magic::PointQueryStats pq_stats;
+    Result<std::vector<vadalog::Tuple>> answers = vadalog::magic::EvalPointQuery(
+        program, binding, &db, pq_options, &pq_stats);
+    KGM_RETURN_IF_ERROR(answers.status());
+    stats_.RecordPointQuery(pq_stats);
+    stats_.RecordPlanner(pq_stats.engine);
+    out.point_mode = pq_stats.mode;
+    if (pq_stats.fallback != vadalog::magic::FallbackReason::kNone) {
+      out.point_fallback =
+          vadalog::magic::FallbackReasonName(pq_stats.fallback);
+    }
+    out.join_probes = pq_stats.engine.join_probes;
+    *rows = *std::move(answers);
+  } else {
+    vadalog::Engine engine(std::move(program), engine_options);
+    KGM_RETURN_IF_ERROR(engine.status());
+    KGM_RETURN_IF_ERROR(engine.Run(&db));
+    stats_.RecordPlanner(engine.stats());
+    out.join_probes = engine.stats().join_probes;
+    if (const vadalog::Relation* rel = db.Get(request.output)) {
+      *rows = rel->tuples();
+    }
   }
   out.rows = std::move(rows);
   out.eval_seconds = Seconds(eval_start, Clock::now());
@@ -417,6 +455,9 @@ Result<QueryResult> KgService::EvaluateOnSnapshot(
     cached->rows = out.rows;
     cached->eval_seconds = out.eval_seconds;
     cached->input_preds = input_preds;
+    cached->point_mode = out.point_mode;
+    cached->point_fallback = out.point_fallback;
+    cached->join_probes = out.join_probes;
     results_.Put(key, std::move(cached));
   }
   return out;

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,7 @@
 #include "service/stats.h"
 #include "vadalog/engine.h"
 #include "vadalog/incremental.h"
+#include "vadalog/magic/point_query.h"
 
 namespace kgm::service {
 
@@ -59,6 +61,17 @@ struct QueryRequest {
   std::string output;
   int64_t timeout_ms = 0;  // 0 = no per-request deadline
   bool use_result_cache = true;
+  // Point query: when non-empty, `bound_args` is an argument binding for
+  // `output` (one entry per position, nullopt = free) and the evaluation
+  // routes through the magic-sets / QSQR point-query dispatcher instead
+  // of full materialization; the rows returned are exactly the tuples
+  // matching the binding.  Aggregates, restricted-chase existentials and
+  // all-free bindings fall back to materialize-then-filter with the
+  // reason recorded on the result.  `use_point_query = false` keeps the
+  // binding semantics but forces the materialize route (benchmark
+  // baseline).
+  std::vector<std::optional<Value>> bound_args;
+  bool use_point_query = true;
 };
 
 struct QueryResult {
@@ -70,6 +83,13 @@ struct QueryResult {
   double eval_seconds = 0;
   // Column names of `rows` (known for MetaLog outputs; empty for Vadalog).
   std::vector<std::string> columns;
+  // Point-query routing outcome (kOff unless the request carried
+  // `bound_args`): the mode that answered, why magic was skipped if it
+  // was, and the evaluation's join-probe count (for the materialize route
+  // this includes the output filter scan — the honest baseline cost).
+  vadalog::magic::PointQueryMode point_mode = vadalog::magic::PointQueryMode::kOff;
+  std::string point_fallback;
+  size_t join_probes = 0;
   // Shared with the result cache; never mutated after creation.
   std::shared_ptr<const std::vector<vadalog::Tuple>> rows;
 };
@@ -148,6 +168,10 @@ class KgService {
     std::vector<std::string> columns;
     std::shared_ptr<const std::vector<vadalog::Tuple>> rows;
     double eval_seconds = 0;
+    vadalog::magic::PointQueryMode point_mode =
+        vadalog::magic::PointQueryMode::kOff;
+    std::string point_fallback;
+    size_t join_probes = 0;
     // Sorted snapshot predicates the evaluation read (every program
     // predicate present in the snapshot encoding).  ApplyDelta carries an
     // entry forward only when this set is disjoint from the delta's
@@ -165,6 +189,14 @@ class KgService {
     uint64_t epoch = 0;
     bool reflexive_star = false;
     int max_stars_per_rule = 0;
+    // Point-query key material: the canonical rendering of the binding
+    // (QueryBinding::Render — constants are type-tagged so 1, 1.0 and "1"
+    // key differently) and whether the point-query router was enabled.
+    // Same program + same binding but a different route must never share
+    // an entry: the rows agree, but the recorded mode/probe counters
+    // don't.
+    std::string binding;
+    bool point_query = false;
 
     bool operator==(const ResultKeyMaterial& other) const;
     uint64_t Hash() const;

@@ -53,6 +53,17 @@ std::string StatsSnapshot::ToJson() const {
   out << ",\"replans\":" << plan_replans;
   out << ",\"est_probes_saved\":" << est_probes_saved;
   out << "}";
+  out << ",\"magic\":{";
+  out << "\"point_queries\":" << point_queries;
+  out << ",\"magic\":" << point_magic;
+  out << ",\"qsqr\":" << point_qsqr;
+  out << ",\"edb_lookup\":" << point_edb_lookup;
+  out << ",\"materialize\":" << point_materialize;
+  out << ",\"rewrites\":" << magic_rewrites;
+  out << ",\"fallbacks\":" << magic_fallbacks;
+  out << ",\"subqueries\":" << magic_subqueries;
+  out << ",\"probes\":" << magic_probes;
+  out << "}";
   out << "}";
   return out.str();
 }
@@ -111,6 +122,32 @@ void ServiceStats::RecordPlanner(const vadalog::EngineStats& engine_stats) {
   est_probes_saved_ += engine_stats.est_probes_saved;
 }
 
+void ServiceStats::RecordPointQuery(
+    const vadalog::magic::PointQueryStats& pq_stats) {
+  using vadalog::magic::PointQueryMode;
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (pq_stats.mode) {
+    case PointQueryMode::kMagic:
+      ++point_magic_;
+      break;
+    case PointQueryMode::kQsqr:
+      ++point_qsqr_;
+      break;
+    case PointQueryMode::kEdbLookup:
+      ++point_edb_lookup_;
+      break;
+    case PointQueryMode::kMaterialize:
+      ++point_materialize_;
+      break;
+    case PointQueryMode::kOff:
+      return;  // not a point query; nothing to count
+  }
+  magic_rewrites_ += pq_stats.engine.magic_rewrites;
+  magic_fallbacks_ += pq_stats.engine.magic_fallbacks;
+  magic_subqueries_ += pq_stats.engine.magic_subqueries;
+  magic_probes_ += pq_stats.engine.join_probes;
+}
+
 void ServiceStats::RecordPublish(uint64_t epoch, bool delta) {
   std::lock_guard<std::mutex> lock(mu_);
   ++publishes_;
@@ -147,6 +184,16 @@ StatsSnapshot ServiceStats::Snapshot(size_t queue_depth,
   s.plan_cache_hits = plan_cache_hits_;
   s.plan_replans = plan_replans_;
   s.est_probes_saved = est_probes_saved_;
+  s.point_magic = point_magic_;
+  s.point_qsqr = point_qsqr_;
+  s.point_edb_lookup = point_edb_lookup_;
+  s.point_materialize = point_materialize_;
+  s.point_queries =
+      point_magic_ + point_qsqr_ + point_edb_lookup_ + point_materialize_;
+  s.magic_rewrites = magic_rewrites_;
+  s.magic_fallbacks = magic_fallbacks_;
+  s.magic_subqueries = magic_subqueries_;
+  s.magic_probes = magic_probes_;
 
   const auto now = std::chrono::steady_clock::now();
   s.uptime_seconds = std::chrono::duration<double>(now - start_).count();

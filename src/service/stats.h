@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "vadalog/engine.h"
+#include "vadalog/magic/point_query.h"
 
 namespace kgm::service {
 
@@ -65,6 +66,20 @@ struct StatsSnapshot {
   uint64_t plan_replans = 0;        // rebuilds on stats drift / erase
   double est_probes_saved = 0;      // estimator's account of avoided probes
 
+  // Point-query routing (vadalog::magic::EvalPointQuery), accumulated over
+  // every bound-argument evaluation.  Rendered as a nested "magic" object
+  // in ToJson.  point_queries = the mode counters summed; magic_fallbacks
+  // counts only queries that wanted magic but landed on materialize.
+  uint64_t point_queries = 0;
+  uint64_t point_magic = 0;         // answered by the magic-sets rewrite
+  uint64_t point_qsqr = 0;          // answered by the top-down evaluator
+  uint64_t point_edb_lookup = 0;    // answered by a direct relation probe
+  uint64_t point_materialize = 0;   // fell back to full materialization
+  uint64_t magic_rewrites = 0;      // successful magic-sets rewrites
+  uint64_t magic_fallbacks = 0;     // wanted magic, got materialize
+  uint64_t magic_subqueries = 0;    // adorned predicates / QSQR subqueries
+  uint64_t magic_probes = 0;        // join probes spent answering
+
   std::string ToJson() const;
 };
 
@@ -83,6 +98,9 @@ class ServiceStats {
   // Folds one engine run's planner counters into the service aggregates;
   // a no-op unless the run had planning enabled.
   void RecordPlanner(const vadalog::EngineStats& engine_stats);
+  // Folds one point-query evaluation's routing outcome and magic counters
+  // into the service aggregates.
+  void RecordPointQuery(const vadalog::magic::PointQueryStats& pq_stats);
 
   // Cache counters owned elsewhere, passed in when snapshotting.
   struct ExternalCounters {
@@ -118,6 +136,14 @@ class ServiceStats {
   uint64_t plan_cache_hits_ = 0;
   uint64_t plan_replans_ = 0;
   double est_probes_saved_ = 0;
+  uint64_t point_magic_ = 0;
+  uint64_t point_qsqr_ = 0;
+  uint64_t point_edb_lookup_ = 0;
+  uint64_t point_materialize_ = 0;
+  uint64_t magic_rewrites_ = 0;
+  uint64_t magic_fallbacks_ = 0;
+  uint64_t magic_subqueries_ = 0;
+  uint64_t magic_probes_ = 0;
   std::vector<double> latencies_;  // ring buffer
   size_t latency_next_ = 0;
   size_t latency_count_ = 0;       // total ever recorded

@@ -323,7 +323,7 @@ bool Relation::StageInsert(StageTag tag, Tuple t) {
   // appends in ascending tag order and drops any tuple already appended,
   // so the minimum-tag occurrence survives without a staging-side index.
   // That keeps this hot path to one hash, one lock, and one push.
-  shard.staged.push_back(Staged{tag, h, std::move(t)});
+  shard.staged.push_back(Staged{tag, h, std::move(t), {}, false});
   ++shard.counters.accepted;
   return true;
 }

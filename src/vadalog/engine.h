@@ -159,6 +159,15 @@ struct EngineStats {
   // Every cached plan (per rule / regime / delta literal) with estimates
   // and usage counters.
   std::vector<PlanSnapshot> rule_plans;
+  // Query-driven point-query observability (vadalog/magic/point_query.h).
+  // Engine::Run never touches these; the magic::EvalPointQuery dispatcher
+  // fills them on the stats it reports, so service/bench counters read one
+  // struct whichever route a query took.
+  bool point_query = false;    // stats describe a point-query evaluation
+  size_t magic_rewrites = 0;   // magic-sets rewrites applied (0 or 1)
+  size_t magic_fallbacks = 0;  // fell back to full materialization (0 or 1)
+  size_t magic_subqueries = 0; // adorned predicates / QSQR subqueries
+  size_t magic_rules = 0;      // magic + guarded + copy rules emitted
 };
 
 class Engine {

@@ -1,0 +1,85 @@
+// Point-query dispatcher: routes a bound-argument query to the cheapest
+// admissible evaluation mode.
+//
+//   kEdbLookup    the query predicate has no defining rules — answer with
+//                 one (indexed) relation probe, no reasoning at all;
+//   kMagic        magic-sets rewrite (magic.h) + the ordinary bottom-up
+//                 engine over the rewritten program;
+//   kQsqr         on-demand top-down evaluation (qsqr.h), tried when the
+//                 rewrite gave up (adornment explosion / rejected program)
+//                 and the cone fits QSQR's fragment;
+//   kMaterialize  full bottom-up evaluation, then filter the output
+//                 relation by the binding — the always-correct fallback,
+//                 and the differential baseline the harness compares
+//                 every other mode against.
+//
+// All modes answer against the caller's FactDb (the serving layer passes
+// a throwaway clone of the pinned epoch snapshot) and produce answer sets
+// identical to `materialize then filter` — including Skolem terms, which
+// the rewrite pins to the original program's functors (see
+// magic::PinSkolemSpecs).
+
+#ifndef KGM_VADALOG_MAGIC_POINT_QUERY_H_
+#define KGM_VADALOG_MAGIC_POINT_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "vadalog/database.h"
+#include "vadalog/engine.h"
+#include "vadalog/magic/magic.h"
+
+namespace kgm::vadalog::magic {
+
+enum class PointQueryMode {
+  kOff = 0,      // not a point query (no binding given)
+  kEdbLookup,    // direct indexed lookup on an extensional predicate
+  kMagic,        // magic-sets rewrite + bottom-up engine
+  kQsqr,         // on-demand top-down evaluation
+  kMaterialize,  // full evaluation + scan filter (fallback / baseline)
+};
+
+const char* PointQueryModeName(PointQueryMode m);
+
+struct PointQueryOptions {
+  // Engine options for whichever evaluation runs (deadline, cancel,
+  // threads, chase mode, planner all honored).
+  EngineOptions engine;
+  RewriteOptions rewrite;
+  bool allow_magic = true;
+  bool allow_qsqr = true;
+  // Diagnostics/benchmarks: skip straight to a specific route.
+  bool force_qsqr = false;
+  bool force_materialize = false;
+};
+
+struct PointQueryStats {
+  PointQueryMode mode = PointQueryMode::kOff;
+  FallbackReason fallback = FallbackReason::kNone;
+  std::string fallback_detail;
+  // Rewrite summary for explain-style output (empty unless kMagic ran or
+  // was attempted).
+  std::vector<AdornedPredicate> adorned;
+  std::vector<std::string> full_required;
+  // Engine/evaluator counters with the magic_* fields filled in; for
+  // kMaterialize, join_probes additionally counts the final filter scan
+  // (that's the honest materialize-then-scan cost).
+  EngineStats engine;
+  size_t answers = 0;
+};
+
+// Evaluates `query` over `program` against `db` (mutated: derived facts,
+// memo tables and program facts land in it — pass a throwaway clone for
+// isolation).  Answer tuples agree with every bound position of the
+// binding; their order is deterministic for a given (program, db,
+// options) but differs between modes.
+Result<std::vector<Tuple>> EvalPointQuery(const Program& program,
+                                          const QueryBinding& query,
+                                          FactDb* db,
+                                          const PointQueryOptions& options,
+                                          PointQueryStats* stats);
+
+}  // namespace kgm::vadalog::magic
+
+#endif  // KGM_VADALOG_MAGIC_POINT_QUERY_H_

@@ -415,5 +415,108 @@ TEST(ServiceTest, WidenedCatalogFallsBackToFreshEncoding) {
   EXPECT_TRUE(result->fresh_encoding);
 }
 
+// ------------------------------------------------------------- Point query
+
+// The closure-over-LINK program the point-query tests share.
+QueryRequest HopClosureRequest() {
+  QueryRequest request;
+  request.program =
+      "LINK(e, x, y) -> hop(x, y).\n"
+      "hop(x, y), LINK(e, y, z) -> hop(x, z).";
+  request.language = QueryLanguage::kVadalog;
+  request.output = "hop";
+  return request;
+}
+
+TEST(ServiceTest, PointQueryRoutesThroughMagicAndMatchesMaterialize) {
+  KgService svc;
+  svc.Publish(ChainGraph(8));
+  const Value source = svc.CurrentSnapshot()->facts.at("LINK")->tuple(0)[1];
+
+  QueryRequest request = HopClosureRequest();
+  request.use_result_cache = false;
+  request.bound_args = {source, std::nullopt};
+  auto magic = svc.Query(request);
+  ASSERT_TRUE(magic.ok()) << magic.status().ToString();
+  EXPECT_EQ(magic->point_mode, vadalog::magic::PointQueryMode::kMagic)
+      << magic->point_fallback;
+  // Bound on the chain head: the whole 7-hop suffix.
+  EXPECT_EQ(magic->rows->size(), 7u);
+  for (const vadalog::Tuple& t : *magic->rows) EXPECT_EQ(t[0], source);
+
+  request.use_point_query = false;
+  auto baseline = svc.Query(request);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_EQ(baseline->point_mode, vadalog::magic::PointQueryMode::kMaterialize);
+  EXPECT_EQ(baseline->rows->size(), magic->rows->size());
+  // The rewrite only explores the bound cone; the baseline pays the full
+  // closure plus the output filter scan.
+  EXPECT_LT(magic->join_probes, baseline->join_probes);
+
+  // An extensional output with a binding is a plain indexed lookup.
+  QueryRequest edb = HopClosureRequest();
+  edb.output = "LINK";
+  edb.use_result_cache = false;
+  edb.bound_args = {std::nullopt, source, std::nullopt};
+  auto lookup = svc.Query(edb);
+  ASSERT_TRUE(lookup.ok()) << lookup.status().ToString();
+  EXPECT_EQ(lookup->point_mode, vadalog::magic::PointQueryMode::kEdbLookup);
+  EXPECT_EQ(lookup->rows->size(), 1u);
+
+  StatsSnapshot stats = svc.Stats();
+  EXPECT_EQ(stats.point_magic, 1u);
+  EXPECT_EQ(stats.point_materialize, 1u);
+  EXPECT_EQ(stats.point_edb_lookup, 1u);
+  EXPECT_EQ(stats.point_queries, 3u);
+  EXPECT_GE(stats.magic_rewrites, 1u);
+  EXPECT_GT(stats.magic_probes, 0u);
+  std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"magic\":{\"point_queries\":3"), std::string::npos)
+      << json;
+}
+
+TEST(ServiceTest, PointQueryResultCacheKeysOnBindingAndRoute) {
+  KgService svc;
+  svc.Publish(ChainGraph(6));
+  const vadalog::Relation& link = *svc.CurrentSnapshot()->facts.at("LINK");
+
+  QueryRequest request = HopClosureRequest();
+  request.bound_args = {link.tuple(0)[1], std::nullopt};
+  auto first = svc.Query(request);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->result_cache_hit);
+
+  // Same binding again: a hit that restores the recorded routing outcome.
+  auto repeat = svc.Query(request);
+  ASSERT_TRUE(repeat.ok()) << repeat.status().ToString();
+  EXPECT_TRUE(repeat->result_cache_hit);
+  EXPECT_EQ(repeat->rows.get(), first->rows.get());
+  EXPECT_EQ(repeat->point_mode, first->point_mode);
+  EXPECT_EQ(repeat->join_probes, first->join_probes);
+
+  // A different binding is a different entry.
+  QueryRequest other = request;
+  other.bound_args = {link.tuple(1)[1], std::nullopt};
+  auto different = svc.Query(other);
+  ASSERT_TRUE(different.ok()) << different.status().ToString();
+  EXPECT_FALSE(different->result_cache_hit);
+
+  // Same binding, forced-materialize route: the rows agree but the
+  // recorded counters don't, so it must not share the magic entry.
+  QueryRequest forced = request;
+  forced.use_point_query = false;
+  auto baseline = svc.Query(forced);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_FALSE(baseline->result_cache_hit);
+  EXPECT_EQ(baseline->rows->size(), first->rows->size());
+
+  // A bound request and the unbound request never collide either.
+  auto unbound = svc.Query(HopClosureRequest());
+  ASSERT_TRUE(unbound.ok()) << unbound.status().ToString();
+  EXPECT_FALSE(unbound->result_cache_hit);
+  EXPECT_EQ(unbound->point_mode, vadalog::magic::PointQueryMode::kOff);
+  EXPECT_GT(unbound->rows->size(), first->rows->size());
+}
+
 }  // namespace
 }  // namespace kgm::service

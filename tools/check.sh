@@ -75,8 +75,10 @@ fi
 # exercises delta maintenance (DRed + stratum recompute) under both
 # sanitizers.  vadalog_ also matches vadalog_planner_test (greedy-vs-off
 # bit-identity at 1/4/16 threads) and vadalog_database_test (the
-# cardinality-statistics registers the planner reads).
-SANITIZER_TESTS='vadalog_|base_thread_pool|service_|finkg_incremental'
+# cardinality-statistics registers the planner reads).  vadalog_ also
+# matches vadalog_magic_test; finkg_pointquery runs the point-query
+# differential (magic/QSQR vs full materialization) at 1 and 4 threads.
+SANITIZER_TESTS='vadalog_|base_thread_pool|service_|finkg_incremental|finkg_pointquery'
 
 run cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DKGM_SANITIZE=address
