@@ -236,7 +236,7 @@ KgService::ResultKeyMaterial KgService::ResultKey(
   if (!request.bound_args.empty()) {
     key.binding =
         vadalog::magic::QueryBinding{request.output, request.bound_args}
-            .Render();
+            .CacheKey();
     key.point_query = request.use_point_query;
   }
   return key;

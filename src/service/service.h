@@ -189,9 +189,10 @@ class KgService {
     uint64_t epoch = 0;
     bool reflexive_star = false;
     int max_stars_per_rule = 0;
-    // Point-query key material: the canonical rendering of the binding
-    // (QueryBinding::Render — constants are type-tagged so 1, 1.0 and "1"
-    // key differently) and whether the point-query router was enabled.
+    // Point-query key material: the collision-free serialization of the
+    // binding (QueryBinding::CacheKey — constants are kind-tagged and
+    // doubles print round-trip exactly, so 1, 1.0 and "1" key
+    // differently) and whether the point-query router was enabled.
     // Same program + same binding but a different route must never share
     // an entry: the rows agree, but the recorded mode/probe counters
     // don't.

@@ -59,6 +59,95 @@ std::string QueryBinding::Render() const {
   return s;
 }
 
+namespace {
+
+// Appends a collision-free encoding of one constant: a kind letter, then
+// a representation injective within the kind.  Doubles use to_chars
+// (shortest round-trip form — distinct doubles never merge, unlike
+// ToString's default ostream precision); strings, Skolem functors and
+// record field names are length-prefixed so embedded commas, parens or
+// quotes cannot imitate the surrounding structure.  The encoding is
+// prefix-decodable, so equal keys imply equal bindings.
+void AppendKeyValue(const Value& v, std::string* out) {
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      out->push_back('n');
+      return;
+    case ValueKind::kBool:
+      *out += v.AsBool() ? "b1" : "b0";
+      return;
+    case ValueKind::kInt:
+      out->push_back('i');
+      *out += std::to_string(v.AsInt());
+      return;
+    case ValueKind::kDouble: {
+      char buf[64];
+      auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v.AsDoubleExact());
+      out->push_back('d');
+      out->append(buf, end);
+      return;
+    }
+    case ValueKind::kString:
+      out->push_back('s');
+      *out += std::to_string(v.AsString().size());
+      out->push_back(':');
+      *out += v.AsString();
+      return;
+    case ValueKind::kLabeledNull:
+      out->push_back('l');
+      *out += std::to_string(v.AsLabeledNull().id);
+      return;
+    case ValueKind::kSkolem: {
+      const SkolemTable& table = SkolemTable::Global();
+      const std::string& functor = table.FunctorOf(v.AsSkolem());
+      out->push_back('k');
+      *out += std::to_string(functor.size());
+      out->push_back(':');
+      *out += functor;
+      out->push_back('(');
+      const std::vector<Value>& args = table.ArgsOf(v.AsSkolem());
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) out->push_back(',');
+        AppendKeyValue(args[i], out);
+      }
+      out->push_back(')');
+      return;
+    }
+    case ValueKind::kRecord:
+      *out += "r{";
+      for (const auto& [name, value] : *v.AsRecord()) {
+        *out += std::to_string(name.size());
+        out->push_back(':');
+        *out += name;
+        out->push_back('=');
+        AppendKeyValue(value, out);
+        out->push_back(',');
+      }
+      out->push_back('}');
+      return;
+  }
+  out->push_back('?');
+}
+
+}  // namespace
+
+std::string QueryBinding::CacheKey() const {
+  std::string s = predicate;
+  s.push_back('/');
+  s += std::to_string(args.size());
+  s.push_back('(');
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i) s.push_back(',');
+    if (args[i].has_value()) {
+      AppendKeyValue(*args[i], &s);
+    } else {
+      s.push_back('_');
+    }
+  }
+  s.push_back(')');
+  return s;
+}
+
 bool QueryBinding::Matches(const std::vector<Value>& t) const {
   if (t.size() != args.size()) return false;
   for (size_t i = 0; i < args.size(); ++i) {

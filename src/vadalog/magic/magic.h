@@ -67,9 +67,18 @@ struct QueryBinding {
   size_t BoundCount() const;
   // "bf..b" — one letter per position, 'b' bound, 'f' free.
   std::string Adornment() const;
-  // Canonical text form, e.g. `controls("c12", ?)` — stable across
-  // processes, used as result-cache key material.
+  // Human-readable text form, e.g. `controls("c12",?)`, for explain and
+  // log output.  NOT collision-free: Value::ToString prints doubles at
+  // default ostream precision, so 1.0 renders exactly like the int 1 and
+  // distinct doubles can merge.  Never use as cache-key material.
   std::string Render() const;
+  // Collision-free serialization for result-cache keys: every constant
+  // carries a kind tag, strings (and Skolem functors / record field
+  // names) are length-prefixed, and doubles print shortest-round-trip,
+  // so bindings with different answer sets never share key material
+  // (1, 1.0 and "1" all key differently).  Stable across processes for
+  // every kind a client binding can carry.
+  std::string CacheKey() const;
   // True when `t` (of matching arity) agrees with every bound position.
   bool Matches(const std::vector<Value>& t) const;
 };

@@ -1,5 +1,6 @@
 #include "vadalog/magic/point_query.h"
 
+#include <optional>
 #include <utility>
 
 #include "vadalog/magic/qsqr.h"
@@ -134,6 +135,35 @@ Result<std::vector<Tuple>> EvalPointQuery(const Program& program,
   if (stats == nullptr) stats = &local;
   *stats = PointQueryStats{};
   stats->engine.point_query = true;
+
+  // Binding arity is validated up front so every route rejects a
+  // mismatched binding identically.  Without this the magic route masks
+  // the client error as an empty answer set: the rewriter skips each
+  // mismatched rule, the adorned output relation never exists, and the
+  // final filter over a missing relation yields zero rows — while the
+  // materialize and EDB routes return InvalidArgument for the same
+  // query.
+  std::optional<size_t> declared;
+  for (const Rule& r : program.rules) {
+    for (const Atom& h : r.head) {
+      if (h.predicate == query.predicate) declared = h.args.size();
+    }
+  }
+  if (!declared.has_value()) {
+    for (const FactDecl& f : program.facts) {
+      if (f.predicate == query.predicate) declared = f.values.size();
+    }
+  }
+  if (!declared.has_value()) {
+    const Relation* rel = db->Get(query.predicate);
+    if (rel != nullptr) declared = rel->arity();
+  }
+  if (declared.has_value() && *declared != query.args.size()) {
+    return InvalidArgument("binding arity " +
+                           std::to_string(query.args.size()) +
+                           " does not match " + query.predicate + "/" +
+                           std::to_string(*declared));
+  }
 
   auto finish = [&](Result<std::vector<Tuple>> r) {
     stats->engine.point_query = true;

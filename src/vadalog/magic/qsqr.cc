@@ -207,7 +207,10 @@ const std::vector<size_t>& QsqrEvaluator::Impl::PlanOrder(
       for (size_t i = 0; i < cl.slots.size(); ++i) {
         PlanArg a;
         int slot = cl.slots[i];
-        bool bound = slot >= 0 && (bound_slots & (1ULL << (slot & 63))) != 0;
+        // Slots past the 64-bit mask are always presented as free (see
+        // Solve): a weaker hint, never a wrong one.
+        bool bound =
+            slot >= 0 && slot < 64 && (bound_slots & (1ULL << slot)) != 0;
         a.is_const = cl.is_const[i] != 0 || bound;
         a.slot = a.is_const ? -1 : slot;
         pl.args.push_back(a);
@@ -407,7 +410,15 @@ Status QsqrEvaluator::Impl::Solve(const std::string& pred, uint64_t mask,
           if (!(*e == v)) ok = false;
         } else {
           e = v;
-          bound_slots |= 1ULL << (r.head_slots[pos] & 63);
+          // bound_slots is a planner hint (and plan_cache key), not a
+          // correctness input — JoinRec validates every binding against
+          // env.  Rules with 64+ distinct variables don't fit the mask,
+          // so higher slots are simply not hinted; masking with `& 63`
+          // instead would alias a free slot onto a bound bit and present
+          // it to the planner as a constant.
+          if (r.head_slots[pos] < 64) {
+            bound_slots |= 1ULL << r.head_slots[pos];
+          }
         }
       }
     }

@@ -510,6 +510,21 @@ TEST(ServiceTest, PointQueryResultCacheKeysOnBindingAndRoute) {
   EXPECT_FALSE(baseline->result_cache_hit);
   EXPECT_EQ(baseline->rows->size(), first->rows->size());
 
+  // Value equality is type-strict, so an int binding and a double
+  // binding that render alike have different answer sets; the key
+  // serializer must not collapse them (42 vs 42.0 share ToString
+  // output).
+  QueryRequest as_int = request;
+  as_int.bound_args = {Value(int64_t{42}), std::nullopt};
+  auto int_bound = svc.Query(as_int);
+  ASSERT_TRUE(int_bound.ok()) << int_bound.status().ToString();
+  EXPECT_FALSE(int_bound->result_cache_hit);
+  QueryRequest as_double = request;
+  as_double.bound_args = {Value(42.0), std::nullopt};
+  auto double_bound = svc.Query(as_double);
+  ASSERT_TRUE(double_bound.ok()) << double_bound.status().ToString();
+  EXPECT_FALSE(double_bound->result_cache_hit);
+
   // A bound request and the unbound request never collide either.
   auto unbound = svc.Query(HopClosureRequest());
   ASSERT_TRUE(unbound.ok()) << unbound.status().ToString();

@@ -114,6 +114,30 @@ TEST(ParseBoundArgsTest, Errors) {
   EXPECT_EQ(ParseBoundArgs("")->size(), 0u);
 }
 
+TEST(QueryBindingTest, CacheKeyIsCollisionFree) {
+  auto key = [](std::optional<Value> v) {
+    return QueryBinding{"p", {std::move(v)}}.CacheKey();
+  };
+  // Value equality is type-strict: 1, 1.0 and "1" have different answer
+  // sets, so they must key differently even though ToString renders the
+  // int and the double identically.
+  EXPECT_EQ(Value(int64_t{1}).ToString(), Value(1.0).ToString());
+  EXPECT_NE(key(Value(int64_t{1})), key(Value(1.0)));
+  EXPECT_NE(key(Value(int64_t{1})), key(Value("1")));
+  EXPECT_NE(key(Value(1.0)), key(Value("1")));
+  EXPECT_NE(key(Value(true)), key(Value(int64_t{1})));
+  // Distinct doubles that merge at default ostream precision (6
+  // significant digits) stay distinct round-trip.
+  EXPECT_EQ(Value(1234567.0).ToString(), Value(1234568.0).ToString());
+  EXPECT_NE(key(Value(1234567.0)), key(Value(1234568.0)));
+  EXPECT_EQ(key(Value(1234567.0)), key(Value(1234567.0)));
+  // A free position is not the string "_", and a string imitating the
+  // encoded structure is still just a string (length-prefixed).
+  EXPECT_NE(key(std::nullopt), key(Value("_")));
+  EXPECT_NE((QueryBinding{"p", {Value("a"), Value("b")}}.CacheKey()),
+            (QueryBinding{"p", {Value("a,s1:b")}}.CacheKey()));
+}
+
 TEST(MagicRewriteTest, TransitiveClosureBoundSource) {
   Program program = Parse(kTc);
   QueryBinding q{"path", {Value(int64_t{0}), std::nullopt}};
@@ -193,6 +217,34 @@ TEST(PointQueryTest, EmptyAnswerForUnknownConstant) {
       kTc, QueryBinding{"path", {Value(int64_t{999}), std::nullopt}}, db, {},
       PointQueryMode::kMagic);
   EXPECT_TRUE(rows.empty());
+}
+
+TEST(PointQueryTest, BindingArityMismatchRejectedOnEveryRoute) {
+  Program program = Parse(kTc);
+  FactDb db = ChainDb(6);
+  // path/2 bound with one argument: the magic route must report the
+  // client error exactly like materialize instead of masking it as an
+  // empty answer set (every mismatched rule would be skipped and the
+  // adorned output relation would simply never exist).
+  QueryBinding bad{"path", {Value(int64_t{0})}};
+  for (bool force_materialize : {false, true}) {
+    PointQueryOptions options;
+    options.force_materialize = force_materialize;
+    FactDb clone = db.Clone();
+    PointQueryStats stats;
+    Result<std::vector<Tuple>> r =
+        EvalPointQuery(program, bad, &clone, options, &stats);
+    ASSERT_FALSE(r.ok()) << "force_materialize=" << force_materialize;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  // The extensional route agrees.
+  QueryBinding bad_edb{"edge",
+                       {Value(int64_t{0}), std::nullopt, std::nullopt}};
+  FactDb clone = db.Clone();
+  Result<std::vector<Tuple>> r =
+      EvalPointQuery(program, bad_edb, &clone, {}, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(PointQueryTest, AssignmentsAndConditionsPropagateBindings) {
@@ -370,6 +422,37 @@ TEST(QsqrTest, AssignmentsAndConditions) {
   ExpectMatchesBaseline(src,
                         QueryBinding{"reach", {Value(int64_t{1}), std::nullopt}},
                         db, options, PointQueryMode::kQsqr);
+}
+
+TEST(QsqrTest, RulesWith64PlusVariablesPlanCorrectly) {
+  // 66 distinct variables: the head variable v65 lands at slot 65, past
+  // the planner's 64-bit bound-slot mask.  Such slots must be presented
+  // as free, not aliased onto low bits (`slot & 63` would tell the
+  // planner slot 1 is a constant and mis-key the plan cache).
+  std::string body;
+  for (int i = 0; i < 65; ++i) {
+    if (i) body += ", ";
+    body += "edge(v" + std::to_string(i) + ", v" + std::to_string(i + 1) + ")";
+  }
+  std::string src = body + " -> wide(v65, v0).";
+  // The bottom-up engine rejects >64-variable rules outright, so QSQR is
+  // the only evaluator for this shape; assert exact answers instead of
+  // the materialize baseline.  On the 0→66 chain, v0 ∈ {0, 1} derives
+  // wide(65, 0) and wide(66, 1); binding v65 = 65 selects the first.
+  Program program = Parse(src);
+  FactDb db = ChainDb(67);
+  PointQueryOptions options;
+  options.force_qsqr = true;
+  options.engine.plan_mode = PlanMode::kGreedy;
+  PointQueryStats stats;
+  Result<std::vector<Tuple>> got = EvalPointQuery(
+      program, QueryBinding{"wide", {Value(int64_t{65}), std::nullopt}}, &db,
+      options, &stats);
+  ASSERT_TRUE(got.ok()) << got.status().message();
+  EXPECT_EQ(stats.mode, PointQueryMode::kQsqr)
+      << FallbackReasonName(stats.fallback) << " " << stats.fallback_detail;
+  ASSERT_EQ(got->size(), 1u);
+  EXPECT_EQ((*got)[0], (Tuple{Value(int64_t{65}), Value(int64_t{0})}));
 }
 
 TEST(QsqrTest, SupportsRejectsOutOfFragment) {
